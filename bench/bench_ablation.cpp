@@ -1,0 +1,120 @@
+// Ablation: isolates the contribution of each optimization Section IV/V
+// describes, at a fixed (n, k). Rows progress from the baseline to the full
+// optimized configuration, plus the "arguments-against" variants (atomic
+// histogram, bitonic sort, unbatched FFT, no index mapping at a small n).
+#include <iostream>
+
+#include "common.hpp"
+#include "sfft/serial.hpp"
+
+using namespace cusfft;
+using namespace cusfft::bench;
+
+namespace {
+
+std::vector<std::string> row(const std::string& label, const RunResult& r,
+                             const std::map<std::string, double>& steps,
+                             double baseline_ms) {
+  auto step = [&](const char* s) {
+    auto it = steps.find(s);
+    return ResultTable::num(it == steps.end() ? 0.0 : it->second);
+  };
+  return {label,
+          ResultTable::num(r.model_ms),
+          step(sfft::step::kPermFilter),
+          step(sfft::step::kSubFft),
+          step(sfft::step::kCutoff),
+          ResultTable::num(baseline_ms / r.model_ms)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOpts o = BenchOpts::parse(argc, argv);
+  const std::size_t n = 1ULL << o.fixed_logn;
+  const std::size_t k = std::min(o.k, n / 8);
+  const cvec x = make_signal(n, k, o.seed);
+  std::cout << "Ablation at n=2^" << o.fixed_logn << ", k=" << k << "\n\n";
+
+  ResultTable t({"configuration", "total_ms", "perm+filter_ms", "subfft_ms",
+                 "cutoff_ms", "speedup_vs_baseline"});
+
+  std::map<std::string, double> steps;
+  const auto base = run_cusfft(n, k, gpu::Options::baseline(), o.seed, x,
+                               &steps);
+  const double base_ms = base.model_ms;
+  t.add_row(row("baseline (Section IV)", base, steps, base_ms));
+
+  {
+    gpu::Options v = gpu::Options::baseline();
+    v.fast_selection = true;
+    const auto r = run_cusfft(n, k, v, o.seed, x, &steps);
+    t.add_row(row("+ fast k-selection (V.B)", r, steps, base_ms));
+  }
+  {
+    gpu::Options v = gpu::Options::baseline();
+    v.binning = gpu::Binning::kAsyncTransform;
+    const auto r = run_cusfft(n, k, v, o.seed, x, &steps);
+    t.add_row(row("+ async layout transform (V.A)", r, steps, base_ms));
+  }
+  {
+    const auto r =
+        run_cusfft(n, k, gpu::Options::optimized(), o.seed, x, &steps);
+    t.add_row(row("optimized (V.A + V.B)", r, steps, base_ms));
+  }
+  {
+    gpu::Options v = gpu::Options::baseline();
+    v.batched_fft = false;
+    const auto r = run_cusfft(n, k, v, o.seed, x, &steps);
+    t.add_row(row("- batched cuFFT (per-loop FFTs)", r, steps, base_ms));
+  }
+  {
+    gpu::Options v = gpu::Options::baseline();
+    v.binning = gpu::Binning::kGlobalAtomicHist;
+    const auto r = run_cusfft(n, k, v, o.seed, x, &steps);
+    t.add_row(row("- loop partition (atomic histogram)", r, steps, base_ms));
+  }
+  {
+    gpu::Options v = gpu::Options::baseline();
+    v.sort_algo = custhrust::SortAlgo::kBitonic;
+    const auto r = run_cusfft(n, k, v, o.seed, x, &steps);
+    t.add_row(row("bitonic sort instead of radix", r, steps, base_ms));
+  }
+  {
+    // Section IV.C: the shared-memory sub-histogram usually cannot hold B
+    // complex doubles — expect a rejection at realistic sizes.
+    gpu::Options v = gpu::Options::baseline();
+    v.binning = gpu::Binning::kSharedHist;
+    try {
+      const auto r = run_cusfft(n, k, v, o.seed, x, &steps);
+      t.add_row(row("shared-memory sub-histograms", r, steps, base_ms));
+    } catch (const std::invalid_argument&) {
+      t.add_row({"shared-memory sub-histograms",
+                 "rejected: B doesn't fit 48 KB (Section IV.C)", "-", "-",
+                 "-", "-"});
+    }
+  }
+  emit(o, "ablation_optimizations", t);
+
+  // Index mapping needs a small n (the chained variant is deliberately
+  // serial and would take forever functionally at full size).
+  {
+    const std::size_t sn = 1ULL << std::min<std::size_t>(o.fixed_logn, 16);
+    const std::size_t sk = std::min<std::size_t>(k, sn / 8);
+    const cvec sx = make_signal(sn, sk, o.seed);
+    ResultTable ti({"configuration", "total_ms", "perm+filter_ms"});
+    std::map<std::string, double> s2;
+    const auto with = run_cusfft(sn, sk, gpu::Options::baseline(), o.seed,
+                                 sx, &s2);
+    ti.add_row({"index mapping on", ResultTable::num(with.model_ms),
+                ResultTable::num(s2.at(sfft::step::kPermFilter))});
+    gpu::Options v = gpu::Options::baseline();
+    v.binning = gpu::Binning::kSerialChain;
+    const auto without = run_cusfft(sn, sk, v, o.seed, sx, &s2);
+    ti.add_row({"index mapping off (dependent chain)",
+                ResultTable::num(without.model_ms),
+                ResultTable::num(s2.at(sfft::step::kPermFilter))});
+    emit(o, "ablation_index_mapping", ti);
+  }
+  return 0;
+}

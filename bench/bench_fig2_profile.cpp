@@ -1,0 +1,68 @@
+// Figure 2: per-step time breakdown of the sequential sFFT.
+//  (a) sweep n at fixed k (paper: n = 2^18..2^27, k = 1000)
+//  (b) sweep k at fixed n (paper: n = 2^27, k = 100..1000)
+// Times are wall-clock of the serial reference on this machine — exactly
+// what the paper profiled (its Fig. 2 is a host profile, not a GPU one).
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "sfft/serial.hpp"
+
+using namespace cusfft;
+using namespace cusfft::bench;
+
+namespace {
+
+const std::vector<const char*> kSteps = {
+    sfft::step::kPermFilter, sfft::step::kSubFft, sfft::step::kCutoff,
+    sfft::step::kLocRecover, sfft::step::kEstimate};
+
+std::vector<std::string> row_for(const std::string& label,
+                                 const StepTimers& t) {
+  std::vector<std::string> row{label};
+  double total = 0;
+  for (const char* s : kSteps) total += t.get(s);
+  for (const char* s : kSteps) row.push_back(ResultTable::num(t.get(s)));
+  row.push_back(ResultTable::num(total));
+  return row;
+}
+
+std::vector<std::string> header(const std::string& key) {
+  std::vector<std::string> h{key};
+  for (const char* s : kSteps) h.emplace_back(std::string(s) + " (ms)");
+  h.push_back("total (ms)");
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOpts o = BenchOpts::parse(argc, argv);
+
+  // (a) vary n, fixed k.
+  ResultTable ta(header("logn"));
+  for (std::size_t logn = o.min_logn; logn <= o.max_logn; ++logn) {
+    const std::size_t n = 1ULL << logn;
+    const std::size_t k = std::min(o.k, n / 8);
+    const cvec x = make_signal(n, k, o.seed);
+    StepTimers timers;
+    run_serial_sfft(n, k, o.seed, x, &timers);
+    ta.add_row(row_for(std::to_string(logn), timers));
+    std::cerr << "  [fig2a] logn=" << logn << " done\n";
+  }
+  emit(o, "fig2a_profile_vs_n", ta);
+
+  // (b) vary k, fixed n.
+  const std::size_t n = 1ULL << o.fixed_logn;
+  ResultTable tb(header("k"));
+  for (std::size_t k = 100; k <= 1000; k += 150) {
+    const cvec x = make_signal(n, k, o.seed);
+    StepTimers timers;
+    run_serial_sfft(n, k, o.seed, x, &timers);
+    tb.add_row(row_for(std::to_string(k), timers));
+    std::cerr << "  [fig2b] k=" << k << " done\n";
+  }
+  emit(o, "fig2b_profile_vs_k", tb);
+  return 0;
+}

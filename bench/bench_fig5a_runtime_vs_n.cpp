@@ -1,0 +1,45 @@
+// Figure 5(a): average execution time vs signal size n at fixed k=1000 for
+// cusFFT (baseline & optimized), cuFFT, PsFFT, and parallel FFTW.
+// GPU-resident comparison (no PCIe), as the paper's Fig. 5(a)-(d).
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace cusfft;
+using namespace cusfft::bench;
+
+int main(int argc, char** argv) {
+  const BenchOpts o = BenchOpts::parse(argc, argv);
+  std::cout << "Figure 5(a): runtime vs n, k=" << o.k
+            << " (model_ms on Table I/II hardware; host_ms = functional "
+               "wall time on this container)\n\n";
+
+  ResultTable t({"logn", "cusfft_base_ms", "cusfft_opt_ms", "cufft_ms",
+                 "psfft_ms", "fftw_ms", "cusfft_opt_host_ms",
+                 "cufft_host_ms"});
+  for (std::size_t logn = o.min_logn; logn <= o.max_logn; ++logn) {
+    const std::size_t n = 1ULL << logn;
+    const std::size_t k = std::min(o.k, n / 8);
+    const cvec x = make_signal(n, k, o.seed);
+
+    const auto base =
+        run_cusfft(n, k, gpu::Options::baseline(), o.seed, x);
+    const auto opt =
+        run_cusfft(n, k, gpu::Options::optimized(), o.seed, x);
+    const auto cufft = run_cufft_dense(n, x);
+    const auto psfft = run_psfft(n, k, o.seed, x);
+    const auto fftw = run_fftw_parallel(n, x);
+
+    t.add_row({std::to_string(logn), ResultTable::num(base.model_ms),
+               ResultTable::num(opt.model_ms),
+               ResultTable::num(cufft.model_ms),
+               ResultTable::num(psfft.model_ms),
+               ResultTable::num(fftw.model_ms),
+               ResultTable::num(opt.host_ms),
+               ResultTable::num(cufft.host_ms)});
+    std::cerr << "  [fig5a] logn=" << logn << " done\n";
+  }
+  emit(o, "fig5a_runtime_vs_n", t);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 5(b): average execution time vs sparsity k at fixed n for cusFFT
+// (baseline & optimized), cuFFT, PsFFT, and parallel FFTW. The dense
+// baselines are independent of k; sFFT grows slowly with k.
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace cusfft;
+using namespace cusfft::bench;
+
+int main(int argc, char** argv) {
+  const BenchOpts o = BenchOpts::parse(argc, argv);
+  const std::size_t n = 1ULL << o.fixed_logn;
+  std::cout << "Figure 5(b): runtime vs k, n=2^" << o.fixed_logn << "\n\n";
+
+  const cvec probe = make_signal(n, 100, o.seed);
+  const auto cufft = run_cufft_dense(n, probe);
+  const auto fftw = run_fftw_parallel(n, probe);
+
+  ResultTable t({"k", "cusfft_base_ms", "cusfft_opt_ms", "cufft_ms",
+                 "psfft_ms", "fftw_ms"});
+  for (std::size_t k = 100; k <= 1000; k += 150) {
+    const cvec x = make_signal(n, k, o.seed);
+    const auto base = run_cusfft(n, k, gpu::Options::baseline(), o.seed, x);
+    const auto opt = run_cusfft(n, k, gpu::Options::optimized(), o.seed, x);
+    const auto psfft = run_psfft(n, k, o.seed, x);
+    t.add_row({std::to_string(k), ResultTable::num(base.model_ms),
+               ResultTable::num(opt.model_ms),
+               ResultTable::num(cufft.model_ms),
+               ResultTable::num(psfft.model_ms),
+               ResultTable::num(fftw.model_ms)});
+    std::cerr << "  [fig5b] k=" << k << " done\n";
+  }
+  emit(o, "fig5b_runtime_vs_k", t);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 5(c): speedup of cusFFT (baseline and optimized) over cuFFT vs
+// signal size. The paper reports the speedup growing with n, reaching >9x
+// (baseline) and 15x (optimized) at n = 2^27. GPU-resident (no PCIe).
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace cusfft;
+using namespace cusfft::bench;
+
+int main(int argc, char** argv) {
+  const BenchOpts o = BenchOpts::parse(argc, argv);
+  std::cout << "Figure 5(c): cusFFT speedup over cuFFT, k=" << o.k << "\n\n";
+
+  ResultTable t({"logn", "cufft_ms", "cusfft_base_ms", "cusfft_opt_ms",
+                 "speedup_base", "speedup_opt"});
+  for (std::size_t logn = o.min_logn; logn <= o.max_logn; ++logn) {
+    const std::size_t n = 1ULL << logn;
+    const std::size_t k = std::min(o.k, n / 8);
+    const cvec x = make_signal(n, k, o.seed);
+    const auto cufft = run_cufft_dense(n, x);
+    const auto base = run_cusfft(n, k, gpu::Options::baseline(), o.seed, x);
+    const auto opt = run_cusfft(n, k, gpu::Options::optimized(), o.seed, x);
+    t.add_row({std::to_string(logn), ResultTable::num(cufft.model_ms),
+               ResultTable::num(base.model_ms),
+               ResultTable::num(opt.model_ms),
+               ResultTable::num(cufft.model_ms / base.model_ms),
+               ResultTable::num(cufft.model_ms / opt.model_ms)});
+    std::cerr << "  [fig5c] logn=" << logn << " done\n";
+  }
+  emit(o, "fig5c_speedup_over_cufft", t);
+  return 0;
+}

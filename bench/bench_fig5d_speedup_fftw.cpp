@@ -1,0 +1,29 @@
+// Figure 5(d): speedup of the optimized cusFFT over parallel FFTW on the
+// Table-II CPU. The paper reports 0.5x (small n) to 29x (n = 2^27).
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace cusfft;
+using namespace cusfft::bench;
+
+int main(int argc, char** argv) {
+  const BenchOpts o = BenchOpts::parse(argc, argv);
+  std::cout << "Figure 5(d): cusFFT speedup over parallel FFTW, k=" << o.k
+            << "\n\n";
+
+  ResultTable t({"logn", "fftw_ms", "cusfft_opt_ms", "speedup"});
+  for (std::size_t logn = o.min_logn; logn <= o.max_logn; ++logn) {
+    const std::size_t n = 1ULL << logn;
+    const std::size_t k = std::min(o.k, n / 8);
+    const cvec x = make_signal(n, k, o.seed);
+    const auto fftw = run_fftw_parallel(n, x);
+    const auto opt = run_cusfft(n, k, gpu::Options::optimized(), o.seed, x);
+    t.add_row({std::to_string(logn), ResultTable::num(fftw.model_ms),
+               ResultTable::num(opt.model_ms),
+               ResultTable::num(fftw.model_ms / opt.model_ms)});
+    std::cerr << "  [fig5d] logn=" << logn << " done\n";
+  }
+  emit(o, "fig5d_speedup_over_fftw", t);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 5(e): speedup of cusFFT over the multicore PsFFT. As the paper
+// notes, this comparison charges cusFFT for the host-to-device transfer of
+// the input (PsFFT reads host memory directly), which is what bends the
+// curve back down at large n (paper: peak 6.6x at 2^24, average >4x).
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace cusfft;
+using namespace cusfft::bench;
+
+int main(int argc, char** argv) {
+  const BenchOpts o = BenchOpts::parse(argc, argv);
+  std::cout << "Figure 5(e): cusFFT (incl. H2D transfer) speedup over "
+               "PsFFT, k=" << o.k << "\n\n";
+
+  gpu::Options opt = gpu::Options::optimized();
+  opt.include_transfer = true;
+
+  ResultTable t({"logn", "psfft_ms", "cusfft_opt_ms(+h2d)", "speedup"});
+  for (std::size_t logn = o.min_logn; logn <= o.max_logn; ++logn) {
+    const std::size_t n = 1ULL << logn;
+    const std::size_t k = std::min(o.k, n / 8);
+    const cvec x = make_signal(n, k, o.seed);
+    const auto psfft = run_psfft(n, k, o.seed, x);
+    const auto gpu_run = run_cusfft(n, k, opt, o.seed, x);
+    t.add_row({std::to_string(logn), ResultTable::num(psfft.model_ms),
+               ResultTable::num(gpu_run.model_ms),
+               ResultTable::num(psfft.model_ms / gpu_run.model_ms)});
+    std::cerr << "  [fig5e] logn=" << logn << " done\n";
+  }
+  emit(o, "fig5e_speedup_over_psfft", t);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 5(f): L1 error per large coefficient of cusFFT vs the dense-FFT
+// oracle (the paper compares against FFTW output), at fixed n over a sweep
+// of k. The paper's point: the GPU algorithm's speed does not cost
+// accuracy — the error stays tiny.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "cusfft/plan.hpp"
+#include "cusim/device.hpp"
+#include "fft/fft.hpp"
+#include "signal/generate.hpp"
+
+using namespace cusfft;
+using namespace cusfft::bench;
+
+int main(int argc, char** argv) {
+  const BenchOpts o = BenchOpts::parse(argc, argv);
+  const std::size_t n = 1ULL << o.fixed_logn;
+  std::cout << "Figure 5(f): cusFFT L1 error per large coefficient vs "
+               "dense-FFT oracle, n=2^" << o.fixed_logn << "\n\n";
+
+  ResultTable t({"k", "l1_error_per_coeff", "max_error_at_locs",
+                 "location_recall"});
+  for (std::size_t k = 100; k <= 1000; k += 150) {
+    Rng rng(o.seed ^ k);
+    const auto sig = signal::make_sparse_signal(n, k, rng);
+    const cvec oracle = densify(sig.truth, n);
+
+    cusim::Device dev;
+    gpu::GpuPlan plan(dev, paper_params(n, k, o.seed),
+                      gpu::Options::optimized());
+    const auto got = plan.execute(sig.x);
+
+    t.add_row({std::to_string(k),
+               ResultTable::num(l1_error_per_coeff(got, oracle, k), 3),
+               ResultTable::num(max_error_at_locs(got, oracle), 3),
+               ResultTable::num(location_recall(got, oracle, k), 4)});
+    std::cerr << "  [fig5f] k=" << k << " done\n";
+  }
+  emit(o, "fig5f_accuracy", t);
+  return 0;
+}

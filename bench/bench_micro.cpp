@@ -1,0 +1,226 @@
+// google-benchmark microbenchmarks for the primitive layers: host FFT,
+// binning, estimation, device sort/scan/select, and timeline simulation.
+// These measure *this machine's* functional throughput (not modeled GPU
+// time) — useful for tracking regressions in the hot loops.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/rng.hpp"
+#include "custhrust/scan.hpp"
+#include "custhrust/select.hpp"
+#include "custhrust/sort.hpp"
+#include "fft/fft.hpp"
+#include "sfft/comb.hpp"
+#include "sfft/serial.hpp"
+#include "sfft/steps.hpp"
+#include "signal/filter.hpp"
+#include "signal/generate.hpp"
+
+namespace {
+
+using namespace cusfft;
+
+cvec random_signal(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  cvec x(n);
+  for (auto& v : x) v = cplx{rng.next_normal(), rng.next_normal()};
+  return x;
+}
+
+void BM_HostFft(benchmark::State& state) {
+  const std::size_t n = 1ULL << state.range(0);
+  cvec x = random_signal(n, 1);
+  fft::Plan plan(n, fft::Direction::kForward);
+  for (auto _ : state) {
+    plan.execute(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n));
+}
+BENCHMARK(BM_HostFft)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_HostFftBluestein(benchmark::State& state) {
+  const std::size_t n = 10000;  // non-power-of-two
+  cvec x = random_signal(n, 2);
+  fft::Plan plan(n, fft::Direction::kForward);
+  for (auto _ : state) {
+    plan.execute(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_HostFftBluestein);
+
+void BM_BinPermuted(benchmark::State& state) {
+  const std::size_t n = 1ULL << 18, B = 1024;
+  cvec x = random_signal(n, 3);
+  auto filter = signal::make_flat_filter(n, B);
+  sfft::LoopPerm perm{12345, mod_inverse(12345, n), 777};
+  cvec z(B);
+  for (auto _ : state) {
+    sfft::bin_permuted(x, filter.time, perm, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(filter.time.size()));
+}
+BENCHMARK(BM_BinPermuted);
+
+void BM_EstimateCoef(benchmark::State& state) {
+  const std::size_t n = 1ULL << 14, B = 256, L = 8;
+  Rng rng(4);
+  auto filter = signal::make_flat_filter(n, B);
+  auto perms = sfft::draw_loop_perms(n, L, rng);
+  std::vector<cvec> buckets(L, cvec(B, cplx{1.0, 0.5}));
+  for (auto _ : state) {
+    auto v = sfft::estimate_coef(1234, perms, buckets, filter.freq, n, B);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_EstimateCoef);
+
+void BM_DeviceRadixSort(benchmark::State& state) {
+  const std::size_t B = 1ULL << state.range(0);
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    cusim::Device dev;
+    dev.begin_capture();
+    cusim::DeviceBuffer<double> keys(B);
+    cusim::DeviceBuffer<u32> vals(B);
+    for (std::size_t i = 0; i < B; ++i) {
+      keys.host()[i] = rng.next_normal();
+      vals.host()[i] = static_cast<u32>(i);
+    }
+    state.ResumeTiming();
+    custhrust::sort_pairs_desc(dev, keys, vals);
+    benchmark::DoNotOptimize(keys.host().data());
+  }
+}
+BENCHMARK(BM_DeviceRadixSort)->Arg(10)->Arg(14);
+
+void BM_DeviceScan(benchmark::State& state) {
+  const std::size_t m = 1ULL << 14;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cusim::Device dev;
+    dev.begin_capture();
+    cusim::DeviceBuffer<u64> data(m);
+    for (std::size_t i = 0; i < m; ++i) data.host()[i] = i % 7;
+    state.ResumeTiming();
+    custhrust::exclusive_scan(dev, data);
+    benchmark::DoNotOptimize(data.host().data());
+  }
+}
+BENCHMARK(BM_DeviceScan);
+
+void BM_DeviceSelect(benchmark::State& state) {
+  const std::size_t B = 1ULL << 14;
+  cusim::Device dev;
+  cusim::DeviceBuffer<cplx> buckets(B);
+  Rng rng(6);
+  for (auto& v : buckets.host())
+    v = cplx{rng.next_normal() * 1e-3, rng.next_normal() * 1e-3};
+  buckets.host()[100] = {1.0, 0.0};
+  for (auto _ : state) {
+    dev.begin_capture();
+    auto r = custhrust::threshold_select(dev, buckets);
+    benchmark::DoNotOptimize(r.indices.data());
+  }
+}
+BENCHMARK(BM_DeviceSelect);
+
+void BM_TimelineSimulate(benchmark::State& state) {
+  cusim::Timeline tl(32);
+  for (int i = 0; i < 512; ++i)
+    tl.submit({"k", static_cast<cusim::StreamId>(i % 32),
+               cusim::Resource::kDeviceMemory, 1e-4, 1e-5});
+  for (auto _ : state) {
+    double t = tl.simulate();
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TimelineSimulate);
+
+void BM_FlatFilterConstruction(benchmark::State& state) {
+  const std::size_t n = 1ULL << 16, B = 512;
+  for (auto _ : state) {
+    auto f = signal::make_flat_filter(n, B);
+    benchmark::DoNotOptimize(f.time.data());
+  }
+}
+BENCHMARK(BM_FlatFilterConstruction);
+
+
+void BM_ModMul(benchmark::State& state) {
+  Rng rng(7);
+  const u64 m = (1ULL << 61) - 1;
+  u64 a = rng.next_u64() % m, b = rng.next_u64() % m;
+  for (auto _ : state) {
+    a = mod_mul(a, b, m);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_ModMul);
+
+void BM_VoteLocations(benchmark::State& state) {
+  const std::size_t n = 1ULL << 18, B = 1024, cutoff = 64;
+  sfft::LoopPerm perm{12345, mod_inverse(12345, n), 77};
+  std::vector<u32> selected(cutoff);
+  std::iota(selected.begin(), selected.end(), 0u);
+  std::vector<std::uint8_t> score(n, 0);
+  std::vector<u64> hits;
+  for (auto _ : state) {
+    std::fill(score.begin(), score.end(), 0);
+    hits.clear();
+    sfft::vote_locations(selected, perm, n, B, 1, score, hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(cutoff * (n / B)));
+}
+BENCHMARK(BM_VoteLocations);
+
+void BM_CombFilter(benchmark::State& state) {
+  const std::size_t n = 1ULL << 18, W = 1024;
+  Rng rng(8);
+  const auto sig = signal::make_sparse_signal(n, 32, rng);
+  const u64 taus[] = {11, 222};
+  for (auto _ : state) {
+    auto c = sfft::run_comb_filter(sig.x, W, 64, taus);
+    benchmark::DoNotOptimize(c.approved.data());
+  }
+}
+BENCHMARK(BM_CombFilter);
+
+void BM_SerialSfftEndToEnd(benchmark::State& state) {
+  const std::size_t n = 1ULL << state.range(0), k = 16;
+  Rng rng(9);
+  const auto sig = signal::make_sparse_signal(n, k, rng);
+  sfft::Params p;
+  p.n = n;
+  p.k = k;
+  sfft::SerialPlan plan(p);
+  for (auto _ : state) {
+    auto out = plan.execute(sig.x);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SerialSfftEndToEnd)->Arg(14)->Arg(16);
+
+void BM_MedianComplex(benchmark::State& state) {
+  Rng rng(10);
+  cvec v(15);
+  for (auto& c : v) c = cplx{rng.next_normal(), rng.next_normal()};
+  for (auto _ : state) {
+    cvec copy = v;
+    auto m = sfft::median_complex(copy);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MedianComplex);
+
+}  // namespace
+
+BENCHMARK_MAIN();

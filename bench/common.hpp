@@ -1,0 +1,64 @@
+// Shared harness for the figure-regeneration benches: CLI/env options, the
+// five measured implementations (cusFFT baseline/optimized, simulated cuFFT,
+// parallel FFTW stand-in, PsFFT), and CSV output.
+//
+// Times reported:
+//   model_ms — modeled on the paper's hardware (Table I GPU / Table II CPU)
+//              from counters of the functionally executed code; this is the
+//              column the figure shapes are judged on (DESIGN.md §1).
+//   host_ms  — wall time of the functional run on this machine, for
+//              transparency.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "core/table.hpp"
+#include "core/timer.hpp"
+#include "core/types.hpp"
+#include "cusfft/options.hpp"
+#include "sfft/params.hpp"
+
+namespace cusfft::bench {
+
+struct BenchOpts {
+  std::size_t min_logn = 18;
+  std::size_t max_logn = 22;  // paper sweeps to 27; env CUSFFT_MAX_LOGN
+  std::size_t k = 1000;       // the paper's fixed sparsity for Fig. 5(a)
+  std::size_t fixed_logn = 22;  // paper uses 2^27 for Fig. 5(b)/(f)
+  u64 seed = 20160523;          // IPDPS'16 vintage
+  std::string out_dir = "bench_results";
+
+  /// Reads CUSFFT_MIN_LOGN / CUSFFT_MAX_LOGN / CUSFFT_K / CUSFFT_FIXED_LOGN
+  /// / CUSFFT_SEED / CUSFFT_OUT_DIR, then applies simple --key value args.
+  static BenchOpts parse(int argc, char** argv);
+};
+
+struct RunResult {
+  double model_ms = 0;
+  double host_ms = 0;
+};
+
+/// Deterministic k-sparse benchmark signal (unit magnitudes, the reference
+/// implementations' workload).
+cvec make_signal(std::size_t n, std::size_t k, u64 seed);
+
+/// The sparse-FFT configuration all benches run (the paper's parameter
+/// regime; overridable via CUSFFT_BCST / CUSFFT_LOOPS_LOC /
+/// CUSFFT_LOOPS_EST / CUSFFT_TOL).
+sfft::Params paper_params(std::size_t n, std::size_t k, u64 seed);
+
+RunResult run_cusfft(std::size_t n, std::size_t k, const gpu::Options& opts,
+                     u64 seed, const cvec& x,
+                     std::map<std::string, double>* steps = nullptr);
+RunResult run_cufft_dense(std::size_t n, const cvec& x);
+RunResult run_fftw_parallel(std::size_t n, const cvec& x);
+RunResult run_psfft(std::size_t n, std::size_t k, u64 seed, const cvec& x);
+RunResult run_serial_sfft(std::size_t n, std::size_t k, u64 seed,
+                          const cvec& x, StepTimers* timers = nullptr);
+
+/// Prints the table, writes <out_dir>/<name>.csv, and reports the path.
+void emit(const BenchOpts& o, const std::string& name, const ResultTable& t);
+
+}  // namespace cusfft::bench

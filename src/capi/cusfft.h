@@ -1,0 +1,66 @@
+/* C API for the cusFFT library — a cuFFT-style plan/execute/destroy
+ * interface so C codebases (and FFI users) can adopt the sparse FFT
+ * without touching C++. All functions return CUSFFT_SUCCESS (0) or a
+ * negative error code; no exceptions cross this boundary.
+ *
+ *   cusfft_handle h;
+ *   cusfft_plan(&h, 1 << 20, 50, CUSFFT_BACKEND_GPU_OPTIMIZED);
+ *   cusfft_execute(h, in_interleaved, coeffs, locs, &count);
+ *   cusfft_destroy(h);
+ */
+#ifndef CUSFFT_C_API_H_
+#define CUSFFT_C_API_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct cusfft_plan_t* cusfft_handle;
+
+typedef enum {
+  CUSFFT_BACKEND_SERIAL = 0,       /* reference CPU implementation */
+  CUSFFT_BACKEND_PSFFT = 1,        /* multicore CPU */
+  CUSFFT_BACKEND_GPU_BASELINE = 2, /* Section IV kernels (simulated K20x) */
+  CUSFFT_BACKEND_GPU_OPTIMIZED = 3 /* Section V kernels (simulated K20x) */
+} cusfft_backend;
+
+typedef enum {
+  CUSFFT_SUCCESS = 0,
+  CUSFFT_INVALID_ARGUMENT = -1, /* bad n/k/backend/null pointer */
+  CUSFFT_ALLOC_FAILED = -2,     /* out of (device) memory */
+  CUSFFT_INTERNAL_ERROR = -3
+} cusfft_status;
+
+/* Creates a plan for signals of length n (power of two >= 16) expecting
+ * about k large coefficients. */
+cusfft_status cusfft_plan(cusfft_handle* out, size_t n, size_t k,
+                          cusfft_backend backend);
+
+/* Optional: fix the randomization seed (plans are deterministic per seed).
+ * Must be called before the first execute; rebuilds the internal state. */
+cusfft_status cusfft_set_seed(cusfft_handle h, uint64_t seed);
+
+/* Runs the transform. `input` is n interleaved (re, im) doubles.
+ * On entry *count is the capacity of locations/values (pairs); on exit it
+ * is the number of recovered coefficients (truncated to the capacity,
+ * largest magnitudes first). `values` is interleaved (re, im). */
+cusfft_status cusfft_execute(cusfft_handle h, const double* input,
+                             uint64_t* locations, double* values,
+                             size_t* count);
+
+/* Plan introspection. */
+cusfft_status cusfft_get_size(cusfft_handle h, size_t* n, size_t* k);
+
+cusfft_status cusfft_destroy(cusfft_handle h);
+
+/* Human-readable name for a status code (static storage). */
+const char* cusfft_status_string(cusfft_status s);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* CUSFFT_C_API_H_ */

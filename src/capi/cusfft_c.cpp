@@ -1,0 +1,152 @@
+#include "capi/cusfft.h"
+
+#include <algorithm>
+#include <memory>
+#include <new>
+#include <span>
+
+#include "core/spectrum.hpp"
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+#include "cusfft/plan.hpp"
+#include "cusim/device.hpp"
+#include "psfft/psfft.hpp"
+#include "sfft/serial.hpp"
+
+/// Owns whichever backend the plan was created for. The GPU backends own
+/// their simulated device; PsFFT shares the process-wide thread pool.
+struct cusfft_plan_t {
+  cusfft::sfft::Params params;
+  cusfft_backend backend = CUSFFT_BACKEND_SERIAL;
+
+  std::unique_ptr<cusfft::sfft::SerialPlan> serial;
+  std::unique_ptr<cusfft::psfft::PsfftPlan> psfft;
+  std::unique_ptr<cusfft::cusim::Device> device;
+  std::unique_ptr<cusfft::gpu::GpuPlan> gpu;
+
+  cusfft_status rebuild() {
+    try {
+      serial.reset();
+      psfft.reset();
+      gpu.reset();
+      device.reset();
+      switch (backend) {
+        case CUSFFT_BACKEND_SERIAL:
+          serial = std::make_unique<cusfft::sfft::SerialPlan>(params);
+          break;
+        case CUSFFT_BACKEND_PSFFT:
+          psfft = std::make_unique<cusfft::psfft::PsfftPlan>(
+              params, cusfft::ThreadPool::global());
+          break;
+        case CUSFFT_BACKEND_GPU_BASELINE:
+        case CUSFFT_BACKEND_GPU_OPTIMIZED: {
+          device = std::make_unique<cusfft::cusim::Device>();
+          const auto opts = backend == CUSFFT_BACKEND_GPU_OPTIMIZED
+                                ? cusfft::gpu::Options::optimized()
+                                : cusfft::gpu::Options::baseline();
+          gpu = std::make_unique<cusfft::gpu::GpuPlan>(*device, params,
+                                                       opts);
+          break;
+        }
+        default:
+          return CUSFFT_INVALID_ARGUMENT;
+      }
+    } catch (const std::invalid_argument&) {
+      return CUSFFT_INVALID_ARGUMENT;
+    } catch (const std::bad_alloc&) {
+      return CUSFFT_ALLOC_FAILED;
+    } catch (const std::runtime_error&) {
+      return CUSFFT_ALLOC_FAILED;  // device-memory budget exceeded
+    } catch (...) {
+      return CUSFFT_INTERNAL_ERROR;
+    }
+    return CUSFFT_SUCCESS;
+  }
+};
+
+extern "C" {
+
+cusfft_status cusfft_plan(cusfft_handle* out, size_t n, size_t k,
+                          cusfft_backend backend) {
+  if (out == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  *out = nullptr;
+  auto plan = std::make_unique<cusfft_plan_t>();
+  plan->params.n = n;
+  plan->params.k = k;
+  plan->backend = backend;
+  const cusfft_status st = plan->rebuild();
+  if (st != CUSFFT_SUCCESS) return st;
+  *out = plan.release();
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_set_seed(cusfft_handle h, uint64_t seed) {
+  if (h == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  h->params.seed = seed;
+  return h->rebuild();
+}
+
+cusfft_status cusfft_execute(cusfft_handle h, const double* input,
+                             uint64_t* locations, double* values,
+                             size_t* count) {
+  if (h == nullptr || input == nullptr || locations == nullptr ||
+      values == nullptr || count == nullptr)
+    return CUSFFT_INVALID_ARGUMENT;
+  try {
+    const std::span<const cusfft::cplx> x(
+        reinterpret_cast<const cusfft::cplx*>(input), h->params.n);
+    cusfft::SparseSpectrum s;
+    switch (h->backend) {
+      case CUSFFT_BACKEND_SERIAL:
+        s = h->serial->execute(x);
+        break;
+      case CUSFFT_BACKEND_PSFFT:
+        s = h->psfft->execute(x);
+        break;
+      default:
+        s = h->gpu->execute(x);
+        break;
+    }
+    if (s.size() > *count) s = cusfft::trim_top_k(std::move(s), *count);
+    for (size_t i = 0; i < s.size(); ++i) {
+      locations[i] = s[i].loc;
+      values[2 * i] = s[i].val.real();
+      values[2 * i + 1] = s[i].val.imag();
+    }
+    *count = s.size();
+  } catch (const std::invalid_argument&) {
+    return CUSFFT_INVALID_ARGUMENT;
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_get_size(cusfft_handle h, size_t* n, size_t* k) {
+  if (h == nullptr || n == nullptr || k == nullptr)
+    return CUSFFT_INVALID_ARGUMENT;
+  *n = h->params.n;
+  *k = h->params.k;
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_destroy(cusfft_handle h) {
+  delete h;
+  return CUSFFT_SUCCESS;
+}
+
+const char* cusfft_status_string(cusfft_status s) {
+  switch (s) {
+    case CUSFFT_SUCCESS:
+      return "success";
+    case CUSFFT_INVALID_ARGUMENT:
+      return "invalid argument";
+    case CUSFFT_ALLOC_FAILED:
+      return "allocation failed";
+    case CUSFFT_INTERNAL_ERROR:
+      return "internal error";
+  }
+  return "unknown status";
+}
+
+}  // extern "C"

@@ -1,0 +1,57 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+namespace cusfft {
+
+cvec densify(const SparseSpectrum& s, std::size_t n) {
+  cvec out(n, cplx{0.0, 0.0});
+  for (const auto& c : s)
+    if (c.loc < n) out[c.loc] += c.val;
+  return out;
+}
+
+double l1_error_per_coeff(const SparseSpectrum& sparse,
+                          std::span<const cplx> oracle, std::size_t k) {
+  if (k == 0) return 0.0;
+  const std::size_t n = oracle.size();
+  cvec dense = densify(sparse, n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += std::abs(dense[i] - oracle[i]);
+  return sum / static_cast<double>(k);
+}
+
+double max_error_at_locs(const SparseSpectrum& sparse,
+                         std::span<const cplx> oracle) {
+  double m = 0.0;
+  for (const auto& c : sparse)
+    if (c.loc < oracle.size())
+      m = std::max(m, std::abs(c.val - oracle[c.loc]));
+  return m;
+}
+
+double location_recall(const SparseSpectrum& sparse,
+                       std::span<const cplx> oracle, std::size_t k) {
+  if (k == 0) return 1.0;
+  const std::size_t n = oracle.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t kk = std::min(k, n);
+  std::partial_sort(order.begin(), order.begin() + kk, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return std::abs(oracle[a]) > std::abs(oracle[b]);
+                    });
+  std::unordered_set<u64> found;
+  found.reserve(sparse.size() * 2);
+  for (const auto& c : sparse) found.insert(c.loc);
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < kk; ++i)
+    if (found.count(order[i])) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(kk);
+}
+
+}  // namespace cusfft

@@ -1,0 +1,31 @@
+// Accuracy metrics. The paper (Section VI.B, Fig. 5(f)) reports the L1 error
+// per large coefficient: (1/k) * sum_i |xhat_i - yhat_i| between the sparse
+// transform's output and the dense-FFT oracle.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/types.hpp"
+
+namespace cusfft {
+
+/// Expands a sparse spectrum into a dense length-n vector (zeros elsewhere).
+cvec densify(const SparseSpectrum& s, std::size_t n);
+
+/// (1/k) * sum over all i of |xhat_i - yhat_i|, where xhat is the sparse
+/// result densified to length n and yhat the oracle spectrum. `k` is the
+/// nominal sparsity used for normalization (paper's definition).
+double l1_error_per_coeff(const SparseSpectrum& sparse,
+                          std::span<const cplx> oracle, std::size_t k);
+
+/// Largest absolute difference restricted to the recovered locations.
+double max_error_at_locs(const SparseSpectrum& sparse,
+                         std::span<const cplx> oracle);
+
+/// Fraction of the `k` largest oracle coefficients whose location appears in
+/// the sparse output (candidate-recall; 1.0 = all found).
+double location_recall(const SparseSpectrum& sparse,
+                       std::span<const cplx> oracle, std::size_t k);
+
+}  // namespace cusfft

@@ -1,0 +1,52 @@
+#include "core/modmath.hpp"
+
+#include <stdexcept>
+
+namespace cusfft {
+
+u64 gcd_u64(u64 a, u64 b) {
+  while (b != 0) {
+    u64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+u64 mod_mul(u64 a, u64 b, u64 m) {
+  return static_cast<u64>((static_cast<unsigned __int128>(a) * b) % m);
+}
+
+u64 mod_pow(u64 a, u64 e, u64 m) {
+  u64 r = 1 % m;
+  a %= m;
+  while (e != 0) {
+    if (e & 1) r = mod_mul(r, a, m);
+    a = mod_mul(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+u64 mod_inverse(u64 a, u64 m) {
+  if (m == 0) throw std::invalid_argument("mod_inverse: modulus is zero");
+  a %= m;
+  if (gcd_u64(a, m) != 1)
+    throw std::invalid_argument("mod_inverse: a not coprime with m");
+  // Extended Euclid on signed 128-bit to avoid overflow.
+  __int128 t = 0, new_t = 1;
+  __int128 r = static_cast<__int128>(m), new_r = static_cast<__int128>(a);
+  while (new_r != 0) {
+    __int128 q = r / new_r;
+    __int128 tmp = t - q * new_t;
+    t = new_t;
+    new_t = tmp;
+    tmp = r - q * new_r;
+    r = new_r;
+    new_r = tmp;
+  }
+  if (t < 0) t += static_cast<__int128>(m);
+  return static_cast<u64>(t);
+}
+
+}  // namespace cusfft

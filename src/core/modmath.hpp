@@ -1,0 +1,49 @@
+// Modular arithmetic helpers used by the spectrum-permutation machinery
+// (Section III step 1: sigma must be invertible mod n; Algorithm 1 computes
+// ai = mod_inverse(a)).
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace cusfft {
+
+/// Greatest common divisor (non-recursive Euclid).
+u64 gcd_u64(u64 a, u64 b);
+
+/// True iff v is a power of two (v > 0).
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v >= 1.
+constexpr unsigned log2_floor(u64 v) {
+  unsigned r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+/// Smallest power of two >= v (v >= 1).
+constexpr u64 next_pow2(u64 v) {
+  u64 p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Largest power of two <= v (v >= 1).
+constexpr u64 prev_pow2(u64 v) {
+  u64 p = 1;
+  while ((p << 1) <= v) p <<= 1;
+  return p;
+}
+
+/// (a * b) mod m without overflow for m < 2^63 (uses 128-bit intermediate).
+u64 mod_mul(u64 a, u64 b, u64 m);
+
+/// a^e mod m.
+u64 mod_pow(u64 a, u64 e, u64 m);
+
+/// Modular inverse of a mod m via extended Euclid. Requires gcd(a, m) == 1;
+/// throws std::invalid_argument otherwise.
+u64 mod_inverse(u64 a, u64 m);
+
+}  // namespace cusfft

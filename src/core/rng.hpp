@@ -1,0 +1,72 @@
+// Deterministic PRNG (xoshiro256**). The sFFT is a randomized algorithm —
+// every permutation parameter sigma/tau comes from here, so experiments are
+// reproducible by seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/modmath.hpp"
+#include "core/types.hpp"
+
+namespace cusfft {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    u64 x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound > 0. Debiased via rejection.
+  u64 next_below(u64 bound) {
+    const u64 threshold = (0 - bound) % bound;
+    for (;;) {
+      const u64 r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return (next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Standard normal via Box-Muller.
+  double next_normal() {
+    double u1 = next_double();
+    double u2 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  /// Random odd sigma in [1, n) — odd values are exactly the residues
+  /// invertible mod a power-of-two n (Algorithm 1's co-prime loop).
+  u64 next_odd_below(u64 n) {
+    u64 v = next_below(n) | 1ULL;
+    return v % n == 0 ? 1 : v % n;
+  }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4];
+};
+
+}  // namespace cusfft

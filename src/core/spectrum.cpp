@@ -1,0 +1,57 @@
+#include "core/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cusfft {
+
+namespace {
+void sort_by_loc(SparseSpectrum& s) {
+  std::sort(s.begin(), s.end(), [](const SparseCoef& a, const SparseCoef& b) {
+    return a.loc < b.loc;
+  });
+}
+}  // namespace
+
+SparseSpectrum trim_top_k(SparseSpectrum s, std::size_t k) {
+  if (s.size() > k) {
+    std::nth_element(s.begin(), s.begin() + (k - (k ? 1 : 0)), s.end(),
+                     [](const SparseCoef& a, const SparseCoef& b) {
+                       const double na = std::norm(a.val);
+                       const double nb = std::norm(b.val);
+                       return na != nb ? na > nb : a.loc < b.loc;
+                     });
+    s.resize(k);
+  }
+  sort_by_loc(s);
+  return s;
+}
+
+SparseSpectrum merge_duplicates(SparseSpectrum s) {
+  sort_by_loc(s);
+  SparseSpectrum out;
+  out.reserve(s.size());
+  for (const auto& c : s) {
+    if (!out.empty() && out.back().loc == c.loc)
+      out.back().val += c.val;
+    else
+      out.push_back(c);
+  }
+  return out;
+}
+
+void sort_by_magnitude(SparseSpectrum& s) {
+  std::sort(s.begin(), s.end(), [](const SparseCoef& a, const SparseCoef& b) {
+    const double na = std::norm(a.val);
+    const double nb = std::norm(b.val);
+    return na != nb ? na > nb : a.loc < b.loc;
+  });
+}
+
+double spectrum_energy(const SparseSpectrum& s) {
+  double e = 0;
+  for (const auto& c : s) e += std::norm(c.val);
+  return e;
+}
+
+}  // namespace cusfft

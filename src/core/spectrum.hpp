@@ -1,0 +1,25 @@
+// Post-processing utilities for sparse spectra: the transforms return every
+// candidate that survived voting ("slightly more than k", Section V.B);
+// applications typically trim, dedup, or rank them.
+#pragma once
+
+#include <cstddef>
+
+#include "core/types.hpp"
+
+namespace cusfft {
+
+/// Keeps the k largest-magnitude coefficients (ties broken by location),
+/// result sorted by location.
+SparseSpectrum trim_top_k(SparseSpectrum s, std::size_t k);
+
+/// Sums coefficients sharing a location; result sorted by location.
+SparseSpectrum merge_duplicates(SparseSpectrum s);
+
+/// Sorts by descending |value| (ties by location).
+void sort_by_magnitude(SparseSpectrum& s);
+
+/// Total energy sum |v|^2.
+double spectrum_energy(const SparseSpectrum& s);
+
+}  // namespace cusfft

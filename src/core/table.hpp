@@ -1,0 +1,38 @@
+// ASCII table / CSV emitters used by every bench binary so figure data comes
+// out in one consistent, greppable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cusfft {
+
+/// Column-oriented result table. Add a header once, then rows of cells; print
+/// as aligned ASCII and/or CSV.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `prec` significant digits.
+  static std::string num(double v, int prec = 4);
+
+  /// Aligned, pipe-separated ASCII rendering.
+  std::string to_ascii() const;
+
+  /// RFC-4180-ish CSV rendering.
+  std::string to_csv() const;
+
+  /// Writes CSV to `path` (creating parent-less path as-is); returns success.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cusfft

@@ -1,0 +1,85 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cusfft {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  // Worker 0 is the calling thread; spawn the rest.
+  tasks_.resize(threads);
+  for (std::size_t i = 1; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(std::size_t idx) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [&] {
+        return stop_ || (generation_ != seen_generation &&
+                         tasks_[idx].fn != nullptr);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = tasks_[idx];
+      tasks_[idx].fn = nullptr;
+    }
+    if (task.fn && task.begin < task.end) (*task.fn)(task.begin, task.end);
+    {
+      std::lock_guard lk(mu_);
+      --pending_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t nthreads = tasks_.size();
+  if (count == 0) return;
+  if (nthreads <= 1 || count == 1) {
+    fn(0, count);
+    return;
+  }
+  const std::size_t chunk = (count + nthreads - 1) / nthreads;
+  std::size_t my_end = std::min(chunk, count);
+  {
+    std::lock_guard lk(mu_);
+    pending_ = 0;
+    for (std::size_t i = 1; i < nthreads; ++i) {
+      const std::size_t b = std::min(i * chunk, count);
+      const std::size_t e = std::min(b + chunk, count);
+      if (b >= e) {
+        tasks_[i].fn = nullptr;
+        continue;
+      }
+      tasks_[i] = Task{&fn, b, e};
+      ++pending_;
+    }
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  fn(0, my_end);  // chunk 0 on the calling thread
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace cusfft

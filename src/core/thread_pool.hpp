@@ -1,0 +1,54 @@
+// Minimal work-sharing thread pool with a blocking parallel_for. Stands in
+// for OpenMP worksharing in the CPU comparators (parallel FFTW / PsFFT): the
+// decomposition is the same static chunking `#pragma omp parallel for` uses.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cusfft {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of logical workers (including the calling thread).
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Runs fn(begin, end) over [0, count) split into one contiguous chunk per
+  /// worker (static schedule), blocking until every chunk completes. The
+  /// calling thread executes chunk 0 itself.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware (created on first use).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0, end = 0;
+  };
+
+  void worker_loop(std::size_t idx);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Task> tasks_;     // one slot per worker
+  std::size_t pending_ = 0;     // tasks not yet finished in this batch
+  std::size_t generation_ = 0;  // bumped per parallel_for call
+  bool stop_ = false;
+};
+
+}  // namespace cusfft

@@ -1,0 +1,63 @@
+// Wall-clock timing plus a named step accumulator used to reproduce the
+// paper's Figure 2 per-step profile (perm+filter / cuFFT / cutoff /
+// reverse-hash / estimation).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace cusfft {
+
+/// Monotonic wall timer; ms() returns elapsed milliseconds since start/reset.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall-clock milliseconds under named steps. One instance per
+/// transform execution; merged across repetitions by the bench harness.
+class StepTimers {
+ public:
+  /// RAII scope: accumulates elapsed time into `name` on destruction.
+  class Scope {
+   public:
+    Scope(StepTimers& owner, std::string name)
+        : owner_(owner), name_(std::move(name)) {}
+    ~Scope() { owner_.add(name_, t_.ms()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    StepTimers& owner_;
+    std::string name_;
+    WallTimer t_;
+  };
+
+  void add(const std::string& name, double ms) { ms_[name] += ms; }
+  double get(const std::string& name) const {
+    auto it = ms_.find(name);
+    return it == ms_.end() ? 0.0 : it->second;
+  }
+  const std::map<std::string, double>& all() const { return ms_; }
+  double total() const {
+    double s = 0;
+    for (const auto& [k, v] : ms_) s += v;
+    return s;
+  }
+  void clear() { ms_.clear(); }
+
+ private:
+  std::map<std::string, double> ms_;
+};
+
+}  // namespace cusfft

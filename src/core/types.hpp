@@ -1,0 +1,33 @@
+// Core scalar and container aliases shared by every module.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace cusfft {
+
+/// Complex sample type used throughout the library. The paper's data type is
+/// "complex double" (16 bytes per element, see Section IV.C).
+using cplx = std::complex<double>;
+
+/// Dense complex signal / spectrum.
+using cvec = std::vector<cplx>;
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// A recovered sparse Fourier coefficient: location in [0, n) and value.
+struct SparseCoef {
+  u64 loc = 0;
+  cplx val{0.0, 0.0};
+};
+
+/// Sparse spectrum: the k large coefficients the transform recovers.
+using SparseSpectrum = std::vector<SparseCoef>;
+
+}  // namespace cusfft

@@ -1,0 +1,51 @@
+// cuFFT stand-in: a planned, batched Stockham autosort FFT executing as
+// simulator kernels (DESIGN.md §1). Mirrors the cuFFT API surface the paper
+// uses: plan once for (n, batch), execute many times, batched mode shares
+// twiddle factors across the batch (the Step-3 optimization). Like cuFFT,
+// transforms are unnormalized in both directions.
+//
+// Each pass combines radix-8 (falling back to radix-4/2 for the remaining
+// stages), so pass count — and therefore modeled DRAM traffic — matches the
+// multi-pass structure of a real large-size cuFFT rather than a naive
+// radix-2 sweep.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/types.hpp"
+#include "cusim/device.hpp"
+
+namespace cusfft::cufftsim {
+
+enum class Direction { kForward, kInverse };
+
+class Plan {
+ public:
+  /// Plans `batch` transforms of length n (power of two) on `dev`.
+  /// Allocates one ping-pong work buffer of batch*n complex values and the
+  /// shared twiddle table.
+  Plan(cusim::Device& dev, std::size_t n, std::size_t batch = 1);
+  ~Plan();
+  Plan(Plan&&) noexcept;
+  Plan& operator=(Plan&&) noexcept;
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  std::size_t size() const;
+  std::size_t batch() const;
+
+  /// In-place batched transform of `data` (size batch*n, transforms laid
+  /// out back to back), queued on `stream`.
+  void execute(cusim::DeviceBuffer<cplx>& data, Direction dir,
+               cusim::StreamId stream = 0);
+
+  /// Number of device passes one execute() performs (for tests/benches).
+  std::size_t passes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cusfft::cufftsim

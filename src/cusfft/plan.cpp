@@ -1,0 +1,688 @@
+#include "cusfft/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/modmath.hpp"
+#include "core/rng.hpp"
+#include "cufftsim/cufftsim.hpp"
+#include "custhrust/reduce.hpp"
+#include "custhrust/sort.hpp"
+#include "sfft/serial.hpp"
+#include "sfft/steps.hpp"
+#include "signal/filter.hpp"
+
+namespace cusfft::gpu {
+
+using cusim::DeviceBuffer;
+using cusim::LaunchCfg;
+using cusim::StreamId;
+using cusim::ThreadCtx;
+
+namespace {
+constexpr std::size_t kMaxLoops = 32;  // estimation kernel's register array
+}
+
+struct GpuPlan::Impl {
+  cusim::Device* dev = nullptr;
+  sfft::Params p;
+  Options opts;
+
+  std::size_t n = 0, B = 0, L = 0, w_pad = 0, rounds = 0, mask = 0;
+  std::size_t hits_cap = 0;
+  signal::FlatFilter filter;             // host-side construction
+  std::vector<sfft::LoopPerm> perms;     // same draw as the serial plan
+
+  // Device-resident state (allocated once per plan, like a real cusFFT
+  // plan's cudaMallocs).
+  DeviceBuffer<cplx> d_signal;        // n
+  DeviceBuffer<cplx> d_filter_time;   // w_pad
+  DeviceBuffer<cplx> d_filter_freq;   // n
+  DeviceBuffer<u64> d_ai, d_a, d_tau; // L each
+  DeviceBuffer<cplx> d_buckets;       // L*B (batched layout)
+  DeviceBuffer<cplx> d_chunks;        // rounds*B — remapped A' (Section V.A)
+  DeviceBuffer<cplx> d_partial;       // rounds*B — per-chunk products
+  DeviceBuffer<u32> d_score;          // n
+  DeviceBuffer<u32> d_hits;           // hits_cap
+  DeviceBuffer<u32> d_num_hits;       // 1
+  DeviceBuffer<cplx> d_est;           // hits_cap
+  DeviceBuffer<double> d_keys;        // B (sort&select)
+  DeviceBuffer<u32> d_vals;           // B
+  DeviceBuffer<u32> d_selected;       // B (fast selection output)
+  DeviceBuffer<u32> d_sel_count;      // 1
+  std::vector<StreamId> streams;      // GK110: up to 32 concurrent kernels
+
+  std::unique_ptr<cufftsim::Plan> fft_batched;  // (B, L)
+  std::unique_ptr<cufftsim::Plan> fft_single;   // (B, 1) when !batched_fft
+  DeviceBuffer<cplx> d_z;                       // B staging for !batched_fft
+
+  // sFFT 2.0 Comb prefilter state (Params::comb).
+  std::size_t comb_W = 0;
+  std::vector<u64> comb_taus;
+  DeviceBuffer<u32> d_comb_approved;            // W flags
+  DeviceBuffer<cplx> d_comb_y;                  // W aliased samples
+  DeviceBuffer<double> d_comb_keys;             // W sort keys
+  DeviceBuffer<u32> d_comb_vals;                // W sort values
+  std::unique_ptr<cufftsim::Plan> comb_fft;     // (W, 1)
+
+  // ---------------- kernels ----------------
+
+  /// Steps 1-2, Algorithm 2: loop partition, one thread per bucket.
+  void k_perm_filter_partition(std::size_t r, DeviceBuffer<cplx>& dst,
+                               std::size_t dst_off, StreamId s) {
+    const u64 ai = perms[r].ai, tau = perms[r].tau;
+    dev->launch(LaunchCfg::for_elements("pf_partition", B, 256, s),
+                [&, ai, tau, dst_off](ThreadCtx& t) {
+                  const u64 tid = t.global_id();
+                  if (tid >= B) return;
+                  cplx my_bucket{0.0, 0.0};
+                  for (std::size_t j = 0; j < rounds; ++j) {
+                    const u64 off = tid + B * j;
+                    // Index mapping (Fig. 3): no loop-carried dependence.
+                    const u64 index = (tau + off * ai) & mask;
+                    my_bucket += d_signal.load(t, index) *
+                                 d_filter_time.load(t, off);
+                    t.add_flops(10);
+                  }
+                  dst.store(t, dst_off + tid, my_bucket);
+                });
+  }
+
+  /// Section V.A: remap chunk c into coalesced order on its own stream.
+  void k_remap(std::size_t r, std::size_t c, StreamId s) {
+    const u64 ai = perms[r].ai, tau = perms[r].tau;
+    dev->launch(LaunchCfg::for_elements("pf_remap", B, 256, s),
+                [&, ai, tau, c](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i >= B) return;
+                  const u64 off = c * B + i;
+                  const u64 index = (tau + off * ai) & mask;
+                  d_chunks.store(t, off, d_signal.load(t, index));
+                });
+  }
+
+  /// Section V.A: execute kernel — consumes the reordered chunk, all
+  /// accesses coalesced.
+  void k_execute_chunk(std::size_t c, StreamId s) {
+    dev->launch(LaunchCfg::for_elements("pf_execute", B, 256, s),
+                [&, c](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i >= B) return;
+                  const u64 off = c * B + i;
+                  t.add_flops(6);
+                  d_partial.store(t, off, d_chunks.load(t, off) *
+                                              d_filter_time.load(t, off));
+                });
+  }
+
+  /// Section V.A: combine per-chunk partials into the loop's buckets.
+  void k_combine(DeviceBuffer<cplx>& dst, std::size_t dst_off, StreamId s) {
+    dev->launch(LaunchCfg::for_elements("pf_combine", B, 256, s),
+                [&, dst_off](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i >= B) return;
+                  cplx acc{0.0, 0.0};
+                  for (std::size_t c = 0; c < rounds; ++c) {
+                    acc += d_partial.load(t, c * B + i);
+                    t.add_flops(2);
+                  }
+                  dst.store(t, dst_off + i, acc);
+                });
+  }
+
+  /// Ablation: the conventional histogram kernel — one thread per filter
+  /// tap, atomicAdd into the shared bucket array (the approach Section IV.C
+  /// argues against).
+  void k_atomic_histogram(std::size_t r, DeviceBuffer<cplx>& dst,
+                          std::size_t dst_off, StreamId s) {
+    const u64 ai = perms[r].ai, tau = perms[r].tau;
+    dev->launch(LaunchCfg::for_elements("pf_zero", B, 256, s),
+                [&, dst_off](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i < B) dst.store(t, dst_off + i, cplx{0.0, 0.0});
+                });
+    dev->launch(LaunchCfg::for_elements("pf_atomic_hist", w_pad, 256, s),
+                [&, ai, tau, dst_off](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i >= w_pad) return;
+                  const u64 index = (tau + i * ai) & mask;
+                  const cplx v = d_signal.load(t, index) *
+                                 d_filter_time.load(t, i);
+                  t.add_flops(8);
+                  dst.atomic_add(t, dst_off + (i % B), v);
+                });
+  }
+
+  /// Section IV.C's shared-memory alternative: per-block sub-histograms in
+  /// on-chip memory, merged into the global buckets with atomics. The plan
+  /// constructor guarantees B complex doubles fit the 48 KB shared memory
+  /// (the configuration the paper shows is usually impossible).
+  ///
+  /// The simulator executes threads of a block consecutively, so the
+  /// per-block sub-histogram lives in a closure-local array that is flushed
+  /// (with traced global atomics) whenever the block index advances.
+  void k_shared_histogram(std::size_t r, DeviceBuffer<cplx>& dst,
+                          std::size_t dst_off, StreamId s) {
+    const u64 ai = perms[r].ai, tau = perms[r].tau;
+    dev->launch(LaunchCfg::for_elements("pf_zero", B, 256, s),
+                [&, dst_off](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i < B) dst.store(t, dst_off + i, cplx{0.0, 0.0});
+                });
+    std::vector<cplx> sub(B, cplx{});
+    u32 current_block = 0;
+    auto flush = [&](ThreadCtx& t) {
+      for (std::size_t b = 0; b < B; ++b) {
+        if (sub[b] != cplx{}) {
+          dst.atomic_add(t, dst_off + b, sub[b]);
+          sub[b] = cplx{};
+        }
+      }
+    };
+    dev->launch(LaunchCfg::for_elements("pf_shared_hist", w_pad, 256, s),
+                [&, ai, tau](ThreadCtx& t) {
+                  if (t.block_idx != current_block) {
+                    flush(t);  // previous block's merge stage
+                    current_block = t.block_idx;
+                  }
+                  const u64 i = t.global_id();
+                  if (i >= w_pad) return;
+                  const u64 index = (tau + i * ai) & mask;
+                  const cplx v = d_signal.load(t, index) *
+                                 d_filter_time.load(t, i);
+                  t.add_flops(8);
+                  t.record_shared(2);  // shared-memory atomic update
+                  sub[i % B] += v;
+                });
+    // Merge of the final block.
+    dev->launch(LaunchCfg::for_elements("pf_shared_merge", B, 256, s),
+                [&, dst_off](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i >= B) return;
+                  t.record_shared(1);
+                  if (sub[i] != cplx{})
+                    dst.atomic_add(t, dst_off + i, sub[i]);
+                });
+  }
+
+  /// Ablation: binning without index mapping — the loop-carried index chain
+  /// of Algorithm 1 admits no parallelism, so the whole loop runs on one
+  /// thread (the paper's starting point).
+  void k_serial_chain(std::size_t r, DeviceBuffer<cplx>& dst,
+                      std::size_t dst_off, StreamId s) {
+    const u64 ai = perms[r].ai, tau = perms[r].tau;
+    dev->launch(LaunchCfg::for_elements("pf_zero", B, 256, s),
+                [&, dst_off](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i < B) dst.store(t, dst_off + i, cplx{0.0, 0.0});
+                });
+    LaunchCfg cfg;
+    cfg.name = "pf_serial_chain";
+    cfg.blocks = 1;
+    cfg.threads_per_block = 1;
+    cfg.stream = s;
+    dev->launch(cfg, [&, ai, tau, dst_off](ThreadCtx& t) {
+      u64 index = tau & mask;
+      for (std::size_t i = 0; i < w_pad; ++i) {
+        const cplx v =
+            d_signal.load(t, index) * d_filter_time.load(t, i);
+        const std::size_t b = dst_off + (i % B);
+        dst.store(t, b, dst.load(t, b) + v);
+        t.add_flops(10);
+        index = (index + ai) & mask;  // the dependent update
+      }
+    });
+  }
+
+  /// Step 4 baseline (Algorithm 3): sort & select on |bucket|^2 keys.
+  /// Leaves the selected bucket indices in d_vals[0..cutoff).
+  std::size_t cutoff_sort_select(std::size_t r, StreamId s) {
+    dev->launch(LaunchCfg::for_elements("cutoff_keys", B, 256, s),
+                [&, r](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i >= B) return;
+                  t.add_flops(3);
+                  d_keys.store(t, i, std::norm(d_buckets.load(t, r * B + i)));
+                  d_vals.store(t, i, static_cast<u32>(i));
+                });
+    custhrust::sort_pairs_desc(*dev, d_keys, d_vals, opts.sort_algo, s);
+    return p.cutoff();
+  }
+
+  /// Step 4 optimized (Algorithm 6): linear threshold selection. Leaves the
+  /// selected indices in d_selected[0..count).
+  std::size_t cutoff_fast_select(std::size_t r, StreamId s) {
+    // RMS of this loop's buckets -> threshold (Section V.B: "same order as
+    // the small noise coefficients").
+    double norm2 = 0.0;
+    {
+      // View of loop r's buckets: reuse d_z as a staging copy to keep the
+      // reduction primitive simple (one coalesced copy kernel).
+      dev->launch(LaunchCfg::for_elements("cutoff_stage", B, 256, s),
+                  [&, r](ThreadCtx& t) {
+                    const u64 i = t.global_id();
+                    if (i < B) d_z.store(t, i, d_buckets.load(t, r * B + i));
+                  });
+      norm2 = custhrust::reduce_norm2(*dev, d_z, s);
+    }
+    const double thresh2 =
+        opts.select_beta * opts.select_beta * norm2 / static_cast<double>(B);
+
+    dev->launch(LaunchCfg::for_elements("select_reset", 1, 1, s),
+                [&](ThreadCtx& t) { d_sel_count.store(t, 0, 0); });
+    dev->launch(LaunchCfg::for_elements("fast_select", B, 256, s),
+                [&, r, thresh2](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i >= B) return;
+                  t.add_flops(3);
+                  if (std::norm(d_buckets.load(t, r * B + i)) >= thresh2) {
+                    const u32 slot = d_sel_count.atomic_add(t, 0, u32{1});
+                    if (slot < d_selected.size())
+                      d_selected.store(t, slot, static_cast<u32>(i));
+                  }
+                });
+    return std::min<std::size_t>(d_sel_count.host()[0], d_selected.size());
+  }
+
+  /// sFFT 2.0 Comb prefilter on the device: subsample + W-point FFT +
+  /// sort&select per round, union the approved residues. (The embedded
+  /// sort's kernels report under the cutoff step — a known attribution
+  /// quirk of the per-step profile.)
+  void run_comb(StreamId s) {
+    const std::size_t W = comb_W;
+    const std::size_t stride = n / W;
+    const std::size_t keep = std::min(p.comb_keep(), W);
+    dev->launch(LaunchCfg::for_elements("comb_clear", W, 256, s),
+                [&](ThreadCtx& t) {
+                  const u64 i = t.global_id();
+                  if (i < W) d_comb_approved.store(t, i, 0);
+                });
+    for (const u64 tau : comb_taus) {
+      dev->launch(LaunchCfg::for_elements("comb_subsample", W, 256, s),
+                  [&, tau, stride](ThreadCtx& t) {
+                    const u64 i = t.global_id();
+                    if (i >= W) return;
+                    d_comb_y.store(t, i,
+                                   d_signal.load(t, (i * stride + tau) &
+                                                        mask));
+                  });
+      comb_fft->execute(d_comb_y, cufftsim::Direction::kForward, s);
+      dev->launch(LaunchCfg::for_elements("comb_keys", W, 256, s),
+                  [&](ThreadCtx& t) {
+                    const u64 i = t.global_id();
+                    if (i >= W) return;
+                    t.add_flops(3);
+                    d_comb_keys.store(t, i, std::norm(d_comb_y.load(t, i)));
+                    d_comb_vals.store(t, i, static_cast<u32>(i));
+                  });
+      custhrust::sort_pairs_desc(*dev, d_comb_keys, d_comb_vals,
+                                 opts.sort_algo, s);
+      dev->launch(LaunchCfg::for_elements("comb_mark", keep, 256, s),
+                  [&, keep](ThreadCtx& t) {
+                    const u64 i = t.global_id();
+                    if (i >= keep) return;
+                    d_comb_approved.store(t, d_comb_vals.load(t, i), 1);
+                  });
+    }
+  }
+
+  /// Step 5, Algorithm 4: reverse hash + vote, one thread per selected
+  /// bucket, atomics on the score array. In comb mode, only residues the
+  /// prefilter approved receive votes.
+  void k_loc_recover(std::size_t r, const DeviceBuffer<u32>& selected,
+                     std::size_t count, StreamId s) {
+    const u64 a = perms[r].a;
+    const u64 width = n / B;
+    const auto threshold = static_cast<u32>(p.threshold());
+    const double nd = static_cast<double>(n), Bd = static_cast<double>(B);
+    const bool has_comb = comb_W != 0;
+    const u64 comb_mask = has_comb ? comb_W - 1 : 0;
+    dev->launch(
+        LaunchCfg::for_elements("loc_recover", count, 256, s),
+        [&, a, width, threshold, nd, Bd, count, has_comb,
+         comb_mask](ThreadCtx& t) {
+          const u64 tid = t.global_id();
+          if (tid >= count) return;
+          const u32 j = selected.load(t, tid);
+          const u64 low = static_cast<u64>(
+              std::ceil((static_cast<double>(j) - 0.5) * nd / Bd) + nd) &
+              mask;
+          u64 loc = mod_mul(low, a, n);
+          t.add_flops(8);
+          for (u64 step = 0; step < width; ++step) {
+            const bool approved =
+                !has_comb ||
+                d_comb_approved.load(t, loc & comb_mask) != 0;
+            if (approved) {
+              const u32 old = d_score.atomic_add(t, loc, u32{1});
+              if (old + 1 == threshold) {
+                const u32 slot = d_num_hits.atomic_add(t, 0, u32{1});
+                if (slot < d_hits.size())
+                  d_hits.store(t, slot, static_cast<u32>(loc));
+              }
+            }
+            loc += a;
+            if (loc >= n) loc -= n;
+          }
+        });
+  }
+
+  /// Step 6, Algorithm 5 (plus the tau phase correction; DESIGN.md §6):
+  /// one thread per candidate, median over the L loops.
+  void k_estimate(std::size_t count, StreamId s) {
+    const u64 n_div_B = n / B;
+    dev->launch(
+        LaunchCfg::for_elements("estimate", count, 256, s),
+        [&, n_div_B, count](ThreadCtx& t) {
+          const u64 tid = t.global_id();
+          if (tid >= count) return;
+          const u64 f = d_hits.load(t, tid);
+          double re[kMaxLoops], im[kMaxLoops];
+          for (std::size_t r = 0; r < L; ++r) {
+            const u64 ai = d_ai.load(t, r);
+            const u64 tau = d_tau.load(t, r);
+            const u64 permuted = (ai * f) & mask;
+            u64 hashed = permuted / n_div_B;
+            i64 dist = static_cast<i64>(permuted % n_div_B);
+            if (static_cast<u64>(dist) > n_div_B / 2) {
+              hashed = (hashed + 1) % B;
+              dist -= static_cast<i64>(n_div_B);
+            }
+            const u64 fi = static_cast<u64>(
+                (static_cast<i64>(n) - dist) & static_cast<i64>(mask));
+            const cplx g = d_filter_freq.load(t, fi);
+            const cplx bucket = d_buckets.load(t, r * B + hashed);
+            const double ang = -kTwoPi *
+                               static_cast<double>((f * tau) & mask) /
+                               static_cast<double>(n);
+            const cplx v = bucket * static_cast<double>(n) *
+                           cplx{std::cos(ang), std::sin(ang)} / g;
+            t.add_flops(40);
+            re[r] = v.real();
+            im[r] = v.imag();
+          }
+          // Median per component (Algorithm 5 sorts and takes the middle;
+          // Section III: real and imaginary parts separately).
+          const std::size_t mid = (L - 1) / 2;
+          std::nth_element(re, re + mid, re + L);
+          std::nth_element(im, im + mid, im + L);
+          t.add_flops(static_cast<double>(2 * L * 4));
+          d_est.store(t, tid, cplx{re[mid], im[mid]});
+        });
+  }
+};
+
+GpuPlan::GpuPlan(cusim::Device& dev, sfft::Params params, Options opts)
+    : impl_(std::make_unique<Impl>()) {
+  params.validate();
+  Impl& im = *impl_;
+  im.dev = &dev;
+  im.p = params;
+  im.opts = opts;
+  im.n = params.n;
+  im.mask = im.n - 1;
+  im.B = params.buckets();
+  im.L = params.total_loops();
+  if (im.L > kMaxLoops)
+    throw std::invalid_argument("GpuPlan: at most 32 total loops supported");
+
+  // Section IV.C: a per-block shared-memory sub-histogram needs B complex
+  // doubles of the 48 KB usable shared memory — refuse when it cannot fit
+  // (the paper's argument for the loop-partition kernel).
+  if (opts.binning == Binning::kSharedHist &&
+      im.B * sizeof(cplx) > dev.spec().shared_mem_per_sm - 16 * 1024)
+    throw std::invalid_argument(
+        "GpuPlan: B complex-double sub-histogram does not fit shared memory "
+        "(Section IV.C) — use loop partition instead");
+
+  // Device-memory budget (cudaMalloc would fail past the Table-I 6 GB).
+  const auto [w_est, w_pad_est] =
+      signal::flat_filter_sizes(im.n, im.B, params.filter);
+  {
+    const double cxb = sizeof(cplx);
+    double bytes = im.n * cxb;            // signal
+    bytes += im.n * cxb;                  // filter frequency response
+    bytes += w_pad_est * cxb;             // filter taps
+    bytes += im.L * im.B * cxb;           // bucket sets
+    bytes += im.n * 4.0;                  // score
+    bytes += (opts.batched_fft ? im.L : 1) * im.B * cxb;  // FFT work
+    if (opts.binning == Binning::kAsyncTransform)
+      bytes += 2.0 * w_pad_est * cxb;     // chunks + partials
+    if (bytes > static_cast<double>(dev.spec().global_mem_bytes))
+      throw std::runtime_error(
+          "GpuPlan: plan needs " + std::to_string(bytes / 1e9) +
+          " GB device memory, exceeding the device's " +
+          std::to_string(dev.spec().global_mem_bytes / 1e9) + " GB");
+  }
+
+  im.filter = signal::make_flat_filter(im.n, im.B, params.filter);
+  im.w_pad = im.filter.time.size();
+  im.rounds = im.w_pad / im.B;
+  {
+    Rng rng(params.seed);
+    im.perms = sfft::draw_loop_perms(im.n, im.L, rng);
+    if (params.comb) {
+      im.comb_taus.resize(params.comb_rounds);
+      for (auto& t : im.comb_taus) t = rng.next_below(im.n);
+    }
+  }
+  im.hits_cap = std::min<std::size_t>(
+      im.n, std::max<std::size_t>(1, params.loops_loc * params.cutoff() *
+                                         (im.n / im.B)));
+
+  // Device allocations + one-time uploads (plan setup, outside captures).
+  im.d_signal = DeviceBuffer<cplx>(im.n);
+  im.d_filter_time = DeviceBuffer<cplx>(im.w_pad);
+  im.d_filter_freq = DeviceBuffer<cplx>(im.n);
+  std::copy(im.filter.time.begin(), im.filter.time.end(),
+            im.d_filter_time.host().begin());
+  std::copy(im.filter.freq.begin(), im.filter.freq.end(),
+            im.d_filter_freq.host().begin());
+  // The host copy of the length-n frequency response is dead weight once
+  // it is device-resident (2 GB at n=2^27) — release it.
+  im.filter.freq.clear();
+  im.filter.freq.shrink_to_fit();
+  im.d_ai = DeviceBuffer<u64>(im.L);
+  im.d_a = DeviceBuffer<u64>(im.L);
+  im.d_tau = DeviceBuffer<u64>(im.L);
+  for (std::size_t r = 0; r < im.L; ++r) {
+    im.d_ai.host()[r] = im.perms[r].ai;
+    im.d_a.host()[r] = im.perms[r].a;
+    im.d_tau.host()[r] = im.perms[r].tau;
+  }
+  im.d_buckets = DeviceBuffer<cplx>(im.L * im.B);
+  if (opts.binning == Binning::kAsyncTransform) {
+    im.d_chunks = DeviceBuffer<cplx>(im.rounds * im.B);
+    im.d_partial = DeviceBuffer<cplx>(im.rounds * im.B);
+  }
+  im.d_score = DeviceBuffer<u32>(im.n);
+  im.d_hits = DeviceBuffer<u32>(im.hits_cap);
+  im.d_num_hits = DeviceBuffer<u32>(1);
+  im.d_est = DeviceBuffer<cplx>(im.hits_cap);
+  if (opts.fast_selection) {
+    im.d_selected = DeviceBuffer<u32>(im.B);
+    im.d_sel_count = DeviceBuffer<u32>(1);
+  } else {
+    im.d_keys = DeviceBuffer<double>(im.B);
+    im.d_vals = DeviceBuffer<u32>(im.B);
+  }
+  for (unsigned i = 0; i < dev.spec().max_concurrent_kernels; ++i)
+    im.streams.push_back(dev.create_stream());
+  if (opts.batched_fft) {
+    im.fft_batched = std::make_unique<cufftsim::Plan>(dev, im.B, im.L);
+  } else {
+    im.fft_single = std::make_unique<cufftsim::Plan>(dev, im.B, 1);
+  }
+  im.d_z = DeviceBuffer<cplx>(im.B);
+  if (params.comb) {
+    im.comb_W = params.comb_w();
+    im.d_comb_approved = DeviceBuffer<u32>(im.comb_W);
+    im.d_comb_y = DeviceBuffer<cplx>(im.comb_W);
+    im.d_comb_keys = DeviceBuffer<double>(im.comb_W);
+    im.d_comb_vals = DeviceBuffer<u32>(im.comb_W);
+    im.comb_fft = std::make_unique<cufftsim::Plan>(dev, im.comb_W, 1);
+  }
+}
+
+GpuPlan::~GpuPlan() = default;
+GpuPlan::GpuPlan(GpuPlan&&) noexcept = default;
+GpuPlan& GpuPlan::operator=(GpuPlan&&) noexcept = default;
+
+const sfft::Params& GpuPlan::params() const { return impl_->p; }
+const Options& GpuPlan::options() const { return impl_->opts; }
+std::size_t GpuPlan::buckets() const { return impl_->B; }
+
+SparseSpectrum GpuPlan::execute(std::span<const cplx> x,
+                                GpuExecStats* stats) {
+  Impl& im = *impl_;
+  cusim::Device& dev = *im.dev;
+  if (x.size() != im.n)
+    throw std::invalid_argument("GpuPlan::execute: signal size mismatch");
+
+  WallTimer wall;
+  dev.begin_capture();
+  const std::size_t ev_start = dev.record_event();
+
+  // Input transfer (H2D). When excluded from the modeled time (GPU-resident
+  // comparisons, Fig. 5a-d) the data still lands in device memory.
+  if (im.opts.include_transfer) {
+    dev.upload(im.d_signal, x);
+    dev.sync_point();  // no kernel may consume the signal mid-transfer
+  } else {
+    std::copy(x.begin(), x.end(), im.d_signal.host().begin());
+  }
+
+  // Reset per-execute state.
+  dev.launch(LaunchCfg::for_elements("score_clear", im.n, 256),
+             [&](ThreadCtx& t) {
+               const u64 i = t.global_id();
+               if (i < im.n) im.d_score.store(t, i, 0);
+             });
+  dev.launch(LaunchCfg::for_elements("hits_reset", 1, 1),
+             [&](ThreadCtx& t) { im.d_num_hits.store(t, 0, 0); });
+
+  const std::size_t ev_setup = dev.record_event();
+
+  // ---- sFFT 2.0 Comb prefilter (optional) ----
+  if (im.comb_W != 0) {
+    im.run_comb(0);
+    dev.sync_point();  // the voting kernels read the approved flags
+  }
+
+  // ---- Steps 1-3: binning + subsampled FFT for all L loops ----
+  for (std::size_t r = 0; r < im.L; ++r) {
+    DeviceBuffer<cplx>& dst = im.opts.batched_fft ? im.d_buckets : im.d_z;
+    const std::size_t dst_off = im.opts.batched_fft ? r * im.B : 0;
+
+    switch (im.opts.binning) {
+      case Binning::kSerialChain:
+        im.k_serial_chain(r, dst, dst_off, 0);
+        break;
+      case Binning::kAsyncTransform:
+        // Fig. 4: remap(c) -> execute(c) on stream c%32; chunks pipeline.
+        for (std::size_t c = 0; c < im.rounds; ++c) {
+          const StreamId s = im.streams[c % im.streams.size()];
+          im.k_remap(r, c, s);
+          im.k_execute_chunk(c, s);
+        }
+        dev.sync_point();
+        im.k_combine(dst, dst_off, 0);
+        break;
+      case Binning::kLoopPartition:
+        im.k_perm_filter_partition(r, dst, dst_off, 0);
+        break;
+      case Binning::kGlobalAtomicHist:
+        im.k_atomic_histogram(r, dst, dst_off, 0);
+        break;
+      case Binning::kSharedHist:
+        im.k_shared_histogram(r, dst, dst_off, 0);
+        break;
+    }
+
+    if (!im.opts.batched_fft) {
+      im.fft_single->execute(im.d_z, cufftsim::Direction::kForward, 0);
+      dev.launch(LaunchCfg::for_elements("bucket_copy", im.B, 256),
+                 [&, r](ThreadCtx& t) {
+                   const u64 i = t.global_id();
+                   if (i < im.B)
+                     im.d_buckets.store(t, r * im.B + i, im.d_z.load(t, i));
+                 });
+    }
+  }
+  if (im.opts.batched_fft) {
+    dev.sync_point();  // all loops binned before the single batched FFT
+    im.fft_batched->execute(im.d_buckets, cufftsim::Direction::kForward, 0);
+  }
+  dev.sync_point();
+  const std::size_t ev_binned = dev.record_event();
+
+  // ---- Steps 4-5 per location loop: cutoff + reverse hash voting ----
+  for (std::size_t r = 0; r < im.p.loops_loc; ++r) {
+    if (im.opts.fast_selection) {
+      const std::size_t count = im.cutoff_fast_select(r, 0);
+      im.k_loc_recover(r, im.d_selected, count, 0);
+    } else {
+      const std::size_t count = im.cutoff_sort_select(r, 0);
+      im.k_loc_recover(r, im.d_vals, count, 0);
+    }
+  }
+  dev.sync_point();
+  const std::size_t ev_voted = dev.record_event();
+
+  // ---- Step 6: estimation ----
+  const std::size_t num_hits =
+      std::min<std::size_t>(im.d_num_hits.host()[0], im.d_hits.size());
+  if (num_hits > 0) im.k_estimate(num_hits, 0);
+
+  // ---- D2H of the sparse result ----
+  dev.note_transfer("d2h", static_cast<double>(num_hits) * (4 + 16));
+  SparseSpectrum out;
+  out.reserve(num_hits);
+  for (std::size_t i = 0; i < num_hits; ++i)
+    out.push_back({im.d_hits.host()[i], im.d_est.host()[i]});
+  std::sort(out.begin(), out.end(),
+            [](const SparseCoef& a, const SparseCoef& b) {
+              return a.loc < b.loc;
+            });
+
+  if (stats) {
+    stats->model_ms = dev.elapsed_model_ms();
+    stats->host_ms = wall.ms();
+    stats->candidates = num_hits;
+    stats->step_model_ms.clear();
+    for (const auto& [name, rep] : dev.report())
+      stats->step_model_ms[step_of_kernel(name)] += rep.solo_s * 1e3;
+    // Overlap-aware phase spans from the timeline events.
+    const double t0 = dev.event_time_ms(ev_start);
+    const double t1 = dev.event_time_ms(ev_setup);
+    const double t2 = dev.event_time_ms(ev_binned);
+    const double t3 = dev.event_time_ms(ev_voted);
+    stats->phase_span_ms.clear();
+    stats->phase_span_ms["a transfer+reset"] = t1 - t0;
+    stats->phase_span_ms["b comb+bin+fft"] = t2 - t1;
+    stats->phase_span_ms["c cutoff+vote"] = t3 - t2;
+    stats->phase_span_ms["d estimate+d2h"] = stats->model_ms - t3;
+  }
+  return out;
+}
+
+const char* step_of_kernel(const std::string& k) {
+  auto starts = [&](const char* pre) { return k.rfind(pre, 0) == 0; };
+  if (starts("comb_")) return sfft::step::kComb;
+  if (starts("pf_")) return sfft::step::kPermFilter;
+  if (starts("cufft_") || starts("bucket_copy")) return sfft::step::kSubFft;
+  if (starts("cutoff_") || starts("radix_") || starts("bitonic_") ||
+      starts("scan_") || starts("reduce_") || starts("fast_select") ||
+      starts("select_reset"))
+    return sfft::step::kCutoff;
+  if (starts("loc_recover") || starts("score_clear") || starts("hits_reset"))
+    return sfft::step::kLocRecover;
+  if (starts("estimate")) return sfft::step::kEstimate;
+  if (starts("h2d") || starts("d2h")) return "0 transfer";
+  return "other";
+}
+
+}  // namespace cusfft::gpu

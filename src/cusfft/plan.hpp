@@ -1,0 +1,66 @@
+// cusFFT — the paper's contribution: the sparse FFT running as simulator
+// kernels on the (simulated) GPU. One GpuPlan owns all device state: the
+// uploaded flat filter (time taps + length-n frequency response), the
+// permutation parameters, the stream pool, and every working buffer, so an
+// execute() is exactly the kernel sequence of Sections IV-V.
+//
+// Numerical contract: identical Params (and seed) produce the same
+// permutations as sfft::SerialPlan, so GPU and CPU outputs agree to FFT
+// rounding — tests pin this.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/timer.hpp"
+#include "core/types.hpp"
+#include "cusfft/options.hpp"
+#include "cusim/device.hpp"
+#include "sfft/params.hpp"
+
+namespace cusfft::gpu {
+
+/// Modeled timing and counters for one execute().
+struct GpuExecStats {
+  double model_ms = 0;  // modeled makespan on the GpuSpec (incl. transfer
+                        // when Options::include_transfer)
+  double host_ms = 0;   // wall time of the functional simulation (for
+                        // transparency; not a GPU time)
+  std::map<std::string, double> step_model_ms;  // per paper step, summed
+                                                // solo kernel durations
+  std::map<std::string, double> phase_span_ms;  // true timeline spans
+                                                // between phase boundaries
+                                                // (overlap-aware)
+  std::size_t candidates = 0;  // locations that survived voting
+};
+
+class GpuPlan {
+ public:
+  GpuPlan(cusim::Device& dev, sfft::Params params, Options opts);
+  ~GpuPlan();
+  GpuPlan(GpuPlan&&) noexcept;
+  GpuPlan& operator=(GpuPlan&&) noexcept;
+  GpuPlan(const GpuPlan&) = delete;
+  GpuPlan& operator=(const GpuPlan&) = delete;
+
+  const sfft::Params& params() const;
+  const Options& options() const;
+  std::size_t buckets() const;
+
+  /// Runs the full GPU algorithm on x (length n). Returns the recovered
+  /// sparse spectrum sorted by location.
+  SparseSpectrum execute(std::span<const cplx> x,
+                         GpuExecStats* stats = nullptr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Maps a kernel name to the paper step it belongs to (the keys of
+/// sfft::step::*); used for the per-step GPU profile and by tests.
+const char* step_of_kernel(const std::string& kernel_name);
+
+}  // namespace cusfft::gpu

@@ -1,0 +1,95 @@
+// Device global-memory buffer: host-backed storage (the simulator executes
+// kernels functionally on real data) plus a distinct device address range so
+// the warp tracer can run the 128-byte coalescing analysis.
+#pragma once
+
+#include <atomic>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/types.hpp"
+#include "cusim/thread_ctx.hpp"
+
+namespace cusfft::cusim {
+
+namespace detail {
+/// Process-wide device address space; allocations are 256-byte aligned like
+/// cudaMalloc's guarantees.
+inline u64 allocate_device_range(u64 bytes) {
+  static std::atomic<u64> next{1u << 20};
+  const u64 aligned = (bytes + 255) & ~u64{255};
+  return next.fetch_add(aligned + 256);
+}
+}  // namespace detail
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  explicit DeviceBuffer(std::size_t count)
+      : data_(count),
+        base_(detail::allocate_device_range(count * sizeof(T))) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  u64 device_addr(std::size_t i = 0) const { return base_ + i * sizeof(T); }
+
+  // ---- device-side (traced) accessors; use inside kernels ----
+  const T& load(ThreadCtx& t, std::size_t i) const {
+    check(i);
+    t.record_global(device_addr(i), sizeof(T));
+    return data_[i];
+  }
+  void store(ThreadCtx& t, std::size_t i, const T& v) {
+    check(i);
+    t.record_global(device_addr(i), sizeof(T));
+    data_[i] = v;
+  }
+  /// Read-modify-write with conflict accounting (atomicAdd and friends).
+  template <typename U>
+  T atomic_add(ThreadCtx& t, std::size_t i, const U& delta) {
+    check(i);
+    t.record_atomic(device_addr(i), sizeof(T));
+    const T old = data_[i];
+    data_[i] = static_cast<T>(old + delta);
+    return old;
+  }
+  /// Compare-free atomic max for unsigned counters.
+  T atomic_max(ThreadCtx& t, std::size_t i, const T& v) {
+    check(i);
+    t.record_atomic(device_addr(i), sizeof(T));
+    const T old = data_[i];
+    if (v > old) data_[i] = v;
+    return old;
+  }
+
+  /// Store whose *data movement* was staged through shared memory (the
+  /// classic coalescing fix for scattered writes): the value lands at `i`,
+  /// but the global-memory traffic recorded is the dense burst at
+  /// `linear_slot` the staged warp would emit. Callers must ensure every
+  /// lane passes a distinct linear_slot < size().
+  void store_staged(ThreadCtx& t, std::size_t i, std::size_t linear_slot,
+                    const T& v) {
+    check(i);
+    check(linear_slot);
+    t.record_shared(2);  // one shared write + one shared read
+    t.record_global(device_addr(linear_slot), sizeof(T));
+    data_[i] = v;
+  }
+
+  // ---- host-side (untraced) access; use via Device::upload/download or in
+  // test assertions ----
+  std::span<T> host() { return data_; }
+  std::span<const T> host() const { return data_; }
+
+ private:
+  void check(std::size_t i) const {
+    if (i >= data_.size())
+      throw std::out_of_range("DeviceBuffer: index out of range");
+  }
+  std::vector<T> data_;
+  u64 base_ = 0;
+};
+
+}  // namespace cusfft::cusim

@@ -1,0 +1,75 @@
+#include "cusim/device.hpp"
+
+#include <cmath>
+
+namespace cusfft::cusim {
+
+Device::Device(perfmodel::GpuSpec spec)
+    : model_(spec), timeline_(spec.max_concurrent_kernels) {}
+
+void Device::begin_capture() {
+  timeline_.clear();
+  report_.clear();
+}
+
+double Device::elapsed_model_ms() { return timeline_.simulate() * 1e3; }
+
+void Device::finish_launch(const LaunchCfg& cfg, double flops) {
+  const WarpTotals t = accum_.scaled_totals();
+  perfmodel::KernelCounters c;
+  c.name = cfg.name;
+  c.blocks = static_cast<double>(cfg.blocks);
+  c.threads = static_cast<double>(cfg.blocks) * cfg.threads_per_block;
+  c.warps = c.blocks * std::ceil(static_cast<double>(cfg.threads_per_block) /
+                                 spec().warp_size);
+  c.coalesced_transactions = t.coalesced_tx;
+  c.random_transactions = t.random_tx;
+  c.bytes_useful = t.useful_bytes;
+  c.flops = flops;
+  c.atomic_ops = t.atomic_ops;
+  c.max_atomic_conflict = accum_.max_atomic_conflict();
+  c.shared_accesses = t.shared_accesses;
+
+  const perfmodel::KernelCost cost = model_.kernel_cost(c);
+  TimelineItem item;
+  item.name = cfg.name;
+  item.stream = cfg.stream;
+  item.resource = Resource::kDeviceMemory;
+  item.mem_s = cost.mem_s;
+  item.compute_s = cost.compute_s + cost.atomic_s + cost.overhead_s;
+  timeline_.submit(std::move(item));
+
+  KernelReport& r = report_[cfg.name];
+  ++r.launches;
+  r.counters.name = cfg.name;
+  r.counters.blocks += c.blocks;
+  r.counters.threads += c.threads;
+  r.counters.warps += c.warps;
+  r.counters.coalesced_transactions += c.coalesced_transactions;
+  r.counters.random_transactions += c.random_transactions;
+  r.counters.bytes_useful += c.bytes_useful;
+  r.counters.flops += c.flops;
+  r.counters.atomic_ops += c.atomic_ops;
+  r.counters.max_atomic_conflict =
+      std::max(r.counters.max_atomic_conflict, c.max_atomic_conflict);
+  r.counters.shared_accesses += c.shared_accesses;
+  r.solo_s += cost.total_s;
+}
+
+void Device::submit_copy(const char* name, double bytes, StreamId s) {
+  TimelineItem item;
+  item.name = name;
+  item.stream = s;
+  item.resource = Resource::kPcie;
+  // Latency is part of the wire time: duration = latency + bytes/bw.
+  item.mem_s = spec().pcie_latency_s + bytes / spec().pcie_bandwidth_Bps;
+  item.compute_s = 0.0;
+  timeline_.submit(std::move(item));
+
+  KernelReport& r = report_[name];
+  ++r.launches;
+  r.counters.bytes_useful += bytes;
+  r.solo_s += item.mem_s;
+}
+
+}  // namespace cusfft::cusim

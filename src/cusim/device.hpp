@@ -1,0 +1,160 @@
+// The simulated GPU. Kernels launch with a grid/block shape and execute
+// functionally (every thread really runs, on real data) while sampled warps
+// feed the transaction-level performance model. Results: bit-exact outputs
+// plus modeled durations on the configured GpuSpec (default: the paper's
+// Tesla K20x, Table I).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hpp"
+#include "cusim/buffer.hpp"
+#include "cusim/thread_ctx.hpp"
+#include "cusim/timeline.hpp"
+#include "perfmodel/gpu_model.hpp"
+
+namespace cusfft::cusim {
+
+/// Kernel launch shape, CUDA-style <<<blocks, threads, stream>>>.
+struct LaunchCfg {
+  const char* name = "kernel";
+  std::size_t blocks = 1;
+  std::size_t threads_per_block = 256;
+  StreamId stream = 0;
+
+  /// Convenience: shape for one thread per element.
+  static LaunchCfg for_elements(const char* name, std::size_t count,
+                                std::size_t block = 256, StreamId s = 0) {
+    LaunchCfg c;
+    c.name = name;
+    c.threads_per_block = block;
+    c.blocks = (count + block - 1) / std::max<std::size_t>(1, block);
+    c.stream = s;
+    return c;
+  }
+};
+
+/// Aggregated per-kernel-name statistics for a capture region.
+struct KernelReport {
+  std::size_t launches = 0;
+  perfmodel::KernelCounters counters;  // summed
+  double solo_s = 0;                   // summed isolated durations
+};
+
+class Device {
+ public:
+  explicit Device(perfmodel::GpuSpec spec = perfmodel::GpuSpec::k20x());
+
+  const perfmodel::GpuModel& model() const { return model_; }
+  const perfmodel::GpuSpec& spec() const { return model_.spec(); }
+
+  StreamId create_stream() { return next_stream_++; }
+
+  /// Warp-sampling knob: at most this many warps are traced per launch
+  /// (evenly strided); counters extrapolate by the stride. Tests that need
+  /// exact counts can raise it.
+  void set_max_traced_warps(u64 v) { max_traced_warps_ = std::max<u64>(1, v); }
+
+  /// Launches `body(ThreadCtx&)` for every thread in the grid. Functional
+  /// execution is immediate and sequential; the modeled duration is queued
+  /// on the timeline under cfg.stream.
+  template <typename F>
+  void launch(const LaunchCfg& cfg, F&& body) {
+    const std::size_t warp = spec().warp_size;
+    const u64 total_warps = static_cast<u64>(cfg.blocks) *
+                            ((cfg.threads_per_block + warp - 1) / warp);
+    const u64 stride = std::max<u64>(1, total_warps / max_traced_warps_);
+    accum_.reset(spec().mem_transaction_bytes, stride);
+
+    ThreadCtx ctx;
+    ctx.block_dim = static_cast<u32>(cfg.threads_per_block);
+    ctx.grid_dim = cfg.blocks;
+    u64 warp_index = 0;
+    for (std::size_t b = 0; b < cfg.blocks; ++b) {
+      ctx.block_idx = static_cast<u32>(b);
+      for (std::size_t w0 = 0; w0 < cfg.threads_per_block; w0 += warp) {
+        const bool traced = (warp_index % stride) == 0;
+        if (traced) accum_.tracer().reset(spec().mem_transaction_bytes);
+        ctx.attach_trace(traced ? &accum_.tracer() : nullptr, &accum_);
+        const std::size_t hi =
+            std::min(cfg.threads_per_block, w0 + warp);
+        for (std::size_t tiid = w0; tiid < hi; ++tiid) {
+          ctx.begin_thread(static_cast<u32>(tiid));
+          body(ctx);
+        }
+        if (traced) accum_.fold_warp();
+        ++warp_index;
+      }
+    }
+    finish_launch(cfg, ctx.flops());
+  }
+
+  /// Host-to-device copy: functional copy plus a PCIe timeline entry.
+  template <typename T>
+  void upload(DeviceBuffer<T>& dst, std::span<const T> src, StreamId s = 0) {
+    if (src.size() != dst.size())
+      throw std::invalid_argument("cusim upload: size mismatch");
+    std::copy(src.begin(), src.end(), dst.host().begin());
+    submit_copy("h2d", src.size() * sizeof(T), s);
+  }
+
+  /// Device-to-host copy.
+  template <typename T>
+  void download(std::span<T> dst, const DeviceBuffer<T>& src, StreamId s = 0) {
+    if (src.size() != dst.size())
+      throw std::invalid_argument("cusim download: size mismatch");
+    std::copy(src.host().begin(), src.host().end(), dst.begin());
+    submit_copy("d2h", dst.size() * sizeof(T), s);
+  }
+
+  /// Models a PCIe transfer of `bytes` without moving data — for partial
+  /// copies out of a larger buffer (e.g. downloading only the num_hits
+  /// prefix of a capacity-sized result buffer). The caller moves the bytes
+  /// itself via host().
+  void note_transfer(const char* name, double bytes, StreamId s = 0) {
+    submit_copy(name, bytes, s);
+  }
+
+  /// Device-wide synchronization point in the modeled timeline
+  /// (cudaDeviceSynchronize): later submissions wait for everything so far.
+  /// Functional execution is eager, so this affects only modeled time.
+  void sync_point() { timeline_.barrier(); }
+
+  /// cudaEvent-style marker in the modeled timeline. Query with
+  /// event_time_ms() after elapsed_model_ms().
+  std::size_t record_event() { return timeline_.record_event(); }
+  double event_time_ms(std::size_t event_id) {
+    timeline_.simulate();
+    return timeline_.event_time_s(event_id) * 1e3;
+  }
+
+  /// Starts a fresh measured region: clears the timeline and the report.
+  void begin_capture();
+
+  /// Simulates everything submitted since begin_capture(); returns the
+  /// modeled makespan in milliseconds. Idempotent until the next submit.
+  double elapsed_model_ms();
+
+  /// Per-kernel-name aggregation for the capture region.
+  const std::map<std::string, KernelReport>& report() const {
+    return report_;
+  }
+  const Timeline& timeline() const { return timeline_; }
+
+ private:
+  void finish_launch(const LaunchCfg& cfg, double flops);
+  void submit_copy(const char* name, double bytes, StreamId s);
+
+  perfmodel::GpuModel model_;
+  Timeline timeline_;
+  KernelAccum accum_;
+  std::map<std::string, KernelReport> report_;
+  StreamId next_stream_ = 1;
+  u64 max_traced_warps_ = 4096;
+};
+
+}  // namespace cusfft::cusim

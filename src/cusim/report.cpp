@@ -1,0 +1,22 @@
+#include "cusim/report.hpp"
+
+namespace cusfft::cusim {
+
+ResultTable report_table(const Device& dev) {
+  ResultTable t({"kernel", "launches", "coalesced_tx", "random_tx",
+                 "useful_MB", "Mflops", "atomics", "max_conflict",
+                 "solo_ms"});
+  for (const auto& [name, r] : dev.report()) {
+    t.add_row({name, std::to_string(r.launches),
+               ResultTable::num(r.counters.coalesced_transactions),
+               ResultTable::num(r.counters.random_transactions),
+               ResultTable::num(r.counters.bytes_useful / 1e6),
+               ResultTable::num(r.counters.flops / 1e6),
+               ResultTable::num(r.counters.atomic_ops),
+               ResultTable::num(r.counters.max_atomic_conflict),
+               ResultTable::num(r.solo_s * 1e3)});
+  }
+  return t;
+}
+
+}  // namespace cusfft::cusim

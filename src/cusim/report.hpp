@@ -1,0 +1,14 @@
+// Renders a capture region's per-kernel statistics as a ResultTable —
+// the simulator's equivalent of an nvprof summary.
+#pragma once
+
+#include "core/table.hpp"
+#include "cusim/device.hpp"
+
+namespace cusfft::cusim {
+
+/// One row per kernel name: launches, transactions (coalesced/random),
+/// useful bytes, flops, atomics, worst conflict chain, summed solo time.
+ResultTable report_table(const Device& dev);
+
+}  // namespace cusfft::cusim

@@ -1,0 +1,136 @@
+#include "cusim/timeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cusfft::cusim {
+
+void Timeline::clear() {
+  items_.clear();
+  schedule_.clear();
+  events_.clear();
+  barrier_ = 0;
+}
+
+double Timeline::event_time_s(std::size_t event_id) const {
+  if (event_id >= events_.size())
+    throw std::out_of_range("Timeline::event_time_s: unknown event");
+  const std::size_t upto = events_[event_id];
+  double t = 0.0;
+  for (std::size_t i = 0; i < upto && i < schedule_.size(); ++i)
+    t = std::max(t, schedule_[i].finish_s);
+  return t;
+}
+
+std::size_t Timeline::submit(TimelineItem item) {
+  item.after = barrier_;
+  items_.push_back(std::move(item));
+  return items_.size() - 1;
+}
+
+double Timeline::simulate() {
+  const std::size_t n = items_.size();
+  schedule_.assign(n, ItemSchedule{});
+  if (n == 0) return 0.0;
+
+  constexpr double kEps = 1e-15;
+  struct State {
+    double mem_left = 0;
+    double comp_left = 0;
+    bool running = false;
+    bool done = false;
+  };
+  std::vector<State> st(n);
+  // Per-stream FIFO: index of the previous item on the same stream.
+  std::vector<std::ptrdiff_t> prev(n, -1);
+  {
+    std::vector<std::pair<StreamId, std::size_t>> last;
+    for (std::size_t i = 0; i < n; ++i) {
+      st[i].mem_left = items_[i].mem_s;
+      st[i].comp_left = items_[i].compute_s;
+      for (auto& [sid, idx] : last)
+        if (sid == items_[i].stream) {
+          prev[i] = static_cast<std::ptrdiff_t>(idx);
+          idx = i;
+          goto linked;
+        }
+      last.emplace_back(items_[i].stream, i);
+    linked:;
+    }
+  }
+
+  double t = 0.0;
+  std::size_t done_count = 0;
+  while (done_count < n) {
+    // Start every eligible item (stream predecessor finished), respecting
+    // the concurrent-kernel cap for device work.
+    unsigned dev_running = 0, pcie_running = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (st[i].running)
+        (items_[i].resource == Resource::kDeviceMemory ? dev_running
+                                                       : pcie_running)++;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (st[i].running || st[i].done) continue;
+      if (prev[i] >= 0 && !st[static_cast<std::size_t>(prev[i])].done)
+        continue;
+      bool barrier_clear = true;
+      for (std::size_t b = 0; b < items_[i].after && barrier_clear; ++b)
+        barrier_clear = st[b].done;
+      if (!barrier_clear) continue;
+      if (items_[i].resource == Resource::kDeviceMemory) {
+        if (dev_running >= max_kernels_) continue;
+        ++dev_running;
+      } else {
+        ++pcie_running;
+      }
+      st[i].running = true;
+      schedule_[i].start_s = t;
+    }
+
+    // Bandwidth is shared only among items that still demand memory.
+    unsigned dev_mem = 0, pcie_mem = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (st[i].running && st[i].mem_left > kEps)
+        (items_[i].resource == Resource::kDeviceMemory ? dev_mem
+                                                       : pcie_mem)++;
+
+    // Next completion under the current bandwidth shares.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!st[i].running) continue;
+      const double share =
+          items_[i].resource == Resource::kDeviceMemory
+              ? static_cast<double>(std::max(1u, dev_mem))
+              : static_cast<double>(std::max(1u, pcie_mem));
+      const double fin = std::max(st[i].comp_left, st[i].mem_left * share);
+      dt = std::min(dt, fin);
+      // Shares change when an item's memory demand drains, even if its
+      // compute phase keeps running — that is also an event.
+      if (st[i].mem_left > kEps) dt = std::min(dt, st[i].mem_left * share);
+    }
+    if (!std::isfinite(dt)) break;  // nothing runnable: defensive stop
+    dt = std::max(dt, 0.0);
+
+    // Advance everything by dt and retire finished items.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!st[i].running) continue;
+      const double share =
+          items_[i].resource == Resource::kDeviceMemory
+              ? static_cast<double>(std::max(1u, dev_mem))
+              : static_cast<double>(std::max(1u, pcie_mem));
+      st[i].comp_left -= dt;
+      st[i].mem_left -= dt / share;
+      if (st[i].comp_left <= kEps && st[i].mem_left <= kEps) {
+        st[i].running = false;
+        st[i].done = true;
+        schedule_[i].finish_s = t + dt;
+        ++done_count;
+      }
+    }
+    t += dt;
+  }
+  return t;
+}
+
+}  // namespace cusfft::cusim

@@ -1,0 +1,78 @@
+// Event-driven device timeline: streams, concurrent-kernel overlap with
+// bandwidth sharing, and PCIe transfers as a separate resource. This is what
+// makes the paper's asynchronous data-layout transformation (Fig. 4) — up to
+// 32 kernels in flight on GK110 — simulatable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace cusfft::cusim {
+
+using StreamId = u32;  // 0 is the default stream
+
+enum class Resource { kDeviceMemory, kPcie };
+
+/// One scheduled operation (kernel or copy).
+struct TimelineItem {
+  std::string name;
+  StreamId stream = 0;
+  Resource resource = Resource::kDeviceMemory;
+  double mem_s = 0;      // solo memory time (seconds) on its resource
+  double compute_s = 0;  // non-shareable time (compute + atomics + overhead)
+  std::size_t after = 0;  // barrier: may not start before items [0, after)
+                          // have all completed (set by Timeline::barrier)
+};
+
+/// Result for one item after simulation.
+struct ItemSchedule {
+  double start_s = 0;
+  double finish_s = 0;
+};
+
+class Timeline {
+ public:
+  explicit Timeline(unsigned max_concurrent_kernels = 32)
+      : max_kernels_(max_concurrent_kernels) {}
+
+  void clear();
+  std::size_t submit(TimelineItem item);  // returns item index
+  std::size_t item_count() const { return items_.size(); }
+
+  /// Device-wide synchronization point (cudaDeviceSynchronize semantics):
+  /// every item submitted afterwards waits for everything submitted so far.
+  void barrier() { barrier_ = items_.size(); }
+
+  /// cudaEvent-style marker: the event's time is when every item submitted
+  /// before it has completed. Returns an id for event_time_s().
+  std::size_t record_event() {
+    events_.push_back(items_.size());
+    return events_.size() - 1;
+  }
+
+  /// Time of a recorded event in the last simulate() run (0 if nothing
+  /// preceded it).
+  double event_time_s(std::size_t event_id) const;
+
+  /// Simulates the whole submission list. Items on the same stream run in
+  /// FIFO order; across streams up to `max_concurrent_kernels` device
+  /// kernels run concurrently and share memory bandwidth equally (an item's
+  /// memory phase dilates by the number of co-running items on its
+  /// resource). Returns the makespan in seconds.
+  double simulate();
+
+  /// Per-item schedule from the last simulate() call.
+  const std::vector<ItemSchedule>& schedule() const { return schedule_; }
+  const std::vector<TimelineItem>& items() const { return items_; }
+
+ private:
+  unsigned max_kernels_;
+  std::size_t barrier_ = 0;
+  std::vector<TimelineItem> items_;
+  std::vector<ItemSchedule> schedule_;
+  std::vector<std::size_t> events_;  // item counts at record_event() calls
+};
+
+}  // namespace cusfft::cusim

@@ -1,0 +1,89 @@
+#include "cusim/trace.hpp"
+
+#include <algorithm>
+
+namespace cusfft::cusim {
+
+void WarpTracer::reset(std::size_t transaction_bytes) {
+  accesses_.clear();
+  shared_ = 0;
+  tx_bytes_ = transaction_bytes;
+}
+
+void WarpTracer::on_access(u32 slot, u64 addr, u32 bytes, bool atomic) {
+  accesses_.push_back(Access{slot, addr, bytes, atomic});
+}
+
+WarpTotals WarpTracer::finalize() {
+  WarpTotals out;
+  out.shared_accesses = shared_;
+  if (accesses_.empty()) return out;
+  std::stable_sort(accesses_.begin(), accesses_.end(),
+                   [](const Access& a, const Access& b) {
+                     return a.slot < b.slot;
+                   });
+  std::vector<u64> segs;
+  segs.reserve(64);
+  std::size_t i = 0;
+  while (i < accesses_.size()) {
+    const u32 slot = accesses_[i].slot;
+    segs.clear();
+    double bytes = 0;
+    for (; i < accesses_.size() && accesses_[i].slot == slot; ++i) {
+      const auto& a = accesses_[i];
+      bytes += a.bytes;
+      const u64 first = a.addr / tx_bytes_;
+      const u64 last = (a.addr + a.bytes - 1) / tx_bytes_;
+      for (u64 s = first; s <= last; ++s) segs.push_back(s);
+      if (a.atomic) out.atomic_ops += 1;
+    }
+    std::sort(segs.begin(), segs.end());
+    const double tx = static_cast<double>(
+        std::unique(segs.begin(), segs.end()) - segs.begin());
+    const double min_tx =
+        std::max(1.0, std::ceil(bytes / static_cast<double>(tx_bytes_)));
+    out.useful_bytes += bytes;
+    if (tx <= 2.0 * min_tx)
+      out.coalesced_tx += tx;
+    else
+      out.random_tx += tx;
+  }
+  return out;
+}
+
+void KernelAccum::reset(std::size_t transaction_bytes, u64 sample_stride) {
+  tracer_.reset(transaction_bytes);
+  sum_ = WarpTotals{};
+  atomic_conflicts_.clear();
+  stride_ = std::max<u64>(1, sample_stride);
+}
+
+void KernelAccum::fold_warp() {
+  const WarpTotals t = tracer_.finalize();
+  sum_.coalesced_tx += t.coalesced_tx;
+  sum_.random_tx += t.random_tx;
+  sum_.useful_bytes += t.useful_bytes;
+  sum_.atomic_ops += t.atomic_ops;
+  sum_.shared_accesses += t.shared_accesses;
+}
+
+void KernelAccum::on_atomic_addr(u64 addr) { ++atomic_conflicts_[addr]; }
+
+WarpTotals KernelAccum::scaled_totals() const {
+  WarpTotals s = sum_;
+  const double m = static_cast<double>(stride_);
+  s.coalesced_tx *= m;
+  s.random_tx *= m;
+  s.useful_bytes *= m;
+  s.atomic_ops *= m;
+  s.shared_accesses *= m;
+  return s;
+}
+
+double KernelAccum::max_atomic_conflict() const {
+  u32 worst = 0;
+  for (const auto& [addr, cnt] : atomic_conflicts_) worst = std::max(worst, cnt);
+  return static_cast<double>(worst) * static_cast<double>(stride_);
+}
+
+}  // namespace cusfft::cusim

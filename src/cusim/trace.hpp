@@ -1,0 +1,79 @@
+// Warp-level memory tracing. While a kernel executes functionally, sampled
+// warps record every global access; finalize() groups the accesses of the
+// 32 lanes by instruction slot and counts 128-byte segment transactions —
+// the coalescing rule of Section IV.B ("the k-th thread accesses the k-th
+// word in a cache line").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace cusfft::cusim {
+
+/// Totals extracted from one traced warp.
+struct WarpTotals {
+  double coalesced_tx = 0;  // transactions from dense (near-minimal) slots
+  double random_tx = 0;     // transactions from scattered slots
+  double useful_bytes = 0;
+  double atomic_ops = 0;
+  double shared_accesses = 0;
+};
+
+class WarpTracer {
+ public:
+  void reset(std::size_t transaction_bytes);
+
+  /// Records one lane's access. `slot` is the lane-local sequence number of
+  /// the access; the i-th access of every lane is treated as one warp-wide
+  /// instruction (exact for non-divergent kernels).
+  void on_access(u32 slot, u64 addr, u32 bytes, bool atomic);
+
+  void on_shared(double count) { shared_ += count; }
+
+  /// Groups slots into transactions and classifies them. A slot whose
+  /// transaction count is within 2x of the minimum possible for its byte
+  /// volume counts as coalesced; otherwise random.
+  WarpTotals finalize();
+
+ private:
+  struct Access {
+    u32 slot;
+    u64 addr;
+    u32 bytes;
+    bool atomic;
+  };
+  std::vector<Access> accesses_;
+  double shared_ = 0;
+  std::size_t tx_bytes_ = 128;
+};
+
+/// Whole-kernel accumulation across traced warps plus the kernel-wide
+/// atomic-conflict map (deepest same-address chain).
+class KernelAccum {
+ public:
+  void reset(std::size_t transaction_bytes, u64 sample_stride);
+
+  WarpTracer& tracer() { return tracer_; }
+  u64 sample_stride() const { return stride_; }
+
+  /// Folds one traced warp's totals in.
+  void fold_warp();
+
+  /// Records an atomic on `addr` from a traced warp (conflict accounting).
+  void on_atomic_addr(u64 addr);
+
+  /// Extrapolated whole-kernel counters (multiplies by the sample stride).
+  WarpTotals scaled_totals() const;
+  double max_atomic_conflict() const;
+
+ private:
+  WarpTracer tracer_;
+  WarpTotals sum_;
+  std::unordered_map<u64, u32> atomic_conflicts_;
+  u64 stride_ = 1;
+};
+
+}  // namespace cusfft::cusim

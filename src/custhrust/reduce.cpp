@@ -1,0 +1,73 @@
+#include "custhrust/reduce.hpp"
+
+#include <algorithm>
+#include <complex>
+
+namespace cusfft::custhrust {
+
+namespace {
+
+/// Tree-reduces `vals` (double) in place with `combine`; returns the root.
+template <typename Combine>
+double tree_reduce(cusim::Device& dev, cusim::DeviceBuffer<double>& vals,
+                   cusim::StreamId stream, Combine combine) {
+  using cusim::LaunchCfg;
+  using cusim::ThreadCtx;
+  std::size_t active = vals.size();
+  while (active > 1) {
+    const std::size_t half = (active + 1) / 2;
+    dev.launch(LaunchCfg::for_elements("reduce_pass", half, 256, stream),
+               [&, active, half](ThreadCtx& t) {
+                 const u64 i = t.global_id();
+                 if (i >= half) return;
+                 const std::size_t j = i + half;
+                 if (j >= active) return;  // odd tail carries through
+                 const double a = vals.load(t, i);
+                 const double b = vals.load(t, j);
+                 t.add_flops(1);
+                 vals.store(t, i, combine(a, b));
+               });
+    active = half;
+  }
+  return vals.host()[0];
+}
+
+template <typename Map>
+cusim::DeviceBuffer<double> map_to_double(cusim::Device& dev,
+                                          const cusim::DeviceBuffer<cplx>& in,
+                                          cusim::StreamId stream, Map map) {
+  using cusim::LaunchCfg;
+  using cusim::ThreadCtx;
+  cusim::DeviceBuffer<double> out(in.size());
+  dev.launch(LaunchCfg::for_elements("reduce_map", in.size(), 256, stream),
+             [&](ThreadCtx& t) {
+               const u64 i = t.global_id();
+               if (i >= in.size()) return;
+               t.add_flops(3);
+               out.store(t, i, map(in.load(t, i)));
+             });
+  return out;
+}
+
+}  // namespace
+
+double reduce_norm2(cusim::Device& dev, const cusim::DeviceBuffer<cplx>& data,
+                    cusim::StreamId stream) {
+  if (data.empty()) return 0.0;
+  auto vals = map_to_double(dev, data, stream,
+                            [](const cplx& v) { return std::norm(v); });
+  return tree_reduce(dev, vals, stream,
+                     [](double a, double b) { return a + b; });
+}
+
+double reduce_max_abs(cusim::Device& dev,
+                      const cusim::DeviceBuffer<cplx>& data,
+                      cusim::StreamId stream) {
+  if (data.empty()) return 0.0;
+  auto vals = map_to_double(dev, data, stream,
+                            [](const cplx& v) { return std::abs(v); });
+  return tree_reduce(dev, vals, stream,
+                     [](double a, double b) { return std::max(a, b); });
+}
+
+}  // namespace cusfft::custhrust

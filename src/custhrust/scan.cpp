@@ -1,0 +1,96 @@
+#include "custhrust/scan.hpp"
+
+#include "core/modmath.hpp"
+
+namespace cusfft::custhrust {
+
+void exclusive_scan(cusim::Device& dev, cusim::DeviceBuffer<u64>& data,
+                    cusim::StreamId stream) {
+  using cusim::DeviceBuffer;
+  using cusim::LaunchCfg;
+  using cusim::ThreadCtx;
+  const std::size_t n = data.size();
+  if (n <= 1) {
+    if (n == 1) data.host()[0] = 0;
+    return;
+  }
+
+  // Pad to a power of two with explicit zeros so the Blelloch tree needs no
+  // boundary cases (real implementations either pad or special-case; the
+  // pad copy is honest, counted work).
+  const std::size_t m = next_pow2(n);
+  DeviceBuffer<u64> work(m);
+  dev.launch(LaunchCfg::for_elements("scan_pad", m, 256, stream),
+             [&](ThreadCtx& t) {
+               const u64 i = t.global_id();
+               if (i >= m) return;
+               work.store(t, i, i < n ? data.load(t, i) : u64{0});
+             });
+
+  // Upsweep: combine pairs (stride d) into the right node.
+  for (std::size_t d = 1; d < m; d <<= 1) {
+    const std::size_t pairs = m / (2 * d);
+    dev.launch(LaunchCfg::for_elements("scan_upsweep", pairs, 256, stream),
+               [&, d, pairs](ThreadCtx& t) {
+                 const u64 p = t.global_id();
+                 if (p >= pairs) return;
+                 const std::size_t left = 2 * d * p + d - 1;
+                 const std::size_t right = 2 * d * p + 2 * d - 1;
+                 const u64 sum = work.load(t, left) + work.load(t, right);
+                 work.store(t, right, sum);
+               });
+  }
+
+  dev.launch(LaunchCfg::for_elements("scan_setroot", 1, 1, stream),
+             [&](ThreadCtx& t) { work.store(t, m - 1, 0); });
+
+  // Downsweep: push prefixes back down the tree.
+  for (std::size_t d = m / 2; d >= 1; d >>= 1) {
+    const std::size_t pairs = m / (2 * d);
+    dev.launch(LaunchCfg::for_elements("scan_downsweep", pairs, 256, stream),
+               [&, d, pairs](ThreadCtx& t) {
+                 const u64 p = t.global_id();
+                 if (p >= pairs) return;
+                 const std::size_t left = 2 * d * p + d - 1;
+                 const std::size_t right = 2 * d * p + 2 * d - 1;
+                 const u64 l = work.load(t, left);
+                 const u64 r = work.load(t, right);
+                 work.store(t, left, r);
+                 work.store(t, right, l + r);
+               });
+  }
+
+  dev.launch(LaunchCfg::for_elements("scan_unpad", n, 256, stream),
+             [&](ThreadCtx& t) {
+               const u64 i = t.global_id();
+               if (i < n) data.store(t, i, work.load(t, i));
+             });
+}
+
+}  // namespace cusfft::custhrust
+
+namespace cusfft::custhrust {
+
+void inclusive_scan(cusim::Device& dev, cusim::DeviceBuffer<u64>& data,
+                    cusim::StreamId stream) {
+  using cusim::LaunchCfg;
+  using cusim::ThreadCtx;
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  // Keep the original values, run the exclusive scan, then add them back.
+  cusim::DeviceBuffer<u64> orig(n);
+  dev.launch(LaunchCfg::for_elements("scan_keep", n, 256, stream),
+             [&](ThreadCtx& t) {
+               const u64 i = t.global_id();
+               if (i < n) orig.store(t, i, data.load(t, i));
+             });
+  exclusive_scan(dev, data, stream);
+  dev.launch(LaunchCfg::for_elements("scan_addback", n, 256, stream),
+             [&](ThreadCtx& t) {
+               const u64 i = t.global_id();
+               if (i < n)
+                 data.store(t, i, data.load(t, i) + orig.load(t, i));
+             });
+}
+
+}  // namespace cusfft::custhrust

@@ -1,0 +1,19 @@
+// Device-level exclusive prefix sum (Blelloch work-efficient scan): the
+// Thrust-style building block the radix sort's digit offsets use. Runs as
+// 2*log2(n) kernel launches of one-thread-per-active-pair.
+#pragma once
+
+#include "cusim/device.hpp"
+
+namespace cusfft::custhrust {
+
+/// In-place exclusive scan of `data` (sum). Size may be any value >= 1; the
+/// scan pads virtually to the next power of two.
+void exclusive_scan(cusim::Device& dev, cusim::DeviceBuffer<u64>& data,
+                    cusim::StreamId stream = 0);
+
+/// In-place inclusive prefix sum (exclusive scan + an add-back pass).
+void inclusive_scan(cusim::Device& dev, cusim::DeviceBuffer<u64>& data,
+                    cusim::StreamId stream = 0);
+
+}  // namespace cusfft::custhrust

@@ -1,0 +1,48 @@
+#include "custhrust/select.hpp"
+
+#include <cmath>
+
+#include "custhrust/reduce.hpp"
+
+namespace cusfft::custhrust {
+
+using cusim::DeviceBuffer;
+using cusim::LaunchCfg;
+using cusim::ThreadCtx;
+
+SelectResult threshold_select(cusim::Device& dev,
+                              const DeviceBuffer<cplx>& buckets, double beta,
+                              std::size_t max_out, cusim::StreamId stream) {
+  SelectResult out;
+  const std::size_t B = buckets.size();
+  if (B == 0) return out;
+  if (max_out == 0) max_out = B;
+
+  const double rms = std::sqrt(reduce_norm2(dev, buckets, stream) /
+                               static_cast<double>(B));
+  out.threshold = beta * rms;
+  const double thresh2 = out.threshold * out.threshold;
+
+  DeviceBuffer<u32> count(1);
+  DeviceBuffer<u32> selected(B);
+  dev.launch(LaunchCfg::for_elements("fast_select", B, 256, stream),
+             [&, thresh2](ThreadCtx& t) {
+               const u64 tid = t.global_id();
+               if (tid >= B) return;
+               const cplx v = buckets.load(t, tid);
+               t.add_flops(3);
+               if (std::norm(v) >= thresh2) {
+                 const u32 slot = count.atomic_add(t, 0, u32{1});
+                 if (slot < selected.size())
+                   selected.store(t, slot, static_cast<u32>(tid));
+               }
+             });
+
+  const std::size_t found =
+      std::min<std::size_t>(count.host()[0], std::min(B, max_out));
+  out.indices.assign(selected.host().begin(),
+                     selected.host().begin() + found);
+  return out;
+}
+
+}  // namespace cusfft::custhrust

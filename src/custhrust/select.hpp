@@ -1,0 +1,28 @@
+// The paper's fast k-selection (Section V.B, Algorithm 6): one pass, one
+// thread per bucket, keep indices whose magnitude clears a threshold chosen
+// "in the same order as the small noise coefficients". We derive that
+// threshold on-device as beta x RMS of the bucket magnitudes (linear-time,
+// like the selection itself).
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "cusim/device.hpp"
+
+namespace cusfft::custhrust {
+
+struct SelectResult {
+  std::vector<u32> indices;  // bucket indices that cleared the threshold
+  double threshold = 0.0;    // the derived magnitude threshold
+};
+
+/// Algorithm 6. `beta` scales the RMS-derived threshold (default 1.0);
+/// returns at most `max_out` indices (0 = unlimited). The result order is
+/// the simulator's thread order — like the GPU original, no order guarantee.
+SelectResult threshold_select(cusim::Device& dev,
+                              const cusim::DeviceBuffer<cplx>& buckets,
+                              double beta = 1.0, std::size_t max_out = 0,
+                              cusim::StreamId stream = 0);
+
+}  // namespace cusfft::custhrust

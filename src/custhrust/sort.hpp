@@ -1,0 +1,32 @@
+// Device-level sort_by_key — the Thrust primitive behind the paper's
+// baseline "sort & select" cutoff (Algorithm 3). Two algorithms:
+//
+//  * kRadix   — LSD radix sort over a monotone u64 mapping of the double
+//               keys (8-bit digits, per-block histograms + Blelloch scan +
+//               stable scatter). This is what Thrust actually runs for
+//               arithmetic keys, so the baseline's modeled cost matches the
+//               paper's baseline.
+//  * kBitonic — classic bitonic network (Satish et al., the paper's
+//               reference [26]); O(n log^2 n) global passes. Kept for
+//               cross-checking and the sort ablation bench.
+#pragma once
+
+#include "core/types.hpp"
+#include "cusim/device.hpp"
+
+namespace cusfft::custhrust {
+
+enum class SortAlgo { kRadix, kBitonic };
+
+/// Sorts `keys` descending, permuting `vals` alongside. keys/vals must be
+/// the same length. Stable for kRadix.
+void sort_pairs_desc(cusim::Device& dev, cusim::DeviceBuffer<double>& keys,
+                     cusim::DeviceBuffer<u32>& vals,
+                     SortAlgo algo = SortAlgo::kRadix,
+                     cusim::StreamId stream = 0);
+
+/// Monotone (order-preserving) mapping double -> u64 used by the radix sort;
+/// exposed for tests.
+u64 double_to_ordered_u64(double d);
+
+}  // namespace cusfft::custhrust

@@ -1,0 +1,58 @@
+// Elementwise device primitives (Thrust `transform` / `gather` /
+// `count_if` equivalents). Header-only: the functor is inlined into the
+// simulated kernel exactly like a Thrust template instantiation.
+#pragma once
+
+#include "cusim/device.hpp"
+
+namespace cusfft::custhrust {
+
+/// out[i] = fn(in[i]) for i in [0, n). in and out may be the same buffer.
+template <typename T, typename U, typename Fn>
+void transform(cusim::Device& dev, const cusim::DeviceBuffer<T>& in,
+               cusim::DeviceBuffer<U>& out, Fn fn,
+               cusim::StreamId stream = 0) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("custhrust::transform: size mismatch");
+  const std::size_t n = in.size();
+  dev.launch(cusim::LaunchCfg::for_elements("transform", n, 256, stream),
+             [&, fn](cusim::ThreadCtx& t) {
+               const u64 i = t.global_id();
+               if (i >= n) return;
+               out.store(t, i, fn(in.load(t, i)));
+             });
+}
+
+/// out[i] = data[indices[i]] — the scattered read pattern whose cost the
+/// coalescing tracer quantifies.
+template <typename T>
+void gather(cusim::Device& dev, const cusim::DeviceBuffer<u32>& indices,
+            const cusim::DeviceBuffer<T>& data, cusim::DeviceBuffer<T>& out,
+            cusim::StreamId stream = 0) {
+  if (indices.size() != out.size())
+    throw std::invalid_argument("custhrust::gather: size mismatch");
+  const std::size_t n = indices.size();
+  dev.launch(cusim::LaunchCfg::for_elements("gather", n, 256, stream),
+             [&](cusim::ThreadCtx& t) {
+               const u64 i = t.global_id();
+               if (i >= n) return;
+               out.store(t, i, data.load(t, indices.load(t, i)));
+             });
+}
+
+/// Number of elements satisfying pred (single atomic counter).
+template <typename T, typename Pred>
+std::size_t count_if(cusim::Device& dev, const cusim::DeviceBuffer<T>& in,
+                     Pred pred, cusim::StreamId stream = 0) {
+  cusim::DeviceBuffer<u64> counter(1);
+  const std::size_t n = in.size();
+  dev.launch(cusim::LaunchCfg::for_elements("count_if", n, 256, stream),
+             [&, pred](cusim::ThreadCtx& t) {
+               const u64 i = t.global_id();
+               if (i >= n) return;
+               if (pred(in.load(t, i))) counter.atomic_add(t, 0, u64{1});
+             });
+  return static_cast<std::size_t>(counter.host()[0]);
+}
+
+}  // namespace cusfft::custhrust

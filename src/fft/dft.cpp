@@ -1,0 +1,28 @@
+#include "fft/dft.hpp"
+
+#include <cmath>
+
+namespace cusfft::fft {
+
+namespace {
+cvec dft_impl(std::span<const cplx> x, double sign, bool normalize) {
+  const std::size_t n = x.size();
+  cvec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = sign * kTwoPi * static_cast<double>(k) *
+                         static_cast<double>(t) / static_cast<double>(n);
+      acc += x[t] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = normalize ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+}  // namespace
+
+cvec dft_naive(std::span<const cplx> x) { return dft_impl(x, -1.0, false); }
+
+cvec idft_naive(std::span<const cplx> x) { return dft_impl(x, +1.0, true); }
+
+}  // namespace cusfft::fft

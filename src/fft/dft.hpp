@@ -1,0 +1,21 @@
+// Naive O(n^2) discrete Fourier transform. Used only as a correctness oracle
+// in tests — never on a hot path.
+//
+// Convention (used across the whole library):
+//   forward:  xhat[k] = sum_t x[t] * exp(-2*pi*i*k*t/n)
+//   inverse:  x[t]    = (1/n) * sum_k xhat[k] * exp(+2*pi*i*k*t/n)
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+
+namespace cusfft::fft {
+
+/// Forward DFT, O(n^2).
+cvec dft_naive(std::span<const cplx> x);
+
+/// Inverse DFT (with 1/n normalization), O(n^2).
+cvec idft_naive(std::span<const cplx> x);
+
+}  // namespace cusfft::fft

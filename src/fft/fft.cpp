@@ -1,0 +1,237 @@
+#include "fft/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/modmath.hpp"
+
+namespace cusfft::fft {
+
+namespace {
+
+/// Bit-reversal permutation table for size n = 2^logn.
+std::vector<u32> make_bitrev(std::size_t n) {
+  std::vector<u32> rev(n);
+  const unsigned logn = log2_floor(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u32 r = 0;
+    for (unsigned b = 0; b < logn; ++b)
+      if (i >> b & 1) r |= 1u << (logn - 1 - b);
+    rev[i] = r;
+  }
+  return rev;
+}
+
+/// Twiddle table tw[j] = exp(sign * 2*pi*i * j / n), j in [0, n/2).
+cvec make_twiddles(std::size_t n, double sign) {
+  cvec tw(std::max<std::size_t>(n / 2, 1));
+  for (std::size_t j = 0; j < tw.size(); ++j) {
+    const double ang = sign * kTwoPi * static_cast<double>(j) /
+                       static_cast<double>(n);
+    tw[j] = cplx{std::cos(ang), std::sin(ang)};
+  }
+  return tw;
+}
+
+}  // namespace
+
+struct Plan::Impl {
+  std::size_t n = 0;
+  Direction dir = Direction::kForward;
+  bool pow2 = false;
+
+  // --- power-of-two path ---
+  std::vector<u32> bitrev;
+  cvec twiddles;  // n/2 roots with the plan's sign
+
+  // --- Bluestein path (arbitrary n) ---
+  std::size_t m = 0;            // padded power-of-two size >= 2n-1
+  cvec chirp;                   // c[t] = exp(sign*pi*i*t^2/n), length n
+  cvec bfreq;                   // FFT_m of the chirp-conjugate kernel
+  std::unique_ptr<Plan> fwd_m;  // forward plan of size m
+  std::unique_ptr<Plan> inv_m;  // inverse plan of size m
+
+  double sign() const { return dir == Direction::kForward ? -1.0 : 1.0; }
+
+  void radix2_inplace(std::span<cplx> a) const {
+    // Decimation-in-time with precomputed bit-reversal + twiddles.
+    for (std::size_t i = 0; i < n; ++i) {
+      const u32 r = bitrev[i];
+      if (i < r) std::swap(a[i], a[r]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len >> 1;
+      const std::size_t step = n / len;
+      for (std::size_t i = 0; i < n; i += len) {
+        for (std::size_t j = 0; j < half; ++j) {
+          const cplx w = twiddles[j * step];
+          const cplx u = a[i + j];
+          const cplx v = a[i + j + half] * w;
+          a[i + j] = u + v;
+          a[i + j + half] = u - v;
+        }
+      }
+    }
+    if (dir == Direction::kInverse) {
+      const double inv_n = 1.0 / static_cast<double>(n);
+      for (auto& x : a) x *= inv_n;
+    }
+  }
+
+  void radix2_parallel(std::span<cplx> a, ThreadPool& pool) const {
+    pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        const u32 r = bitrev[i];
+        if (i < r) std::swap(a[i], a[r]);
+      }
+    });
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len >> 1;
+      const std::size_t step = n / len;
+      // Flatten all n/2 butterflies of this stage; each worker takes a
+      // contiguous range (no two butterflies share elements within a stage).
+      pool.parallel_for(n / 2, [&](std::size_t b, std::size_t e) {
+        for (std::size_t f = b; f < e; ++f) {
+          const std::size_t i = (f / half) * len;
+          const std::size_t j = f % half;
+          const cplx w = twiddles[j * step];
+          const cplx u = a[i + j];
+          const cplx v = a[i + j + half] * w;
+          a[i + j] = u + v;
+          a[i + j + half] = u - v;
+        }
+      });
+    }
+    if (dir == Direction::kInverse) {
+      const double inv_n = 1.0 / static_cast<double>(n);
+      pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) a[i] *= inv_n;
+      });
+    }
+  }
+
+  void bluestein(std::span<cplx> a) const {
+    // y[k] = conj(c[k]) * sum_t x[t] c[t] * conj(c[k-t]) ... expressed as a
+    // circular convolution of length m computed with power-of-two FFTs.
+    cvec av(m, cplx{});
+    for (std::size_t t = 0; t < n; ++t) av[t] = a[t] * chirp[t];
+    fwd_m->execute(av);
+    for (std::size_t t = 0; t < m; ++t) av[t] *= bfreq[t];
+    inv_m->execute(av);
+    const double scale =
+        dir == Direction::kInverse ? 1.0 / static_cast<double>(n) : 1.0;
+    for (std::size_t k = 0; k < n; ++k) a[k] = av[k] * chirp[k] * scale;
+  }
+};
+
+Plan::Plan(std::size_t n, Direction dir) : impl_(std::make_unique<Impl>()) {
+  if (n == 0) throw std::invalid_argument("fft::Plan: n must be >= 1");
+  impl_->n = n;
+  impl_->dir = dir;
+  impl_->pow2 = is_pow2(n);
+  if (impl_->pow2) {
+    if (n > 1) {
+      impl_->bitrev = make_bitrev(n);
+      impl_->twiddles = make_twiddles(n, impl_->sign());
+    }
+    return;
+  }
+  // Bluestein setup. chirp[t] = exp(sign*pi*i*t^2/n); t^2 taken mod 2n keeps
+  // the angle argument small (exp is 2n-periodic in t^2/n * pi).
+  impl_->m = next_pow2(2 * n - 1);
+  impl_->chirp.resize(n);
+  const double sign = impl_->sign();
+  for (std::size_t t = 0; t < n; ++t) {
+    const u64 t2 = mod_mul(t, t, 2 * n);
+    const double ang = sign * kPi * static_cast<double>(t2) /
+                       static_cast<double>(n);
+    impl_->chirp[t] = cplx{std::cos(ang), std::sin(ang)};
+  }
+  impl_->fwd_m = std::make_unique<Plan>(impl_->m, Direction::kForward);
+  impl_->inv_m = std::make_unique<Plan>(impl_->m, Direction::kInverse);
+  cvec b(impl_->m, cplx{});
+  b[0] = std::conj(impl_->chirp[0]);
+  for (std::size_t t = 1; t < n; ++t) {
+    b[t] = std::conj(impl_->chirp[t]);
+    b[impl_->m - t] = std::conj(impl_->chirp[t]);
+  }
+  impl_->fwd_m->execute(b);
+  impl_->bfreq = std::move(b);
+}
+
+Plan::~Plan() = default;
+Plan::Plan(Plan&&) noexcept = default;
+Plan& Plan::operator=(Plan&&) noexcept = default;
+
+std::size_t Plan::size() const { return impl_->n; }
+Direction Plan::direction() const { return impl_->dir; }
+
+void Plan::execute(std::span<const cplx> in, std::span<cplx> out) const {
+  if (in.size() != impl_->n || out.size() != impl_->n)
+    throw std::invalid_argument("fft::Plan::execute: size mismatch");
+  if (in.data() != out.data()) std::copy(in.begin(), in.end(), out.begin());
+  if (impl_->n == 1) return;
+  if (impl_->pow2)
+    impl_->radix2_inplace(out);
+  else
+    impl_->bluestein(out);
+}
+
+void Plan::execute_batch(std::span<cplx> data, std::size_t batch) const {
+  if (data.size() != batch * impl_->n)
+    throw std::invalid_argument("fft::Plan::execute_batch: size mismatch");
+  for (std::size_t b = 0; b < batch; ++b)
+    execute(data.subspan(b * impl_->n, impl_->n));
+}
+
+void Plan::execute_batch(std::span<cplx> data, std::size_t batch,
+                         ThreadPool& pool) const {
+  if (data.size() != batch * impl_->n)
+    throw std::invalid_argument("fft::Plan::execute_batch: size mismatch");
+  pool.parallel_for(batch, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      execute(data.subspan(i * impl_->n, impl_->n));
+  });
+}
+
+void Plan::execute_parallel(std::span<cplx> data, ThreadPool& pool) const {
+  if (data.size() != impl_->n)
+    throw std::invalid_argument("fft::Plan::execute_parallel: size mismatch");
+  if (impl_->n == 1) return;
+  if (impl_->pow2)
+    impl_->radix2_parallel(data, pool);
+  else
+    impl_->bluestein(data);  // Bluestein recurses into pow2 plans; keep serial
+}
+
+PlanCost Plan::cost() const {
+  const double n = static_cast<double>(impl_->pow2 ? impl_->n : impl_->m);
+  const double stages = n > 1 ? static_cast<double>(log2_floor(
+                                    static_cast<u64>(n)))
+                              : 0.0;
+  PlanCost c;
+  // Classic radix-2 count: 5 n log2 n flops; one read+write sweep of the
+  // 16-byte complex array per stage plus the permutation pass.
+  c.flops = 5.0 * n * stages;
+  c.bytes = 32.0 * n * (stages + 1.0);
+  if (!impl_->pow2) {
+    c.flops *= 3.0;  // two forward + one inverse FFT of size m
+    c.bytes *= 3.0;
+  }
+  return c;
+}
+
+cvec fft(std::span<const cplx> x) {
+  cvec out(x.size());
+  Plan(x.size(), Direction::kForward).execute(x, out);
+  return out;
+}
+
+cvec ifft(std::span<const cplx> x) {
+  cvec out(x.size());
+  Plan(x.size(), Direction::kInverse).execute(x, out);
+  return out;
+}
+
+}  // namespace cusfft::fft

@@ -1,0 +1,27 @@
+#include "perfmodel/cpu_model.hpp"
+
+#include <algorithm>
+
+namespace cusfft::perfmodel {
+
+double CpuModel::effective_latency_s(double working_set_bytes) const {
+  if (working_set_bytes <= 0) return spec_.dram_latency_s;
+  const double hit =
+      std::min(1.0, static_cast<double>(spec_.l3_bytes) / working_set_bytes);
+  return hit * spec_.l3_latency_s + (1.0 - hit) * spec_.dram_latency_s;
+}
+
+double CpuModel::phase_cost_s(const CpuWork& w) const {
+  const double threads =
+      std::clamp(w.threads, 1.0, static_cast<double>(spec_.cores));
+  const double bw_roof = w.streamed_bytes / spec_.mem_bandwidth_Bps;
+  const double lat_roof = w.random_accesses *
+                          effective_latency_s(w.random_working_set_bytes) /
+                          (threads * spec_.mlp_per_thread);
+  const double flop_roof =
+      w.flops / (threads * spec_.clock_hz * spec_.flops_per_cycle_per_core);
+  const double overhead = w.threads > 1 ? spec_.parallel_overhead_s : 0.0;
+  return overhead + std::max({bw_roof, lat_roof, flop_roof});
+}
+
+}  // namespace cusfft::perfmodel

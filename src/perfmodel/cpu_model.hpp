@@ -1,0 +1,50 @@
+// Roofline-style CPU cost model for the paper's CPU comparators (parallel
+// FFTW in Fig. 5(d), OpenMP PsFFT in Fig. 5(e)). Fed by operation counts
+// from the instrumented CPU code paths; see DESIGN.md §3.
+#pragma once
+
+#include <string>
+
+#include "perfmodel/specs.hpp"
+
+namespace cusfft::perfmodel {
+
+/// Work performed by one CPU phase.
+struct CpuWork {
+  std::string name;
+  double streamed_bytes = 0;   // sequential DRAM traffic (bandwidth-bound)
+  double random_accesses = 0;  // scattered loads (DRAM-latency-bound); each
+                               // access costs one latency slot divided by
+                               // per-thread memory-level parallelism
+  double random_working_set_bytes = 0;  // footprint the scattered accesses
+                                        // land in; when it fits L3 the
+                                        // latency drops to the L3 latency
+                                        // (0 = assume DRAM-resident)
+  double flops = 0;
+  double threads = 1;          // worker threads the phase runs on
+};
+
+class CpuModel {
+ public:
+  explicit CpuModel(CpuSpec spec = CpuSpec::e5_2640()) : spec_(spec) {}
+
+  const CpuSpec& spec() const { return spec_; }
+
+  /// Phase duration: max of the three rooflines plus the parallel-region
+  /// fork/join overhead.
+  ///
+  ///   bw roof      = streamed_bytes / mem_bandwidth
+  ///   latency roof = random_accesses * eff_latency / (threads * MLP),
+  ///                  where eff_latency blends the L3 and DRAM latencies by
+  ///                  the fraction of the working set that fits in L3
+  ///   flop roof    = flops / (threads_clamped * clock * flops_per_cycle)
+  double phase_cost_s(const CpuWork& w) const;
+
+  /// The blended random-access latency for a given working set.
+  double effective_latency_s(double working_set_bytes) const;
+
+ private:
+  CpuSpec spec_;
+};
+
+}  // namespace cusfft::perfmodel

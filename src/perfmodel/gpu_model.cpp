@@ -1,0 +1,37 @@
+#include "perfmodel/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cusfft::perfmodel {
+
+KernelCost GpuModel::kernel_cost(const KernelCounters& c) const {
+  KernelCost out;
+  const double tb = static_cast<double>(spec_.mem_transaction_bytes);
+  const double coal_bytes = c.coalesced_transactions * tb;
+  const double rand_bytes = c.random_transactions * tb;
+  out.mem_bytes = coal_bytes + rand_bytes;
+
+  if (out.mem_bytes > 0) {
+    // Blend efficiencies by traffic mix, then cap with Little's law.
+    const double blended_eff =
+        (coal_bytes * spec_.coalesced_bw_efficiency +
+         rand_bytes * spec_.random_bw_efficiency) /
+        out.mem_bytes;
+    const double bw_eff = spec_.mem_bandwidth_Bps * blended_eff;
+    const double resident =
+        std::min(c.warps, static_cast<double>(spec_.max_resident_warps));
+    const double bw_cap = resident * spec_.outstanding_loads_per_warp * tb /
+                          spec_.dram_latency_s;
+    out.mem_s = out.mem_bytes / std::max(1.0, std::min(bw_eff, bw_cap));
+  }
+
+  out.compute_s = c.flops / spec_.dp_peak_flops();
+  out.atomic_s = c.max_atomic_conflict * spec_.atomic_latency_s;
+  out.overhead_s = spec_.kernel_launch_overhead_s;
+  out.total_s =
+      out.overhead_s + std::max({out.mem_s, out.compute_s, out.atomic_s});
+  return out;
+}
+
+}  // namespace cusfft::perfmodel

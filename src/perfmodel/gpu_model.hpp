@@ -1,0 +1,67 @@
+// Transaction-level GPU kernel cost model (DESIGN.md §3). Converts the
+// counters the simulator gathers while functionally executing a kernel into
+// a modeled duration on the configured GpuSpec.
+#pragma once
+
+#include <string>
+
+#include "perfmodel/specs.hpp"
+
+namespace cusfft::perfmodel {
+
+/// Counters measured for one kernel launch (gathered by cusim's warp
+/// tracer; counts are whole-kernel, extrapolated when warps were sampled).
+struct KernelCounters {
+  std::string name;
+  double blocks = 0;
+  double threads = 0;            // total threads launched
+  double warps = 0;
+  double coalesced_transactions = 0;  // 128B segments from dense warp access
+  double random_transactions = 0;     // 128B segments from scattered access
+  double bytes_useful = 0;       // bytes the program actually asked for
+  double flops = 0;              // self-reported floating-point work
+  double atomic_ops = 0;
+  double max_atomic_conflict = 0;  // deepest same-address conflict chain
+  double shared_accesses = 0;      // on-chip shared-memory accesses
+};
+
+/// Duration decomposition for one kernel (seconds).
+struct KernelCost {
+  double mem_s = 0;       // DRAM transaction time at effective bandwidth
+  double compute_s = 0;   // FLOP time at DP peak
+  double atomic_s = 0;    // serialization from conflicting atomics
+  double overhead_s = 0;  // launch overhead
+  double total_s = 0;     // overhead + max(mem, compute, atomic)
+
+  /// Bytes that must cross DRAM (used by the timeline's bandwidth sharing).
+  double mem_bytes = 0;
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuSpec spec = GpuSpec::k20x()) : spec_(spec) {}
+
+  const GpuSpec& spec() const { return spec_; }
+
+  /// Cost of one kernel in isolation.
+  ///
+  /// mem_s      = transaction_bytes / effective_bandwidth, where the
+  ///              effective bandwidth blends the coalesced and random
+  ///              efficiencies by traffic mix and is additionally capped by
+  ///              Little's law (resident warps x outstanding loads x 128B /
+  ///              latency) so under-occupied kernels are latency-bound.
+  /// compute_s  = flops / DP peak.
+  /// atomic_s   = max conflict depth x atomic latency (the serialized chain
+  ///              on the hottest address).
+  KernelCost kernel_cost(const KernelCounters& c) const;
+
+  /// PCIe transfer duration for `bytes` (one direction).
+  double transfer_cost_s(double bytes) const {
+    return spec_.pcie_latency_s + bytes / spec_.pcie_bandwidth_Bps;
+  }
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace cusfft::perfmodel

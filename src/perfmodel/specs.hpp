@@ -1,0 +1,79 @@
+// Hardware descriptions for the performance models. The defaults reproduce
+// the paper's test benches: Table I (NVIDIA Tesla K20x, Kepler GK110) and
+// Table II (Intel Xeon E5-2640, Sandy Bridge).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace cusfft::perfmodel {
+
+/// GPU hardware model parameters (Table I plus microarchitectural constants
+/// needed by the kernel cost model; sources noted inline).
+struct GpuSpec {
+  std::string name = "Tesla K20x";
+  double cuda_capability = 3.5;
+  unsigned sm_count = 14;
+  unsigned cores_per_sm = 192;        // single-precision CUDA cores
+  unsigned dp_units_per_sm = 64;      // double-precision units (GK110)
+  double clock_hz = 732e6;            // processor clock (Table I)
+  std::size_t shared_mem_per_sm = 64 * 1024;  // bytes (Table I)
+  std::size_t global_mem_bytes = 6ULL << 30;  // 6 GB (Table I)
+  double mem_bandwidth_Bps = 250e9;   // peak (Table I)
+
+  // Microarchitectural constants (GK110 whitepaper / measured literature).
+  unsigned warp_size = 32;
+  unsigned max_resident_warps = 64 * 14;  // 64 warps/SM * 14 SMs
+  unsigned max_concurrent_kernels = 32;   // Hyper-Q depth (Section V.A)
+  std::size_t mem_transaction_bytes = 128;
+  double dram_latency_s = 500e-9;         // global load round trip
+  double outstanding_loads_per_warp = 8;  // memory-level parallelism
+  double coalesced_bw_efficiency = 0.80;  // fraction of peak for streaming
+  double random_bw_efficiency = 0.55;     // fraction of peak for scattered
+                                          // 128B transactions (row misses)
+  double atomic_latency_s = 30e-9;        // serialized conflicting atomic
+  double kernel_launch_overhead_s = 5e-6;
+  double pcie_bandwidth_Bps = 6e9;        // Gen2 x16 effective
+  double pcie_latency_s = 10e-6;
+
+  /// Peak double-precision throughput in FLOP/s (FMA counts as 2).
+  double dp_peak_flops() const {
+    return static_cast<double>(sm_count) * dp_units_per_sm * clock_hz * 2.0;
+  }
+
+  static GpuSpec k20x() { return GpuSpec{}; }
+};
+
+/// CPU hardware model parameters (Table II).
+struct CpuSpec {
+  std::string name = "Intel Xeon E5-2640";
+  std::string arch = "Sandy Bridge";
+  unsigned cores = 6;
+  double clock_hz = 2.5e9;
+  std::size_t l1_data_bytes = 32 * 1024;   // per core
+  std::size_t l2_bytes = 256 * 1024;       // per core
+  std::size_t l3_bytes = 15 * 1024 * 1024; // shared (Table II)
+  std::size_t dram_bytes = 64ULL << 30;    // 64 GB (Table II)
+
+  // Model constants.
+  double mem_bandwidth_Bps = 42.6e9;  // 3-channel DDR3-1333
+  double dram_latency_s = 100e-9;  // random access incl. TLB pressure on a
+                                   // multi-hundred-MB working set
+  double l3_latency_s = 15e-9;     // random access within the shared L3
+  double flops_per_cycle_per_core = 8.0;  // AVX: 4-wide DP add + mul
+  double mlp_per_thread = 1.0;  // the reference sFFT walks the permuted
+                                // signal with a dependent index update
+                                // (index = (index+ai) mod n), so each thread
+                                // sustains ~1 outstanding miss
+  double parallel_overhead_s = 10e-6;  // per parallel region (OpenMP fork)
+
+  double peak_flops() const {
+    return cores * clock_hz * flops_per_cycle_per_core;
+  }
+
+  static CpuSpec e5_2640() { return CpuSpec{}; }
+};
+
+}  // namespace cusfft::perfmodel

@@ -1,0 +1,26 @@
+// "Parallel FFTW" comparator: the dense-FFT CPU baseline of Fig. 5(a)/(d),
+// backed by this repo's planned FFT with a thread pool, plus the roofline
+// model for the Table-II CPU.
+#pragma once
+
+#include <span>
+
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+#include "perfmodel/cpu_model.hpp"
+
+namespace cusfft::psfft {
+
+struct DenseFftResult {
+  double model_ms = 0;  // modeled on the Table-II CPU (6 threads)
+  double host_ms = 0;   // functional wall time on this host
+};
+
+/// Computes the full dense forward FFT of x into out (both length n) with
+/// worksharing across `pool`, and models the time FFTW-with-6-threads would
+/// take on the paper's CPU.
+DenseFftResult dense_fft_parallel(
+    std::span<const cplx> x, std::span<cplx> out, ThreadPool& pool,
+    const perfmodel::CpuSpec& spec = perfmodel::CpuSpec::e5_2640());
+
+}  // namespace cusfft::psfft

@@ -1,0 +1,53 @@
+// PsFFT — the authors' multicore-CPU parallel sparse FFT (paper ref [6],
+// the Fig. 5(e) comparator). Work-shared over a thread pool with the same
+// decomposition the OpenMP original uses: binning partitioned by bucket
+// (each worker owns a bucket range and walks its strided taps), estimation
+// partitioned by candidate.
+//
+// Besides running functionally (real threads, real data), every phase
+// accumulates roofline counters so the paper's 6-core Sandy Bridge
+// (Table II) timing can be modeled on any host (DESIGN.md §3).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+#include "core/types.hpp"
+#include "perfmodel/cpu_model.hpp"
+#include "sfft/params.hpp"
+
+namespace cusfft::psfft {
+
+struct CpuExecStats {
+  double model_ms = 0;  // modeled time on the Table-II CPU
+  double host_ms = 0;   // wall time on this host (functional run)
+  std::map<std::string, double> step_model_ms;
+};
+
+class PsfftPlan {
+ public:
+  /// `spec` parameterizes the model (default: Table II's E5-2640).
+  PsfftPlan(sfft::Params params, ThreadPool& pool,
+            perfmodel::CpuSpec spec = perfmodel::CpuSpec::e5_2640());
+  ~PsfftPlan();
+  PsfftPlan(PsfftPlan&&) noexcept;
+  PsfftPlan& operator=(PsfftPlan&&) noexcept;
+  PsfftPlan(const PsfftPlan&) = delete;
+  PsfftPlan& operator=(const PsfftPlan&) = delete;
+
+  const sfft::Params& params() const;
+  std::size_t buckets() const;
+
+  SparseSpectrum execute(std::span<const cplx> x,
+                         CpuExecStats* stats = nullptr) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cusfft::psfft

@@ -1,0 +1,39 @@
+// The sFFT 2.0 aliasing prefilter ("Comb filter", Hassanieh et al.
+// SODA'12 — the variant whose O(log n * sqrt(nk log n)) bound the paper
+// quotes). Subsampling the signal in time with stride n/W aliases the
+// spectrum onto W bins:
+//
+//   y_i = x_{(i*(n/W) + tau) mod n}  =>  yhat_j ∝ sum over f ≡ j (mod W)
+//                                        of xhat_f * e^{2*pi*i*f*tau/n}
+//
+// so the residues (mod W) of the large coefficients concentrate in a few
+// large bins of one cheap W-point FFT. The location loops then vote only
+// on frequencies whose residue was approved, which slashes false
+// candidates in the dense regime. Several rounds with independent random
+// tau are unioned so an unlucky phase cancellation cannot hide a tone.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace cusfft::sfft {
+
+struct CombFilter {
+  std::size_t W = 0;                   // aliasing width (power of two)
+  std::vector<std::uint8_t> approved;  // size W; 1 = residue may hold a tone
+};
+
+/// Residues approved by one or more subsampling rounds. `taus` holds one
+/// random offset per round; `keep` bins are approved per round.
+CombFilter run_comb_filter(std::span<const cplx> x, std::size_t W,
+                           std::size_t keep, std::span<const u64> taus);
+
+/// Derives the aliasing width for (n, k): next_pow2(comb_cst * k), clamped
+/// to [16, n/2].
+std::size_t comb_width(std::size_t n, std::size_t k, double comb_cst);
+
+}  // namespace cusfft::sfft

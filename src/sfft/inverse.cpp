@@ -1,0 +1,19 @@
+#include "sfft/inverse.hpp"
+
+#include <algorithm>
+
+namespace cusfft::sfft {
+
+SparseSpectrum sparse_inverse(const SerialPlan& plan,
+                              std::span<const cplx> freq_signal) {
+  cvec conj_y(freq_signal.size());
+  std::transform(freq_signal.begin(), freq_signal.end(), conj_y.begin(),
+                 [](const cplx& v) { return std::conj(v); });
+  SparseSpectrum s = plan.execute(conj_y);
+  // FFT(conj(Y))[t] = n * conj(IFFT(Y)[t]) => x_t = conj(val) / n.
+  const double inv_n = 1.0 / static_cast<double>(plan.params().n);
+  for (auto& c : s) c.val = std::conj(c.val) * inv_n;
+  return s;
+}
+
+}  // namespace cusfft::sfft

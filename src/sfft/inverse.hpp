@@ -1,0 +1,35 @@
+// Sparse *inverse* FFT: recover the few dominant time-domain components of
+// a dense frequency-domain signal (correlation peaks, pulse arrival times —
+// the "Faster GPS" application of the paper's reference [19]). Uses the
+// conjugation identity IFFT(Y)[t] = conj(FFT(conj(Y))[t]) / n so the
+// forward sparse machinery applies unchanged.
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+#include "sfft/serial.hpp"
+
+namespace cusfft::sfft {
+
+/// Runs the plan on conj(Y) and converts the recovered "spectrum" back to
+/// time-domain components: result[i].loc is a time index t, result[i].val
+/// is x_t = IFFT(Y)[t].
+SparseSpectrum sparse_inverse(const SerialPlan& plan,
+                              std::span<const cplx> freq_signal);
+
+/// Same transform through any executor with SparseSpectrum
+/// execute(span<const cplx>) semantics (PsfftPlan, gpu::GpuPlan, ...).
+template <typename Plan>
+SparseSpectrum sparse_inverse_with(Plan& plan, std::size_t n,
+                                   std::span<const cplx> freq_signal) {
+  cvec conj_y(freq_signal.size());
+  for (std::size_t i = 0; i < conj_y.size(); ++i)
+    conj_y[i] = std::conj(freq_signal[i]);
+  SparseSpectrum s = plan.execute(conj_y);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (auto& c : s) c.val = std::conj(c.val) * inv_n;
+  return s;
+}
+
+}  // namespace cusfft::sfft

@@ -1,0 +1,71 @@
+#include "sfft/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/modmath.hpp"
+#include "sfft/comb.hpp"
+
+namespace cusfft::sfft {
+
+std::size_t Params::buckets() const {
+  const double logn = std::log2(static_cast<double>(n));
+  const double raw =
+      bcst * std::sqrt(static_cast<double>(n) * static_cast<double>(k) /
+                       std::max(logn, 1.0));
+  // Round to the nearest power of two (both the subsampled FFT and the
+  // GPU loop partition require B = 2^m).
+  const u64 lo = prev_pow2(std::max<u64>(4, static_cast<u64>(raw)));
+  const u64 hi = lo << 1;
+  u64 B = (static_cast<double>(hi) / raw < raw / static_cast<double>(lo))
+              ? hi
+              : lo;
+  B = std::min<u64>(B, n);
+  return static_cast<std::size_t>(B);
+}
+
+std::size_t Params::threshold() const {
+  if (loc_threshold != 0) return loc_threshold;
+  return std::max<std::size_t>(2, loops_loc / 2 + 1);
+}
+
+std::size_t Params::cutoff() const {
+  const auto B = buckets();
+  const auto c = static_cast<std::size_t>(
+      std::max(1.0, cutoff_mult * static_cast<double>(k)));
+  // Selecting more than half the buckets would make the reverse-hash vote
+  // regions cover most of [0, n) — cap in the dense regime.
+  return std::min(c, std::max<std::size_t>(1, B / 2));
+}
+
+std::size_t Params::comb_w() const {
+  return comb ? comb_width(n, k, comb_cst) : 0;
+}
+
+std::size_t Params::comb_keep() const {
+  return static_cast<std::size_t>(
+      std::max(1.0, comb_keep_mult * static_cast<double>(k)));
+}
+
+void Params::validate() const {
+  if (!is_pow2(n) || n < 16)
+    throw std::invalid_argument("sfft::Params: n must be a power of two >= 16");
+  if (k == 0 || k > n / 2)
+    throw std::invalid_argument("sfft::Params: need 0 < k <= n/2");
+  if (loops_loc < 1)
+    throw std::invalid_argument("sfft::Params: need at least 1 location loop");
+  if (loops_loc > 255)
+    throw std::invalid_argument(
+        "sfft::Params: more than 255 location loops would overflow the "
+        "8-bit score counters");
+  if (threshold() > loops_loc)
+    throw std::invalid_argument(
+        "sfft::Params: vote threshold exceeds location loops");
+  if (bcst <= 0.0 || cutoff_mult <= 0.0)
+    throw std::invalid_argument("sfft::Params: constants must be positive");
+  if (comb && (comb_cst <= 0.0 || comb_rounds == 0 || comb_keep_mult <= 0.0))
+    throw std::invalid_argument("sfft::Params: bad comb configuration");
+}
+
+}  // namespace cusfft::sfft

@@ -1,0 +1,131 @@
+#include "sfft/steps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/modmath.hpp"
+
+namespace cusfft::sfft {
+
+std::vector<LoopPerm> draw_loop_perms(std::size_t n, std::size_t loops,
+                                      Rng& rng) {
+  std::vector<LoopPerm> out(loops);
+  for (auto& p : out) {
+    p.ai = rng.next_odd_below(n);
+    p.a = mod_inverse(p.ai, n);
+    p.tau = rng.next_below(n);
+  }
+  return out;
+}
+
+void bin_permuted(std::span<const cplx> x, std::span<const cplx> filter_time,
+                  const LoopPerm& perm, std::span<cplx> z) {
+  const std::size_t n = x.size();
+  const std::size_t B = z.size();
+  const std::size_t w = filter_time.size();
+  std::fill(z.begin(), z.end(), cplx{});
+  // Index mapping (Fig. 3): index(i) = (tau + i*ai) mod n, computed
+  // incrementally here (serial) — the GPU kernel computes it directly.
+  std::size_t index = perm.tau % n;
+  const std::size_t ai = perm.ai % n;
+  for (std::size_t i = 0; i < w; ++i) {
+    z[i % B] += x[index] * filter_time[i];
+    index += ai;
+    if (index >= n) index -= n;
+  }
+}
+
+std::vector<u32> top_buckets(std::span<const cplx> buckets,
+                             std::size_t cutoff) {
+  const std::size_t B = buckets.size();
+  cutoff = std::min(cutoff, B);
+  std::vector<u32> idx(B);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::nth_element(idx.begin(), idx.begin() + (cutoff - 1), idx.end(),
+                   [&](u32 a, u32 b) {
+                     return std::norm(buckets[a]) > std::norm(buckets[b]);
+                   });
+  idx.resize(cutoff);
+  return idx;
+}
+
+void vote_locations(std::span<const u32> selected, const LoopPerm& perm,
+                    std::size_t n, std::size_t B, std::uint8_t threshold,
+                    std::span<std::uint8_t> score, std::vector<u64>& hits,
+                    std::span<const std::uint8_t> comb_approved) {
+  const double nd = static_cast<double>(n);
+  const double Bd = static_cast<double>(B);
+  const u64 comb_mask =
+      comb_approved.empty() ? 0 : static_cast<u64>(comb_approved.size()) - 1;
+  for (u32 j : selected) {
+    // Permuted positions hashed to bucket j: [ (j-0.5)n/B, (j+0.5)n/B ).
+    const u64 low = static_cast<u64>(
+        std::ceil((static_cast<double>(j) - 0.5) * nd / Bd) + nd) % n;
+    const u64 width = n / B;
+    u64 loc = mod_mul(low, perm.a, n);
+    for (u64 s = 0; s < width; ++s) {
+      if (comb_approved.empty() || comb_approved[loc & comb_mask]) {
+        if (++score[loc] == threshold) hits.push_back(loc);
+      }
+      loc += perm.a;
+      if (loc >= n) loc -= n;
+    }
+  }
+}
+
+HashedLoc hash_location(u64 freq, const LoopPerm& perm, std::size_t n,
+                        std::size_t B) {
+  const u64 n_div_B = n / B;
+  const u64 permuted = mod_mul(perm.ai, freq, n);
+  u64 bucket = permuted / n_div_B;
+  i64 dist = static_cast<i64>(permuted % n_div_B);
+  if (static_cast<u64>(dist) > n_div_B / 2) {  // round to nearest bucket
+    bucket = (bucket + 1) % B;
+    dist -= static_cast<i64>(n_div_B);
+  }
+  const u64 fi = static_cast<u64>(
+      (static_cast<i64>(n) - dist) % static_cast<i64>(n));
+  return HashedLoc{static_cast<std::size_t>(bucket),
+                   static_cast<std::size_t>(fi)};
+}
+
+cplx median_complex(std::span<cplx> v) {
+  if (v.empty()) return cplx{};
+  const std::size_t mid = (v.size() - 1) / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end(),
+                   [](const cplx& a, const cplx& b) {
+                     return a.real() < b.real();
+                   });
+  const double re = v[mid].real();
+  std::nth_element(v.begin(), v.begin() + mid, v.end(),
+                   [](const cplx& a, const cplx& b) {
+                     return a.imag() < b.imag();
+                   });
+  return cplx{re, v[mid].imag()};
+}
+
+cplx estimate_coef(u64 freq, std::span<const LoopPerm> perms,
+                   std::span<const cvec> bucket_sets,
+                   std::span<const cplx> filter_freq, std::size_t n,
+                   std::size_t B) {
+  if (perms.size() != bucket_sets.size())
+    throw std::invalid_argument("estimate_coef: loop count mismatch");
+  cvec vals(perms.size());
+  for (std::size_t r = 0; r < perms.size(); ++r) {
+    const HashedLoc h = hash_location(freq, perms[r], n, B);
+    // bucket = (1/n) * xhat_f * exp(+2*pi*i*f*tau/n) * G(offset); invert all
+    // three factors. The tau phase is mandatory for a correct median (the
+    // paper's Algorithm 5 omits it; see DESIGN.md §6).
+    const double ang = -kTwoPi *
+                       static_cast<double>(mod_mul(freq, perms[r].tau, n)) /
+                       static_cast<double>(n);
+    const cplx phase{std::cos(ang), std::sin(ang)};
+    vals[r] = bucket_sets[r][h.bucket] * static_cast<double>(n) * phase /
+              filter_freq[h.freq_index];
+  }
+  return median_complex(vals);
+}
+
+}  // namespace cusfft::sfft

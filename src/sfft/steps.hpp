@@ -1,0 +1,66 @@
+// The six algorithm steps of Section III as reusable primitives. The serial
+// plan (sfft/serial.*) and the multicore PsFFT (psfft/*) compose exactly
+// these; the GPU cusFFT mirrors them as simulator kernels (cusfft/*), so a
+// single set of unit tests pins the numerical contract for every backend.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "sfft/params.hpp"
+
+namespace cusfft::sfft {
+
+/// Draws the permutation parameters for every loop: ai odd (invertible mod
+/// the power-of-two n), a = ai^{-1} mod n, tau uniform in [0, n).
+std::vector<LoopPerm> draw_loop_perms(std::size_t n, std::size_t loops,
+                                      Rng& rng);
+
+/// Steps 1-2: permute + filter + bin. Computes, for j in [0, B):
+///   z[j] = sum over i == j (mod B), i < w of x[(tau + i*ai) mod n] * g[i]
+/// using the index-mapping form index(i) = (tau + i*ai) mod n (Fig. 3).
+/// `z` must have size B and is overwritten.
+void bin_permuted(std::span<const cplx> x, std::span<const cplx> filter_time,
+                  const LoopPerm& perm, std::span<cplx> z);
+
+/// Step 4 (baseline cutoff): indices of the `cutoff` largest-magnitude
+/// buckets (unordered).
+std::vector<u32> top_buckets(std::span<const cplx> buckets,
+                             std::size_t cutoff);
+
+/// Step 5: reverse the hash for every selected bucket and cast one vote per
+/// candidate original frequency (Algorithm 4). When a score reaches
+/// `threshold` the frequency is appended to `hits` (exactly once).
+/// `score` must be length n and persists across the location loops.
+/// `comb_approved` (optional, power-of-two length W) restricts votes to
+/// frequencies whose residue mod W the Comb prefilter approved (sFFT 2.0).
+void vote_locations(std::span<const u32> selected, const LoopPerm& perm,
+                    std::size_t n, std::size_t B, std::uint8_t threshold,
+                    std::span<std::uint8_t> score, std::vector<u64>& hits,
+                    std::span<const std::uint8_t> comb_approved = {});
+
+/// Step 6 helper: the bucket a frequency hashes to under `perm` and the
+/// filter-frequency index correcting the in-bucket offset (Algorithm 5
+/// lines 8-15).
+struct HashedLoc {
+  std::size_t bucket = 0;
+  std::size_t freq_index = 0;  // index into the length-n filter response
+};
+HashedLoc hash_location(u64 freq, const LoopPerm& perm, std::size_t n,
+                        std::size_t B);
+
+/// Step 6: estimate one coefficient as the per-component median over loops
+/// of bucket / filter corrections (with the tau phase unrolled; see
+/// DESIGN.md §6 on why the phase term is required).
+cplx estimate_coef(u64 freq, std::span<const LoopPerm> perms,
+                   std::span<const cvec> bucket_sets,
+                   std::span<const cplx> filter_freq, std::size_t n,
+                   std::size_t B);
+
+/// Median of v taken component-wise; v is scrambled in place.
+cplx median_complex(std::span<cplx> v);
+
+}  // namespace cusfft::sfft

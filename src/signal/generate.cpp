@@ -1,0 +1,82 @@
+#include "signal/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/metrics.hpp"
+#include "core/modmath.hpp"
+#include "fft/fft.hpp"
+
+namespace cusfft::signal {
+
+namespace {
+
+cplx random_coef(MagnitudeDist d, Rng& rng) {
+  const double phase = rng.next_double() * kTwoPi;
+  double mag = 1.0;
+  if (d == MagnitudeDist::kUniform1to10) mag = 1.0 + 9.0 * rng.next_double();
+  return cplx{mag * std::cos(phase), mag * std::sin(phase)};
+}
+
+std::vector<u64> distinct_locs(std::size_t n, std::size_t k, Rng& rng) {
+  if (k > n) throw std::invalid_argument("sparse signal: k > n");
+  std::unordered_set<u64> seen;
+  seen.reserve(k * 2);
+  std::vector<u64> locs;
+  locs.reserve(k);
+  while (locs.size() < k) {
+    const u64 f = rng.next_below(n);
+    if (seen.insert(f).second) locs.push_back(f);
+  }
+  return locs;
+}
+
+}  // namespace
+
+cvec synthesize(const SparseSpectrum& truth, std::size_t n) {
+  cvec dense = densify(truth, n);
+  return fft::ifft(dense);
+}
+
+SparseSignal make_sparse_signal(std::size_t n, std::size_t k, Rng& rng,
+                                const SparseSignalParams& p) {
+  if (!is_pow2(n) || n < 4)
+    throw std::invalid_argument("make_sparse_signal: n must be 2^m >= 4");
+  SparseSignal out;
+  out.truth.reserve(k);
+  for (u64 f : distinct_locs(n, k, rng))
+    out.truth.push_back({f, random_coef(p.mags, rng)});
+  out.x = synthesize(out.truth, n);
+  if (p.noise_sigma > 0.0) {
+    for (auto& v : out.x)
+      v += cplx{p.noise_sigma * rng.next_normal(),
+                p.noise_sigma * rng.next_normal()};
+  }
+  return out;
+}
+
+SparseSignal make_clustered_signal(std::size_t n, std::size_t k,
+                                   std::size_t clusters, Rng& rng) {
+  if (!is_pow2(n) || n < 4)
+    throw std::invalid_argument("make_clustered_signal: n must be 2^m >= 4");
+  if (clusters == 0 || clusters > k)
+    throw std::invalid_argument("make_clustered_signal: bad cluster count");
+  SparseSignal out;
+  out.truth.reserve(k);
+  std::unordered_set<u64> seen;
+  const std::size_t per = (k + clusters - 1) / clusters;
+  while (out.truth.size() < k) {
+    const u64 start = rng.next_below(n);
+    for (std::size_t j = 0; j < per && out.truth.size() < k; ++j) {
+      const u64 f = (start + j) % n;
+      if (!seen.insert(f).second) continue;
+      out.truth.push_back({f, random_coef(MagnitudeDist::kUnit, rng)});
+    }
+  }
+  out.x = synthesize(out.truth, n);
+  return out;
+}
+
+}  // namespace cusfft::signal

@@ -1,0 +1,44 @@
+// Workload generators: exactly-k-sparse spectra (the paper's evaluation
+// signals), optional additive noise, and structured adversarial layouts for
+// property tests.
+#pragma once
+
+#include <cstddef>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace cusfft::signal {
+
+/// A generated test signal: time-domain samples plus the ground-truth
+/// spectrum it was synthesized from.
+struct SparseSignal {
+  cvec x;                // length n, time domain
+  SparseSpectrum truth;  // the k planted coefficients (unique locations)
+};
+
+enum class MagnitudeDist {
+  kUnit,        // |c| = 1, random phase (the reference benchmarks' choice)
+  kUniform1to10 // |c| uniform in [1, 10], random phase
+};
+
+struct SparseSignalParams {
+  MagnitudeDist mags = MagnitudeDist::kUnit;
+  double noise_sigma = 0.0;  // std of complex Gaussian noise added in time
+                             // domain (per real component)
+};
+
+/// k distinct frequencies chosen uniformly at random in [0, n).
+/// n must be a power of two >= 4. Costs one length-n inverse FFT.
+SparseSignal make_sparse_signal(std::size_t n, std::size_t k, Rng& rng,
+                                const SparseSignalParams& p = {});
+
+/// Adversarial layout: frequencies packed into `clusters` contiguous runs —
+/// stresses the permutation's coefficient-separation property.
+SparseSignal make_clustered_signal(std::size_t n, std::size_t k,
+                                   std::size_t clusters, Rng& rng);
+
+/// Synthesizes the time-domain signal for an explicit spectrum.
+cvec synthesize(const SparseSpectrum& truth, std::size_t n);
+
+}  // namespace cusfft::signal

@@ -1,0 +1,162 @@
+#include "signal/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fft/fft.hpp"
+
+namespace cusfft::signal {
+
+double cheb_poly(unsigned m, double x) {
+  if (std::abs(x) <= 1.0) return std::cos(m * std::acos(x));
+  // |x| > 1: T_m(x) = cosh(m*acosh(|x|)) with sign for negative x, odd m.
+  const double v = std::cosh(m * std::acosh(std::abs(x)));
+  return (x < 0.0 && (m & 1)) ? -v : v;
+}
+
+namespace {
+
+void check_window_args(double lobefrac, double tolerance, const char* who) {
+  if (lobefrac <= 0.0 || lobefrac >= 0.5)
+    throw std::invalid_argument(std::string(who) + ": lobefrac in (0,0.5)");
+  if (tolerance <= 0.0 || tolerance >= 1.0)
+    throw std::invalid_argument(std::string(who) + ": tolerance in (0,1)");
+}
+
+std::size_t cheb_length(double lobefrac, double tolerance) {
+  std::size_t w = static_cast<std::size_t>(
+      (1.0 / kPi) * (1.0 / lobefrac) * std::acosh(1.0 / tolerance));
+  if (w < 3) w = 3;
+  if (!(w % 2)) --w;  // odd length keeps the window symmetric about a tap
+  return w;
+}
+
+std::size_t gauss_length(double lobefrac, double tolerance) {
+  const double root = std::sqrt(2.0 * std::log(1.0 / tolerance));
+  const double sigma_t = root / (kTwoPi * lobefrac);
+  std::size_t w = 2 * static_cast<std::size_t>(std::ceil(sigma_t * root)) + 1;
+  if (w < 3) w = 3;
+  return w;
+}
+
+/// Kaiser design: attenuation A = -20 log10(tolerance); the empirical
+/// length formula N = (A - 8) / (2.285 * transition width in radians).
+double kaiser_attenuation(double tolerance) {
+  return -20.0 * std::log10(tolerance);
+}
+
+std::size_t kaiser_length(double lobefrac, double tolerance) {
+  const double A = kaiser_attenuation(tolerance);
+  const double dw = kTwoPi * lobefrac;
+  std::size_t w =
+      static_cast<std::size_t>(std::ceil((A - 8.0) / (2.285 * dw))) + 1;
+  if (w < 3) w = 3;
+  if (!(w % 2)) ++w;
+  return w;
+}
+
+}  // namespace
+
+std::size_t window_length(WindowKind kind, double lobefrac,
+                          double tolerance) {
+  check_window_args(lobefrac, tolerance, "window_length");
+  switch (kind) {
+    case WindowKind::kDolphChebyshev:
+      return cheb_length(lobefrac, tolerance);
+    case WindowKind::kGaussian:
+      return gauss_length(lobefrac, tolerance);
+    case WindowKind::kKaiser:
+      return kaiser_length(lobefrac, tolerance);
+  }
+  throw std::invalid_argument("window_length: bad kind");
+}
+
+double bessel_i0(double x) {
+  // Power series sum_m (x/2)^{2m} / (m!)^2 — converges fast for the
+  // argument range Kaiser design uses.
+  const double half2 = 0.25 * x * x;
+  double term = 1.0, sum = 1.0;
+  for (int m = 1; m < 64; ++m) {
+    term *= half2 / (static_cast<double>(m) * static_cast<double>(m));
+    sum += term;
+    if (term < sum * 1e-18) break;
+  }
+  return sum;
+}
+
+std::vector<double> kaiser_window(double lobefrac, double tolerance) {
+  check_window_args(lobefrac, tolerance, "kaiser_window");
+  const double A = kaiser_attenuation(tolerance);
+  double beta = 0.0;
+  if (A > 50.0)
+    beta = 0.1102 * (A - 8.7);
+  else if (A > 21.0)
+    beta = 0.5842 * std::pow(A - 21.0, 0.4) + 0.07886 * (A - 21.0);
+  const std::size_t w = kaiser_length(lobefrac, tolerance);
+  std::vector<double> out(w);
+  const double denom = bessel_i0(beta);
+  const double half = static_cast<double>(w - 1) / 2.0;
+  for (std::size_t i = 0; i < w; ++i) {
+    const double r = (static_cast<double>(i) - half) / half;
+    out[i] = bessel_i0(beta * std::sqrt(std::max(0.0, 1.0 - r * r))) / denom;
+  }
+  return out;
+}
+
+std::vector<double> dolph_chebyshev_window(double lobefrac, double tolerance) {
+  check_window_args(lobefrac, tolerance, "dolph_chebyshev_window");
+  const std::size_t w = cheb_length(lobefrac, tolerance);
+  // Frequency samples of the Dolph-Chebyshev window (real, even in m).
+  const double t0 = std::cosh(std::acosh(1.0 / tolerance) /
+                              static_cast<double>(w - 1));
+  cvec freq(w);
+  for (std::size_t m = 0; m < w; ++m) {
+    freq[m] = cheb_poly(static_cast<unsigned>(w - 1),
+                        t0 * std::cos(kPi * static_cast<double>(m) /
+                                      static_cast<double>(w))) *
+              tolerance;
+  }
+  // Inverse transform -> time taps (real, centered at 0 with wraparound);
+  // rotate by w/2 to put the peak mid-array.
+  cvec time = fft::ifft(freq);
+  std::vector<double> out(w);
+  for (std::size_t i = 0; i < w; ++i)
+    out[i] = time[(i + w - w / 2) % w].real();
+  const double peak = *std::max_element(out.begin(), out.end());
+  if (peak > 0.0)
+    for (auto& v : out) v /= peak;
+  return out;
+}
+
+std::vector<double> gaussian_window(double lobefrac, double tolerance) {
+  check_window_args(lobefrac, tolerance, "gaussian_window");
+  // Frequency response exp(-xi^2/(2 sigma_f^2)) reaches `tolerance` at
+  // xi = lobefrac (as a fraction of n); the dual time std follows from the
+  // Fourier pair of Gaussians.
+  const double root = std::sqrt(2.0 * std::log(1.0 / tolerance));
+  const double sigma_t = root / (kTwoPi * lobefrac);
+  const std::size_t w = gauss_length(lobefrac, tolerance);
+  std::vector<double> out(w);
+  const double c = static_cast<double>(w / 2);
+  for (std::size_t i = 0; i < w; ++i) {
+    const double d = (static_cast<double>(i) - c) / sigma_t;
+    out[i] = std::exp(-0.5 * d * d);
+  }
+  return out;
+}
+
+std::vector<double> make_window(WindowKind kind, double lobefrac,
+                                double tolerance) {
+  switch (kind) {
+    case WindowKind::kDolphChebyshev:
+      return dolph_chebyshev_window(lobefrac, tolerance);
+    case WindowKind::kGaussian:
+      return gaussian_window(lobefrac, tolerance);
+    case WindowKind::kKaiser:
+      return kaiser_window(lobefrac, tolerance);
+  }
+  throw std::invalid_argument("make_window: bad kind");
+}
+
+}  // namespace cusfft::signal

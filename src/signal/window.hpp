@@ -1,0 +1,45 @@
+// Window functions concentrated in both time and frequency (Section III
+// step 2). The sFFT uses a Dolph-Chebyshev (default) or Gaussian window as
+// the basis of the flat filter built in signal/filter.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace cusfft::signal {
+
+enum class WindowKind { kDolphChebyshev, kGaussian, kKaiser };
+
+/// Chebyshev polynomial T_m(x), extended with cosh outside [-1, 1].
+double cheb_poly(unsigned m, double x);
+
+/// Dolph-Chebyshev window whose frequency main lobe occupies `lobefrac` of
+/// the spectrum (half-width as a fraction of n) with sidelobes below
+/// `tolerance`. Returns real time-domain taps, centered (peak at w/2),
+/// normalized to unit peak. The length w is derived from (lobefrac,
+/// tolerance) via w = (1/pi) * (1/lobefrac) * acosh(1/tolerance).
+std::vector<double> dolph_chebyshev_window(double lobefrac, double tolerance);
+
+/// Gaussian window with the same contract: frequency response decays below
+/// `tolerance` outside +-lobefrac*n.
+std::vector<double> gaussian_window(double lobefrac, double tolerance);
+
+/// Kaiser window with the same contract (shape parameter derived from the
+/// required sidelobe attenuation via the standard Kaiser design formulas).
+std::vector<double> kaiser_window(double lobefrac, double tolerance);
+
+/// Modified Bessel function of the first kind, order zero (power series).
+double bessel_i0(double x);
+
+/// Dispatch on kind.
+std::vector<double> make_window(WindowKind kind, double lobefrac,
+                                double tolerance);
+
+/// Length the window of make_window(kind, lobefrac, tolerance) will have,
+/// without building it (used for memory planning).
+std::size_t window_length(WindowKind kind, double lobefrac,
+                          double tolerance);
+
+}  // namespace cusfft::signal

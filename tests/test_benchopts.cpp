@@ -1,0 +1,76 @@
+// Tests for the bench harness options: CLI parsing, env overrides, and the
+// paper-regime parameter derivation the figure benches share.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common.hpp"
+
+namespace cusfft::bench {
+namespace {
+
+TEST(BenchOpts, DefaultsAndCliOverrides) {
+  const char* argv[] = {"bench",      "--min-logn", "19", "--max-logn",
+                        "21",         "--k",        "64", "--seed",
+                        "777",        "--fixed-logn", "20"};
+  const auto o = BenchOpts::parse(static_cast<int>(std::size(argv)),
+                                  const_cast<char**>(argv));
+  EXPECT_EQ(o.min_logn, 19u);
+  EXPECT_EQ(o.max_logn, 21u);
+  EXPECT_EQ(o.k, 64u);
+  EXPECT_EQ(o.seed, 777u);
+  EXPECT_EQ(o.fixed_logn, 20u);
+}
+
+TEST(BenchOpts, MaxClampedToMin) {
+  const char* argv[] = {"bench", "--min-logn", "22", "--max-logn", "18"};
+  const auto o = BenchOpts::parse(static_cast<int>(std::size(argv)),
+                                  const_cast<char**>(argv));
+  EXPECT_EQ(o.max_logn, o.min_logn);
+}
+
+TEST(BenchOpts, EnvOverrides) {
+  ::setenv("CUSFFT_K", "123", 1);
+  ::setenv("CUSFFT_OUT_DIR", "somewhere", 1);
+  const char* argv[] = {"bench"};
+  const auto o = BenchOpts::parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(o.k, 123u);
+  EXPECT_EQ(o.out_dir, "somewhere");
+  ::unsetenv("CUSFFT_K");
+  ::unsetenv("CUSFFT_OUT_DIR");
+}
+
+TEST(PaperParams, FollowsPaperRegimeByDefault) {
+  ::unsetenv("CUSFFT_BCST");
+  ::unsetenv("CUSFFT_LOOPS_LOC");
+  ::unsetenv("CUSFFT_LOOPS_EST");
+  ::unsetenv("CUSFFT_TOL");
+  const auto p = paper_params(1 << 20, 100, 9);
+  EXPECT_DOUBLE_EQ(p.bcst, 1.0);  // B = sqrt(nk / log2 n), unit constant
+  EXPECT_EQ(p.loops_loc, 4u);
+  EXPECT_EQ(p.loops_est, 8u);
+  EXPECT_DOUBLE_EQ(p.filter.tolerance, 1e-6);
+  EXPECT_EQ(p.seed, 9u);
+  p.validate();  // must be a legal configuration
+}
+
+TEST(PaperParams, EnvTunesTheRegime) {
+  ::setenv("CUSFFT_BCST", "2.5", 1);
+  ::setenv("CUSFFT_LOOPS_EST", "6", 1);
+  const auto p = paper_params(1 << 20, 100, 9);
+  EXPECT_DOUBLE_EQ(p.bcst, 2.5);
+  EXPECT_EQ(p.loops_est, 6u);
+  ::unsetenv("CUSFFT_BCST");
+  ::unsetenv("CUSFFT_LOOPS_EST");
+}
+
+TEST(MakeSignal, DeterministicPerParameters) {
+  const auto a = make_signal(1 << 12, 8, 5);
+  const auto b = make_signal(1 << 12, 8, 5);
+  const auto c = make_signal(1 << 12, 8, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace cusfft::bench

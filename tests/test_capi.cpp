@@ -1,0 +1,147 @@
+// Tests for the C API façade: plan lifecycle, every backend, error paths,
+// capacity truncation, and seed control — all through the extern "C"
+// surface only.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "capi/cusfft.h"
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "signal/generate.hpp"
+
+namespace {
+
+using cusfft::cplx;
+using cusfft::cvec;
+
+struct CWorkload {
+  cvec x;
+  cvec oracle;
+  std::size_t n, k;
+};
+
+CWorkload make_workload(std::size_t n, std::size_t k, cusfft::u64 seed) {
+  cusfft::Rng rng(seed);
+  auto sig = cusfft::signal::make_sparse_signal(n, k, rng);
+  return {sig.x, cusfft::densify(sig.truth, n), n, k};
+}
+
+class CApiBackends : public ::testing::TestWithParam<cusfft_backend> {};
+
+TEST_P(CApiBackends, PlanExecuteDestroyRecovers) {
+  const auto w = make_workload(1 << 14, 12, 321);
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, w.n, w.k, GetParam()), CUSFFT_SUCCESS);
+  ASSERT_NE(h, nullptr);
+
+  std::size_t n = 0, k = 0;
+  EXPECT_EQ(cusfft_get_size(h, &n, &k), CUSFFT_SUCCESS);
+  EXPECT_EQ(n, w.n);
+  EXPECT_EQ(k, w.k);
+
+  std::vector<uint64_t> locs(4 * w.k);
+  std::vector<double> vals(2 * 4 * w.k);
+  std::size_t count = locs.size();
+  ASSERT_EQ(cusfft_execute(h, reinterpret_cast<const double*>(w.x.data()),
+                           locs.data(), vals.data(), &count),
+            CUSFFT_SUCCESS);
+  EXPECT_GE(count, w.k);
+
+  cusfft::SparseSpectrum got;
+  for (std::size_t i = 0; i < count; ++i)
+    got.push_back({locs[i], cplx{vals[2 * i], vals[2 * i + 1]}});
+  EXPECT_DOUBLE_EQ(cusfft::location_recall(got, w.oracle, w.k), 1.0);
+  EXPECT_LT(cusfft::l1_error_per_coeff(got, w.oracle, w.k), 1e-2);
+
+  EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, CApiBackends,
+    ::testing::Values(CUSFFT_BACKEND_SERIAL, CUSFFT_BACKEND_PSFFT,
+                      CUSFFT_BACKEND_GPU_BASELINE,
+                      CUSFFT_BACKEND_GPU_OPTIMIZED),
+    [](const auto& info) {
+      switch (info.param) {
+        case CUSFFT_BACKEND_SERIAL: return "serial";
+        case CUSFFT_BACKEND_PSFFT: return "psfft";
+        case CUSFFT_BACKEND_GPU_BASELINE: return "gpu_base";
+        default: return "gpu_opt";
+      }
+    });
+
+TEST(CApi, CapacityTruncationKeepsLargest) {
+  const auto w = make_workload(1 << 13, 10, 654);
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, w.n, w.k, CUSFFT_BACKEND_SERIAL),
+            CUSFFT_SUCCESS);
+  std::vector<uint64_t> locs(4);
+  std::vector<double> vals(8);
+  std::size_t count = 4;  // smaller than k: truncate to the 4 largest
+  ASSERT_EQ(cusfft_execute(h, reinterpret_cast<const double*>(w.x.data()),
+                           locs.data(), vals.data(), &count),
+            CUSFFT_SUCCESS);
+  EXPECT_EQ(count, 4u);
+  for (std::size_t i = 0; i < count; ++i) {
+    const cplx v{vals[2 * i], vals[2 * i + 1]};
+    EXPECT_GT(std::abs(v), 0.5);  // real tones, not noise candidates
+  }
+  cusfft_destroy(h);
+}
+
+TEST(CApi, SeedControlIsDeterministic) {
+  const auto w = make_workload(1 << 13, 8, 777);
+  auto run = [&](uint64_t seed) {
+    cusfft_handle h = nullptr;
+    EXPECT_EQ(cusfft_plan(&h, w.n, w.k, CUSFFT_BACKEND_SERIAL),
+              CUSFFT_SUCCESS);
+    EXPECT_EQ(cusfft_set_seed(h, seed), CUSFFT_SUCCESS);
+    std::vector<uint64_t> locs(64);
+    std::vector<double> vals(128);
+    std::size_t count = 64;
+    EXPECT_EQ(cusfft_execute(h, reinterpret_cast<const double*>(w.x.data()),
+                             locs.data(), vals.data(), &count),
+              CUSFFT_SUCCESS);
+    cusfft_destroy(h);
+    locs.resize(count);
+    return locs;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(CApi, ErrorPaths) {
+  cusfft_handle h = nullptr;
+  EXPECT_EQ(cusfft_plan(nullptr, 1 << 14, 8, CUSFFT_BACKEND_SERIAL),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_plan(&h, 1000, 8, CUSFFT_BACKEND_SERIAL),
+            CUSFFT_INVALID_ARGUMENT);  // n not a power of two
+  EXPECT_EQ(h, nullptr);
+  EXPECT_EQ(cusfft_plan(&h, 1 << 14, 8, static_cast<cusfft_backend>(99)),
+            CUSFFT_INVALID_ARGUMENT);
+  // Device-memory budget failure surfaces as ALLOC_FAILED.
+  EXPECT_EQ(cusfft_plan(&h, 1ULL << 28, 1000, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_ALLOC_FAILED);
+
+  ASSERT_EQ(cusfft_plan(&h, 1 << 14, 8, CUSFFT_BACKEND_SERIAL),
+            CUSFFT_SUCCESS);
+  std::size_t count = 8;
+  EXPECT_EQ(cusfft_execute(h, nullptr, nullptr, nullptr, &count),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_get_size(nullptr, &count, &count),
+            CUSFFT_INVALID_ARGUMENT);
+  cusfft_destroy(h);
+  EXPECT_EQ(cusfft_destroy(nullptr), CUSFFT_SUCCESS);  // free(NULL) style
+}
+
+TEST(CApi, StatusStrings) {
+  EXPECT_STREQ(cusfft_status_string(CUSFFT_SUCCESS), "success");
+  EXPECT_STREQ(cusfft_status_string(CUSFFT_INVALID_ARGUMENT),
+               "invalid argument");
+  EXPECT_STREQ(cusfft_status_string(CUSFFT_ALLOC_FAILED),
+               "allocation failed");
+  EXPECT_STREQ(cusfft_status_string(static_cast<cusfft_status>(-99)),
+               "unknown status");
+}
+
+}  // namespace

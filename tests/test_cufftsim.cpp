@@ -1,0 +1,140 @@
+// Tests for the simulated cuFFT: numerical agreement with the host FFT
+// library, batched mode, pass structure, and modeled-cost sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "cufftsim/cufftsim.hpp"
+#include "fft/fft.hpp"
+
+namespace cusfft::cufftsim {
+namespace {
+
+using cusim::Device;
+using cusim::DeviceBuffer;
+
+cvec random_signal(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  cvec x(n);
+  for (auto& v : x) v = cplx{rng.next_normal(), rng.next_normal()};
+  return x;
+}
+
+class CufftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CufftSizes, ForwardMatchesHostFft) {
+  const std::size_t n = GetParam();
+  Device dev;
+  dev.begin_capture();
+  Plan plan(dev, n);
+  cvec x = random_signal(n, n + 1);
+  DeviceBuffer<cplx> data(n);
+  std::copy(x.begin(), x.end(), data.host().begin());
+  plan.execute(data, Direction::kForward);
+  cvec expect = fft::fft(x);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_NEAR(std::abs(data.host()[i] - expect[i]), 0.0,
+                1e-9 * std::sqrt(static_cast<double>(n)))
+        << "i=" << i << " n=" << n;
+}
+
+TEST_P(CufftSizes, InverseIsUnnormalizedAdjoint) {
+  // cuFFT semantics: inverse(forward(x)) == n * x.
+  const std::size_t n = GetParam();
+  Device dev;
+  dev.begin_capture();
+  Plan plan(dev, n);
+  cvec x = random_signal(n, 2 * n + 1);
+  DeviceBuffer<cplx> data(n);
+  std::copy(x.begin(), x.end(), data.host().begin());
+  plan.execute(data, Direction::kForward);
+  plan.execute(data, Direction::kInverse);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_NEAR(std::abs(data.host()[i] / static_cast<double>(n) - x[i]),
+                0.0, 1e-9)
+        << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, CufftSizes,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256,
+                                           1024, 4096, 1 << 14));
+
+TEST(Cufft, BatchedMatchesPerTransform) {
+  const std::size_t n = 256, batch = 7;
+  Device dev;
+  dev.begin_capture();
+  Plan plan(dev, n, batch);
+  cvec all = random_signal(n * batch, 5);
+  DeviceBuffer<cplx> data(n * batch);
+  std::copy(all.begin(), all.end(), data.host().begin());
+  plan.execute(data, Direction::kForward);
+  for (std::size_t b = 0; b < batch; ++b) {
+    cvec expect =
+        fft::fft(std::span<const cplx>(all).subspan(b * n, n));
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(std::abs(data.host()[b * n + i] - expect[i]), 0.0, 1e-8)
+          << "b=" << b << " i=" << i;
+  }
+}
+
+TEST(Cufft, PassCountIsMultiRadix) {
+  Device dev;
+  // 2^24 = 8 radix-8 passes; 2^10 = 3x radix-8 + 1 radix-2 -> 4 passes.
+  EXPECT_EQ(Plan(dev, 1 << 24).passes(), 8u);
+  EXPECT_EQ(Plan(dev, 1 << 10).passes(), 4u);
+  EXPECT_EQ(Plan(dev, 1 << 9).passes(), 3u);
+  EXPECT_EQ(Plan(dev, 8).passes(), 1u);
+  EXPECT_EQ(Plan(dev, 4).passes(), 1u);
+  EXPECT_EQ(Plan(dev, 2).passes(), 1u);
+}
+
+TEST(Cufft, RejectsBadArguments) {
+  Device dev;
+  EXPECT_THROW(Plan(dev, 1000), std::invalid_argument);
+  EXPECT_THROW(Plan(dev, 64, 0), std::invalid_argument);
+  Plan plan(dev, 64, 2);
+  DeviceBuffer<cplx> wrong(64);
+  EXPECT_THROW(plan.execute(wrong, Direction::kForward),
+               std::invalid_argument);
+}
+
+TEST(Cufft, BatchedSharesLaunches) {
+  // One batched execute must launch the same number of stage kernels as a
+  // single transform (the Step-3 batching win), not batch x passes.
+  Device dev;
+  dev.begin_capture();
+  Plan plan(dev, 1 << 12, 16);
+  DeviceBuffer<cplx> data((1 << 12) * 16);
+  plan.execute(data, Direction::kForward);
+  const auto& rep = dev.report().at("cufft_stage");
+  EXPECT_EQ(rep.launches, plan.passes());
+}
+
+TEST(Cufft, ModeledTimeGrowsWithN) {
+  Device dev;
+  auto time_for = [&](std::size_t n) {
+    dev.begin_capture();
+    Plan plan(dev, n);
+    DeviceBuffer<cplx> data(n);
+    plan.execute(data, Direction::kForward);
+    return dev.elapsed_model_ms();
+  };
+  const double t14 = time_for(1 << 14);
+  const double t18 = time_for(1 << 18);
+  EXPECT_GT(t18, 2.0 * t14);
+}
+
+TEST(Cufft, StageTrafficIsCoalescedDominated) {
+  Device dev;
+  dev.set_max_traced_warps(1 << 20);
+  dev.begin_capture();
+  Plan plan(dev, 1 << 14);
+  DeviceBuffer<cplx> data(1 << 14);
+  plan.execute(data, Direction::kForward);
+  const auto& c = dev.report().at("cufft_stage").counters;
+  EXPECT_GT(c.coalesced_transactions, 5.0 * c.random_transactions);
+}
+
+}  // namespace
+}  // namespace cusfft::cufftsim

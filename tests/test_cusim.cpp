@@ -1,0 +1,426 @@
+// Tests for the CUDA-like simulator: functional execution, coalescing
+// analysis, atomic conflict accounting, warp sampling, streams/timeline
+// overlap, and PCIe copies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cusim/device.hpp"
+#include "cusim/report.hpp"
+
+namespace cusfft::cusim {
+namespace {
+
+TEST(LaunchCfg, ForElementsCoversCount) {
+  const auto c = LaunchCfg::for_elements("k", 1000, 256);
+  EXPECT_EQ(c.blocks, 4u);
+  EXPECT_EQ(c.threads_per_block, 256u);
+  const auto exact = LaunchCfg::for_elements("k", 1024, 256);
+  EXPECT_EQ(exact.blocks, 4u);
+}
+
+TEST(DeviceBuffer, HostAccessAndBounds) {
+  DeviceBuffer<int> buf(8);
+  std::iota(buf.host().begin(), buf.host().end(), 0);
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.host()[5], 5);
+  ThreadCtx t;
+  EXPECT_EQ(buf.load(t, 3), 3);
+  EXPECT_THROW(buf.load(t, 8), std::out_of_range);
+  // Distinct buffers get distinct device address ranges.
+  DeviceBuffer<int> other(8);
+  EXPECT_NE(buf.device_addr(), other.device_addr());
+}
+
+TEST(Device, KernelExecutesEveryThreadOnce) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<int> counts(1000);
+  dev.launch(LaunchCfg::for_elements("inc", 1000), [&](ThreadCtx& t) {
+    const u64 i = t.global_id();
+    if (i < counts.size()) counts.atomic_add(t, i, 1);
+  });
+  for (int v : counts.host()) EXPECT_EQ(v, 1);
+}
+
+TEST(Device, CoalescedReadCountsMinimalTransactions) {
+  Device dev;
+  dev.set_max_traced_warps(1 << 20);  // trace everything
+  dev.begin_capture();
+  DeviceBuffer<double> in(4096), out(4096);
+  dev.launch(LaunchCfg::for_elements("copy", 4096), [&](ThreadCtx& t) {
+    const u64 i = t.global_id();
+    out.store(t, i, in.load(t, i));
+  });
+  const auto& r = dev.report().at("copy");
+  // 4096 doubles = 32 KiB; minimal 128B transactions = 256 per direction.
+  EXPECT_NEAR(r.counters.coalesced_transactions, 512, 16);
+  EXPECT_NEAR(r.counters.random_transactions, 0, 1e-9);
+  EXPECT_NEAR(r.counters.bytes_useful, 2 * 4096 * 8, 1);
+}
+
+TEST(Device, StridedReadIsRandomTraffic) {
+  Device dev;
+  dev.set_max_traced_warps(1 << 20);
+  dev.begin_capture();
+  DeviceBuffer<double> in(1 << 16);
+  DeviceBuffer<double> out(1 << 10);
+  const std::size_t stride = 64;  // 512B apart: one transaction per lane
+  dev.launch(LaunchCfg::for_elements("strided", 1 << 10), [&](ThreadCtx& t) {
+    const u64 i = t.global_id();
+    out.store(t, i, in.load(t, i * stride));
+  });
+  const auto& r = dev.report().at("strided");
+  // Reads: 1024 lanes, each its own 128B segment -> 1024 random
+  // transactions. Writes are coalesced (1024 doubles -> 64 transactions).
+  EXPECT_NEAR(r.counters.random_transactions, 1024, 8);
+  EXPECT_NEAR(r.counters.coalesced_transactions, 64, 8);
+}
+
+TEST(Device, RandomTrafficCostsMoreModelTime) {
+  auto run = [](std::size_t stride) {
+    Device dev;
+    dev.set_max_traced_warps(1 << 20);
+    dev.begin_capture();
+    DeviceBuffer<double> in(1 << 20), out(1 << 14);
+    dev.launch(LaunchCfg::for_elements("k", 1 << 14), [&](ThreadCtx& t) {
+      const u64 i = t.global_id();
+      out.store(t, i, in.load(t, (i * stride) % in.size()));
+    });
+    return dev.elapsed_model_ms();
+  };
+  EXPECT_GT(run(63), 3.0 * run(1));
+}
+
+TEST(Device, AtomicConflictDepthTracked) {
+  Device dev;
+  dev.set_max_traced_warps(1 << 20);
+  dev.begin_capture();
+  DeviceBuffer<u64> counter(16);
+  dev.launch(LaunchCfg::for_elements("hammer", 4096), [&](ThreadCtx& t) {
+    counter.atomic_add(t, 0, u64{1});  // everyone hits address 0
+  });
+  EXPECT_EQ(counter.host()[0], 4096u);
+  const auto& r = dev.report().at("hammer");
+  EXPECT_NEAR(r.counters.max_atomic_conflict, 4096, 1);
+  EXPECT_NEAR(r.counters.atomic_ops, 4096, 1);
+}
+
+TEST(Device, SpreadAtomicsHaveShallowConflicts) {
+  Device dev;
+  dev.set_max_traced_warps(1 << 20);
+  dev.begin_capture();
+  DeviceBuffer<u64> counters(4096);
+  dev.launch(LaunchCfg::for_elements("spread", 4096), [&](ThreadCtx& t) {
+    counters.atomic_add(t, t.global_id(), u64{1});
+  });
+  const auto& r = dev.report().at("spread");
+  EXPECT_NEAR(r.counters.max_atomic_conflict, 1, 1e-9);
+}
+
+TEST(Device, WarpSamplingExtrapolatesCounts) {
+  // Exact trace vs heavy sampling must agree within a few percent on a
+  // uniform kernel.
+  auto tx_count = [](u64 max_warps) {
+    Device dev;
+    dev.set_max_traced_warps(max_warps);
+    dev.begin_capture();
+    DeviceBuffer<double> in(1 << 18), out(1 << 18);
+    dev.launch(LaunchCfg::for_elements("copy", 1 << 18), [&](ThreadCtx& t) {
+      const u64 i = t.global_id();
+      out.store(t, i, in.load(t, i));
+    });
+    const auto& c = dev.report().at("copy").counters;
+    return c.coalesced_transactions + c.random_transactions;
+  };
+  const double exact = tx_count(1 << 20);
+  const double sampled = tx_count(64);
+  EXPECT_NEAR(sampled / exact, 1.0, 0.05);
+}
+
+TEST(Device, FlopsAccumulateAcrossThreads) {
+  Device dev;
+  dev.begin_capture();
+  dev.launch(LaunchCfg::for_elements("fma", 1024),
+             [&](ThreadCtx& t) { t.add_flops(8); });
+  EXPECT_NEAR(dev.report().at("fma").counters.flops, 8.0 * 1024, 1e-6);
+}
+
+TEST(Device, UploadDownloadRoundTripAndPcieTime) {
+  Device dev;
+  dev.begin_capture();
+  std::vector<double> host(1 << 16);
+  std::iota(host.begin(), host.end(), 0.0);
+  DeviceBuffer<double> buf(host.size());
+  dev.upload(buf, std::span<const double>(host));
+  std::vector<double> back(host.size());
+  dev.download(std::span<double>(back), buf);
+  EXPECT_EQ(back, host);
+  const double ms = dev.elapsed_model_ms();
+  // 2 x 512 KiB over 6 GB/s plus 2 x 10us latency.
+  const double expect_ms =
+      2 * (host.size() * 8.0 / dev.spec().pcie_bandwidth_Bps +
+           dev.spec().pcie_latency_s) *
+      1e3;
+  EXPECT_NEAR(ms, expect_ms, expect_ms * 0.05);
+}
+
+TEST(Device, UploadSizeMismatchThrows) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<int> buf(4);
+  std::vector<int> host(5);
+  EXPECT_THROW(dev.upload(buf, std::span<const int>(host)),
+               std::invalid_argument);
+}
+
+TEST(Timeline, SameStreamSerializes) {
+  Timeline tl(32);
+  TimelineItem a{"a", 0, Resource::kDeviceMemory, 1e-3, 0.0};
+  TimelineItem b{"b", 0, Resource::kDeviceMemory, 1e-3, 0.0};
+  tl.submit(a);
+  tl.submit(b);
+  EXPECT_NEAR(tl.simulate(), 2e-3, 1e-9);
+  EXPECT_NEAR(tl.schedule()[1].start_s, 1e-3, 1e-9);
+}
+
+TEST(Timeline, MemBoundKernelsShareBandwidth) {
+  // Two memory-bound kernels on different streams: total time equals the
+  // sum (bandwidth is the shared resource) — no magic speedup.
+  Timeline tl(32);
+  tl.submit({"a", 1, Resource::kDeviceMemory, 1e-3, 0.0});
+  tl.submit({"b", 2, Resource::kDeviceMemory, 1e-3, 0.0});
+  EXPECT_NEAR(tl.simulate(), 2e-3, 1e-6);
+}
+
+TEST(Timeline, ComputeOverlapsMemory) {
+  // A compute-bound kernel fully hides behind a memory-bound one.
+  Timeline tl(32);
+  tl.submit({"mem", 1, Resource::kDeviceMemory, 2e-3, 0.0});
+  tl.submit({"cmp", 2, Resource::kDeviceMemory, 0.0, 1e-3});
+  EXPECT_NEAR(tl.simulate(), 2e-3, 1e-6);
+}
+
+TEST(Timeline, PcieIsSeparateResource) {
+  // A PCIe copy overlaps a device-memory kernel completely.
+  Timeline tl(32);
+  tl.submit({"kernel", 1, Resource::kDeviceMemory, 2e-3, 0.0});
+  tl.submit({"h2d", 2, Resource::kPcie, 2e-3, 0.0});
+  EXPECT_NEAR(tl.simulate(), 2e-3, 1e-6);
+}
+
+TEST(Timeline, ConcurrencyCapQueuesExtras) {
+  // Cap 2: three pure-compute kernels of 1ms on distinct streams take 2ms.
+  Timeline tl(2);
+  tl.submit({"a", 1, Resource::kDeviceMemory, 0.0, 1e-3});
+  tl.submit({"b", 2, Resource::kDeviceMemory, 0.0, 1e-3});
+  tl.submit({"c", 3, Resource::kDeviceMemory, 0.0, 1e-3});
+  EXPECT_NEAR(tl.simulate(), 2e-3, 1e-6);
+}
+
+TEST(Timeline, ClearResets) {
+  Timeline tl(32);
+  tl.submit({"a", 0, Resource::kDeviceMemory, 1e-3, 0.0});
+  tl.simulate();
+  tl.clear();
+  EXPECT_EQ(tl.item_count(), 0u);
+  EXPECT_NEAR(tl.simulate(), 0.0, 1e-12);
+}
+
+TEST(Device, CaptureRegionsIndependent) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<double> buf(1 << 12);
+  dev.launch(LaunchCfg::for_elements("k1", 1 << 12), [&](ThreadCtx& t) {
+    buf.store(t, t.global_id(), 1.0);
+  });
+  const double first = dev.elapsed_model_ms();
+  EXPECT_GT(first, 0.0);
+  dev.begin_capture();
+  EXPECT_NEAR(dev.elapsed_model_ms(), 0.0, 1e-12);
+  EXPECT_TRUE(dev.report().empty());
+}
+
+
+TEST(Device, PartialWarpAtGridTail) {
+  // 70 threads = 2 full warps + a 6-lane tail; every thread must run and
+  // tracing must not crash or double-count.
+  Device dev;
+  dev.set_max_traced_warps(1 << 20);
+  dev.begin_capture();
+  DeviceBuffer<u64> sum(1);
+  dev.launch(LaunchCfg::for_elements("tail", 70, 64), [&](ThreadCtx& t) {
+    if (t.global_id() < 70) sum.atomic_add(t, 0, t.global_id());
+  });
+  EXPECT_EQ(sum.host()[0], 70u * 69u / 2);
+}
+
+TEST(Device, StagedStoreCountsSharedAndCoalesced) {
+  Device dev;
+  dev.set_max_traced_warps(1 << 20);
+  dev.begin_capture();
+  DeviceBuffer<double> out(1 << 12);
+  const std::size_t stride = 61;  // scattered without staging
+  dev.launch(LaunchCfg::for_elements("staged", 1 << 12), [&](ThreadCtx& t) {
+    const u64 i = t.global_id();
+    if (i >= out.size()) return;
+    out.store_staged(t, (i * stride) % out.size(), i, 1.0 * i);
+  });
+  const auto& c = dev.report().at("staged").counters;
+  EXPECT_GT(c.shared_accesses, 0.0);
+  // The recorded global traffic is the dense burst: minimal transactions.
+  EXPECT_NEAR(c.coalesced_transactions, (1 << 12) * 8.0 / 128.0, 16);
+  EXPECT_NEAR(c.random_transactions, 0.0, 1.0);
+  // And the values really landed at the scattered addresses.
+  EXPECT_DOUBLE_EQ(out.host()[stride % out.size()], 1.0);
+}
+
+TEST(Device, SyncPointOrdersAcrossStreams) {
+  // Without the barrier two equal kernels on different streams overlap
+  // fully on compute; with it they serialize.
+  auto run = [](bool barrier) {
+    Device dev;
+    dev.begin_capture();
+    const LaunchCfg a{"a", 1, 32, 1};
+    const LaunchCfg b{"b", 1, 32, 2};
+    DeviceBuffer<double> buf(32);
+    auto body = [&](ThreadCtx& t) {
+      t.add_flops(1e9);  // ~1.4 ms of DP work: dwarfs launch overhead
+      if (t.global_id() < buf.size()) buf.store(t, t.global_id(), 1.0);
+    };
+    dev.launch(a, body);
+    if (barrier) dev.sync_point();
+    dev.launch(b, body);
+    return dev.elapsed_model_ms();
+  };
+  const double free_ms = run(false);
+  const double ordered_ms = run(true);
+  EXPECT_GT(ordered_ms, 1.7 * free_ms);
+}
+
+TEST(Device, AtomicScalingUnderSampling) {
+  // With warp sampling, the extrapolated atomic-conflict depth must stay
+  // within ~2x of the exact count for a uniform conflict pattern.
+  auto conflict = [](u64 max_warps) {
+    Device dev;
+    dev.set_max_traced_warps(max_warps);
+    dev.begin_capture();
+    DeviceBuffer<u64> c(4);
+    dev.launch(LaunchCfg::for_elements("atomics", 1 << 14),
+               [&](ThreadCtx& t) { c.atomic_add(t, 0, u64{1}); });
+    return dev.report().at("atomics").counters.max_atomic_conflict;
+  };
+  const double exact = conflict(1 << 20);
+  const double sampled = conflict(32);
+  EXPECT_NEAR(exact, 1 << 14, 1);
+  EXPECT_GT(sampled, exact / 2);
+  EXPECT_LT(sampled, exact * 2);
+}
+
+TEST(Timeline, BarrierAppliesOnlyToLaterItems) {
+  Timeline tl(32);
+  tl.submit({"a", 1, Resource::kDeviceMemory, 0.0, 1e-3, 0});
+  tl.submit({"b", 2, Resource::kDeviceMemory, 0.0, 1e-3, 0});
+  tl.barrier();
+  tl.submit({"c", 3, Resource::kDeviceMemory, 0.0, 1e-3, 0});
+  EXPECT_NEAR(tl.simulate(), 2e-3, 1e-6);  // a||b then c
+  EXPECT_NEAR(tl.schedule()[2].start_s, 1e-3, 1e-6);
+}
+
+TEST(Timeline, ChainedBarriersSerializeEverything) {
+  Timeline tl(32);
+  for (int i = 0; i < 4; ++i) {
+    tl.submit({"k", static_cast<StreamId>(i + 1), Resource::kDeviceMemory,
+               0.0, 1e-3, 0});
+    tl.barrier();
+  }
+  EXPECT_NEAR(tl.simulate(), 4e-3, 1e-6);
+}
+
+TEST(WarpTracerUnit, GroupsBySlotAndClassifies) {
+  WarpTracer tr;
+  tr.reset(128);
+  // Slot 0: 32 lanes reading 16B each, consecutive -> 4 coalesced tx.
+  for (u32 lane = 0; lane < 32; ++lane)
+    tr.on_access(0, 4096 + lane * 16, 16, false);
+  // Slot 1: 32 lanes scattered 512B apart -> 32 random tx.
+  for (u32 lane = 0; lane < 32; ++lane)
+    tr.on_access(1, 1 << 20 | (lane * 512), 16, false);
+  const WarpTotals t = tr.finalize();
+  EXPECT_DOUBLE_EQ(t.coalesced_tx, 4);
+  EXPECT_DOUBLE_EQ(t.random_tx, 32);
+  EXPECT_DOUBLE_EQ(t.useful_bytes, 2 * 32 * 16);
+}
+
+TEST(WarpTracerUnit, StraddlingAccessCountsBothSegments) {
+  WarpTracer tr;
+  tr.reset(128);
+  tr.on_access(0, 120, 16, false);  // crosses the 128B boundary
+  const WarpTotals t = tr.finalize();
+  EXPECT_DOUBLE_EQ(t.coalesced_tx + t.random_tx, 2);
+}
+
+
+TEST(Timeline, EventTimesTrackCompletion) {
+  Timeline tl(32);
+  const std::size_t e0 = tl.record_event();  // before anything
+  tl.submit({"a", 0, Resource::kDeviceMemory, 0.0, 1e-3, 0});
+  const std::size_t e1 = tl.record_event();
+  tl.submit({"b", 0, Resource::kDeviceMemory, 0.0, 2e-3, 0});
+  const std::size_t e2 = tl.record_event();
+  tl.simulate();
+  EXPECT_NEAR(tl.event_time_s(e0), 0.0, 1e-12);
+  EXPECT_NEAR(tl.event_time_s(e1), 1e-3, 1e-9);
+  EXPECT_NEAR(tl.event_time_s(e2), 3e-3, 1e-9);
+  EXPECT_THROW(tl.event_time_s(99), std::out_of_range);
+}
+
+TEST(Device, EventApiMeasuresSpans) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<double> buf(1 << 14);
+  const auto e0 = dev.record_event();
+  dev.launch(LaunchCfg::for_elements("w", buf.size()), [&](ThreadCtx& t) {
+    const u64 i = t.global_id();
+    if (i < buf.size()) buf.store(t, i, 1.0);
+  });
+  const auto e1 = dev.record_event();
+  const double span = dev.event_time_ms(e1) - dev.event_time_ms(e0);
+  EXPECT_GT(span, 0.0);
+  EXPECT_NEAR(span, dev.elapsed_model_ms(), 1e-9);
+}
+
+
+TEST(Device, CustomSpecScalesModeledTime) {
+  perfmodel::GpuSpec slow = perfmodel::GpuSpec::k20x();
+  slow.mem_bandwidth_Bps /= 4;
+  auto run = [](perfmodel::GpuSpec spec) {
+    Device dev(spec);
+    dev.begin_capture();
+    DeviceBuffer<double> in(1 << 16), out(1 << 16);
+    dev.launch(LaunchCfg::for_elements("copy", 1 << 16), [&](ThreadCtx& t) {
+      const u64 i = t.global_id();
+      out.store(t, i, in.load(t, i));
+    });
+    return dev.elapsed_model_ms();
+  };
+  const double fast_ms = run(perfmodel::GpuSpec::k20x());
+  const double slow_ms = run(slow);
+  EXPECT_NEAR(slow_ms / fast_ms, 4.0, 0.5);
+}
+
+
+TEST(Report, TableListsKernels) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<double> buf(256);
+  dev.launch(LaunchCfg::for_elements("alpha", 256), [&](ThreadCtx& t) {
+    if (t.global_id() < 256) buf.store(t, t.global_id(), 1.0);
+  });
+  const ResultTable t = report_table(dev);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.to_ascii().find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cusfft::cusim

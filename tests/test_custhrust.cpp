@@ -1,0 +1,280 @@
+// Tests for the device primitives: scan, reductions, both sorts, selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/rng.hpp"
+#include "custhrust/reduce.hpp"
+#include "custhrust/scan.hpp"
+#include "custhrust/select.hpp"
+#include "custhrust/sort.hpp"
+#include "custhrust/transform.hpp"
+
+namespace cusfft::custhrust {
+namespace {
+
+using cusim::Device;
+using cusim::DeviceBuffer;
+
+class ScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizes, MatchesStdExclusiveScan) {
+  const std::size_t n = GetParam();
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<u64> data(n);
+  Rng rng(n);
+  for (auto& v : data.host()) v = rng.next_below(100);
+  std::vector<u64> expect(data.host().begin(), data.host().end());
+  std::exclusive_scan(expect.begin(), expect.end(), expect.begin(), u64{0});
+  exclusive_scan(dev, data);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(data.host()[i], expect[i]) << "i=" << i << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(1, 2, 3, 7, 8, 100, 256, 1000,
+                                           4096));
+
+TEST(Reduce, Norm2AndMaxAbs) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<cplx> data(1000);
+  Rng rng(3);
+  double expect_norm2 = 0, expect_max = 0;
+  for (auto& v : data.host()) {
+    v = cplx{rng.next_normal(), rng.next_normal()};
+    expect_norm2 += std::norm(v);
+    expect_max = std::max(expect_max, std::abs(v));
+  }
+  EXPECT_NEAR(reduce_norm2(dev, data), expect_norm2, 1e-9 * expect_norm2);
+  EXPECT_NEAR(reduce_max_abs(dev, data), expect_max, 1e-12);
+}
+
+TEST(Reduce, EmptyAndSingleton) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<cplx> empty(0);
+  EXPECT_DOUBLE_EQ(reduce_norm2(dev, empty), 0.0);
+  DeviceBuffer<cplx> one(1);
+  one.host()[0] = {3.0, 4.0};
+  EXPECT_NEAR(reduce_norm2(dev, one), 25.0, 1e-12);
+  EXPECT_NEAR(reduce_max_abs(dev, one), 5.0, 1e-12);
+}
+
+TEST(Sort, OrderedMappingIsMonotone) {
+  const double vals[] = {-1e300, -2.5, -0.0, 0.0, 1e-10, 1.0, 2.5, 1e300};
+  for (std::size_t i = 1; i < std::size(vals); ++i)
+    EXPECT_LE(double_to_ordered_u64(vals[i - 1]),
+              double_to_ordered_u64(vals[i]))
+        << vals[i - 1] << " vs " << vals[i];
+}
+
+class SortAlgos : public ::testing::TestWithParam<SortAlgo> {};
+
+TEST_P(SortAlgos, SortsDescendingWithValues) {
+  Device dev;
+  dev.begin_capture();
+  const std::size_t n = 1000;  // deliberately not a power of two
+  DeviceBuffer<double> keys(n);
+  DeviceBuffer<u32> vals(n);
+  Rng rng(7);
+  std::vector<double> ref(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.host()[i] = ref[i] = rng.next_normal() * 100.0;
+    vals.host()[i] = static_cast<u32>(i);
+  }
+  const std::vector<double> orig = ref;
+  sort_pairs_desc(dev, keys, vals, GetParam());
+  std::sort(ref.begin(), ref.end(), std::greater<>());
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_DOUBLE_EQ(keys.host()[i], ref[i]) << i;
+  // Values carried consistently: the original key at vals[i] is keys[i].
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_DOUBLE_EQ(orig[vals.host()[i]], keys.host()[i]) << i;
+}
+
+TEST_P(SortAlgos, HandlesDuplicatesAndNegatives) {
+  Device dev;
+  dev.begin_capture();
+  std::vector<double> input = {3.0, -1.0, 3.0, 0.0, -1.0, 7.5, 0.0, 3.0};
+  DeviceBuffer<double> keys(input.size());
+  DeviceBuffer<u32> vals(input.size());
+  std::copy(input.begin(), input.end(), keys.host().begin());
+  std::iota(vals.host().begin(), vals.host().end(), 0u);
+  sort_pairs_desc(dev, keys, vals, GetParam());
+  std::vector<double> expect = input;
+  std::sort(expect.begin(), expect.end(), std::greater<>());
+  for (std::size_t i = 0; i < input.size(); ++i)
+    EXPECT_DOUBLE_EQ(keys.host()[i], expect[i]) << i;
+}
+
+TEST_P(SortAlgos, TrivialSizes) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<double> one(1);
+  DeviceBuffer<u32> oneval(1);
+  one.host()[0] = 42.0;
+  sort_pairs_desc(dev, one, oneval, GetParam());
+  EXPECT_DOUBLE_EQ(one.host()[0], 42.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, SortAlgos,
+                         ::testing::Values(SortAlgo::kRadix,
+                                           SortAlgo::kBitonic),
+                         [](const auto& info) {
+                           return info.param == SortAlgo::kRadix ? "Radix"
+                                                                 : "Bitonic";
+                         });
+
+TEST(Sort, RadixIsStable) {
+  Device dev;
+  dev.begin_capture();
+  const std::size_t n = 512;
+  DeviceBuffer<double> keys(n);
+  DeviceBuffer<u32> vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.host()[i] = static_cast<double>(i % 4);  // many duplicates
+    vals.host()[i] = static_cast<u32>(i);
+  }
+  sort_pairs_desc(dev, keys, vals, SortAlgo::kRadix);
+  // Within each equal-key run, original order must be preserved.
+  for (std::size_t i = 1; i < n; ++i) {
+    if (keys.host()[i] == keys.host()[i - 1]) {
+      EXPECT_LT(vals.host()[i - 1], vals.host()[i]) << i;
+    }
+  }
+}
+
+TEST(Sort, MismatchedSizesThrow) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<double> keys(4);
+  DeviceBuffer<u32> vals(5);
+  EXPECT_THROW(sort_pairs_desc(dev, keys, vals), std::invalid_argument);
+}
+
+TEST(Select, FindsLargeBucketsOnly) {
+  Device dev;
+  dev.begin_capture();
+  const std::size_t B = 1024;
+  DeviceBuffer<cplx> buckets(B);
+  Rng rng(9);
+  for (auto& v : buckets.host())
+    v = cplx{1e-6 * rng.next_normal(), 1e-6 * rng.next_normal()};
+  const std::set<u32> planted = {5, 77, 500, 1023};
+  for (u32 i : planted) buckets.host()[i] = cplx{1.0, -0.5};
+  const SelectResult r = threshold_select(dev, buckets);
+  std::set<u32> got(r.indices.begin(), r.indices.end());
+  EXPECT_EQ(got, planted);
+  EXPECT_GT(r.threshold, 1e-6);
+  EXPECT_LT(r.threshold, 1.0);
+}
+
+TEST(Select, BetaScalesThreshold) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<cplx> buckets(64);
+  for (auto& v : buckets.host()) v = cplx{1.0, 0.0};
+  const auto lo = threshold_select(dev, buckets, 0.5);
+  const auto hi = threshold_select(dev, buckets, 2.0);
+  EXPECT_NEAR(hi.threshold / lo.threshold, 4.0, 1e-9);
+  // beta=0.5: every bucket clears; beta=2: none does.
+  EXPECT_EQ(lo.indices.size(), 64u);
+  EXPECT_TRUE(hi.indices.empty());
+}
+
+TEST(Select, MaxOutCaps) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<cplx> buckets(128);
+  for (auto& v : buckets.host()) v = cplx{1.0, 0.0};
+  const auto r = threshold_select(dev, buckets, 0.5, 10);
+  EXPECT_EQ(r.indices.size(), 10u);
+}
+
+TEST(Select, EmptyBuffer) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<cplx> buckets(0);
+  EXPECT_TRUE(threshold_select(dev, buckets).indices.empty());
+}
+
+
+TEST(Transform, AppliesFunctor) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<double> in(100), out(100);
+  for (std::size_t i = 0; i < 100; ++i) in.host()[i] = double(i);
+  transform(dev, in, out, [](double v) { return 2.0 * v + 1.0; });
+  for (std::size_t i = 0; i < 100; ++i)
+    ASSERT_DOUBLE_EQ(out.host()[i], 2.0 * double(i) + 1.0);
+}
+
+TEST(Transform, InPlaceAndTypeChange) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<double> data(8);
+  for (auto& v : data.host()) v = 3.0;
+  transform(dev, data, data, [](double v) { return v * v; });
+  EXPECT_DOUBLE_EQ(data.host()[0], 9.0);
+  DeviceBuffer<u32> flags(8);
+  transform(dev, data, flags,
+            [](double v) { return v > 5.0 ? u32{1} : u32{0}; });
+  EXPECT_EQ(flags.host()[3], 1u);
+  DeviceBuffer<double> wrong(4);
+  EXPECT_THROW(transform(dev, data, wrong, [](double v) { return v; }),
+               std::invalid_argument);
+}
+
+TEST(Gather, PermutesThroughIndices) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<double> data(16);
+  for (std::size_t i = 0; i < 16; ++i) data.host()[i] = 100.0 + double(i);
+  DeviceBuffer<u32> idx(4);
+  idx.host()[0] = 7;
+  idx.host()[1] = 0;
+  idx.host()[2] = 15;
+  idx.host()[3] = 7;
+  DeviceBuffer<double> out(4);
+  gather(dev, idx, data, out);
+  EXPECT_DOUBLE_EQ(out.host()[0], 107.0);
+  EXPECT_DOUBLE_EQ(out.host()[1], 100.0);
+  EXPECT_DOUBLE_EQ(out.host()[2], 115.0);
+  EXPECT_DOUBLE_EQ(out.host()[3], 107.0);
+}
+
+TEST(CountIf, CountsMatches) {
+  Device dev;
+  dev.begin_capture();
+  DeviceBuffer<double> data(1000);
+  Rng rng(42);
+  std::size_t expect = 0;
+  for (auto& v : data.host()) {
+    v = rng.next_double();
+    if (v > 0.75) ++expect;
+  }
+  EXPECT_EQ(count_if(dev, data, [](double v) { return v > 0.75; }), expect);
+}
+
+TEST(InclusiveScan, MatchesStdInclusiveScan) {
+  Device dev;
+  dev.begin_capture();
+  for (std::size_t n : {1u, 5u, 64u, 777u}) {
+    DeviceBuffer<u64> data(n);
+    Rng rng(n);
+    for (auto& v : data.host()) v = rng.next_below(50);
+    std::vector<u64> expect(data.host().begin(), data.host().end());
+    std::inclusive_scan(expect.begin(), expect.end(), expect.begin());
+    inclusive_scan(dev, data);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(data.host()[i], expect[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace cusfft::custhrust

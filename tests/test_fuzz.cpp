@@ -1,0 +1,130 @@
+// Randomized differential ("fuzz") tests: many random configurations per
+// test, each checked against an independent oracle — std::sort for the
+// device sorts, the host FFT for the simulated cuFFT, the dense-FFT
+// spectrum for the sparse transforms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "cufftsim/cufftsim.hpp"
+#include "custhrust/scan.hpp"
+#include "custhrust/sort.hpp"
+#include "fft/dft.hpp"
+#include "fft/fft.hpp"
+#include "sfft/serial.hpp"
+#include "signal/generate.hpp"
+
+namespace cusfft {
+namespace {
+
+TEST(Fuzz, DeviceSortsMatchStdSortManySizes) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 2 + rng.next_below(3000);
+    const auto algo = trial % 2 == 0 ? custhrust::SortAlgo::kRadix
+                                     : custhrust::SortAlgo::kBitonic;
+    cusim::Device dev;
+    dev.begin_capture();
+    cusim::DeviceBuffer<double> keys(n);
+    cusim::DeviceBuffer<u32> vals(n);
+    std::vector<double> ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix magnitudes, duplicates, negatives, zeros.
+      const double v = rng.next_below(4) == 0
+                           ? 0.0
+                           : rng.next_normal() * std::pow(10.0, double(
+                                 rng.next_below(7)) - 3.0);
+      keys.host()[i] = ref[i] = v;
+      vals.host()[i] = static_cast<u32>(i);
+    }
+    custhrust::sort_pairs_desc(dev, keys, vals, algo);
+    std::sort(ref.begin(), ref.end(), std::greater<>());
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_DOUBLE_EQ(keys.host()[i], ref[i])
+          << "trial=" << trial << " n=" << n << " i=" << i;
+  }
+}
+
+TEST(Fuzz, DeviceScanMatchesStdManySizes) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 1 + rng.next_below(5000);
+    cusim::Device dev;
+    dev.begin_capture();
+    cusim::DeviceBuffer<u64> data(n);
+    for (auto& v : data.host()) v = rng.next_below(1000);
+    std::vector<u64> expect(data.host().begin(), data.host().end());
+    std::exclusive_scan(expect.begin(), expect.end(), expect.begin(),
+                        u64{0});
+    custhrust::exclusive_scan(dev, data);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(data.host()[i], expect[i]) << "trial=" << trial << " n=" << n;
+  }
+}
+
+TEST(Fuzz, CufftsimMatchesHostFftRandomSizesAndBatches) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 1ULL << (1 + rng.next_below(11));
+    const std::size_t batch = 1 + rng.next_below(4);
+    cusim::Device dev;
+    dev.begin_capture();
+    cufftsim::Plan plan(dev, n, batch);
+    cvec data(n * batch);
+    for (auto& v : data) v = cplx{rng.next_normal(), rng.next_normal()};
+    cusim::DeviceBuffer<cplx> buf(data.size());
+    std::copy(data.begin(), data.end(), buf.host().begin());
+    plan.execute(buf, cufftsim::Direction::kForward);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const cvec expect =
+          fft::fft(std::span<const cplx>(data).subspan(b * n, n));
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_NEAR(std::abs(buf.host()[b * n + i] - expect[i]), 0.0,
+                    1e-8 * std::sqrt(double(n)))
+            << "trial=" << trial << " n=" << n << " b=" << b;
+    }
+  }
+}
+
+TEST(Fuzz, SerialSfftRecoversAcrossRandomConfigs) {
+  Rng rng(2027);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t logn = 12 + rng.next_below(4);
+    const std::size_t n = 1ULL << logn;
+    const std::size_t k = 2 + rng.next_below(24);
+    sfft::Params p;
+    p.n = n;
+    p.k = k;
+    p.seed = 9000 + trial;
+    p.comb = trial % 3 == 0;
+    auto sig = signal::make_sparse_signal(n, k, rng);
+    const auto got = sfft::SerialPlan(p).execute(sig.x);
+    const cvec oracle = densify(sig.truth, n);
+    EXPECT_DOUBLE_EQ(location_recall(got, oracle, k), 1.0)
+        << "trial=" << trial << " n=" << n << " k=" << k;
+    EXPECT_LT(l1_error_per_coeff(got, oracle, k), 2e-2)
+        << "trial=" << trial;
+  }
+}
+
+TEST(Fuzz, BluesteinMatchesNaiveDftOddSizes) {
+  Rng rng(2028);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 3 + rng.next_below(500);
+    cvec x(n);
+    for (auto& v : x) v = cplx{rng.next_normal(), rng.next_normal()};
+    const cvec got = fft::fft(x);
+    const cvec expect = fft::dft_naive(x);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(std::abs(got[i] - expect[i]), 0.0,
+                  1e-7 * std::sqrt(double(n)))
+          << "trial=" << trial << " n=" << n << " i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace cusfft

@@ -1,0 +1,118 @@
+// Golden-counter tests: pin the exact transaction/flop accounting of the
+// paper's kernels on small fixed configurations, so any change to the
+// tracer, the kernels, or the cost model that would silently shift the
+// figure data fails a test instead.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "cusfft/plan.hpp"
+#include "cusim/device.hpp"
+#include "signal/generate.hpp"
+
+namespace cusfft::gpu {
+namespace {
+
+struct Golden {
+  cusim::Device dev;
+  std::unique_ptr<GpuPlan> plan;
+  sfft::Params params;
+
+  explicit Golden(Options opts) {
+    params.n = 1 << 12;
+    params.k = 8;
+    params.seed = 1111;
+    dev.set_max_traced_warps(1 << 20);  // exact tracing
+    plan = std::make_unique<GpuPlan>(dev, params, opts);
+    Rng rng(2222);
+    const auto sig = signal::make_sparse_signal(params.n, params.k, rng);
+    plan->execute(sig.x);
+  }
+};
+
+TEST(GoldenCounters, PartitionKernelTraffic) {
+  Golden g{Options::baseline()};
+  const auto& c = g.dev.report().at("pf_partition").counters;
+  // Geometry: n=4096, k=8 => B=256 buckets; filter taps pad to w_pad, with
+  // rounds = w_pad / B per thread. L = 12 loops (bench defaults differ;
+  // library defaults are 6+8=14 loops).
+  const std::size_t B = g.plan->buckets();
+  EXPECT_EQ(B, 256u);
+  const std::size_t L = g.params.total_loops();
+  EXPECT_EQ(g.dev.report().at("pf_partition").launches, L);
+  // Each tap = one scattered signal load; with ai odd and large, nearly
+  // every lane owns its own 128B segment: random_tx ~= taps. Filter loads
+  // and bucket stores are coalesced.
+  const auto [w, w_pad] =
+      signal::flat_filter_sizes(g.params.n, B, g.params.filter);
+  const double taps = static_cast<double>(w_pad) * static_cast<double>(L);
+  EXPECT_GT(c.random_transactions, 0.80 * taps);
+  EXPECT_LT(c.random_transactions, 1.05 * taps);
+  // Useful bytes: signal load + filter load per tap, bucket store per
+  // thread. (16 bytes per complex double.)
+  const double expect_bytes = taps * 32.0 + static_cast<double>(L * B) * 16.0;
+  EXPECT_NEAR(c.bytes_useful, expect_bytes, expect_bytes * 0.01);
+}
+
+TEST(GoldenCounters, ScoreClearIsPerfectlyCoalesced) {
+  Golden g{Options::baseline()};
+  const auto& c = g.dev.report().at("score_clear").counters;
+  // n u32 stores = n*4 bytes = n*4/128 transactions exactly.
+  EXPECT_DOUBLE_EQ(c.random_transactions, 0.0);
+  EXPECT_NEAR(c.coalesced_transactions, (1 << 12) * 4.0 / 128.0, 1.0);
+}
+
+TEST(GoldenCounters, AsyncPathMovesSameSignalBytes) {
+  Golden base{Options::baseline()};
+  Options async;
+  async.binning = Binning::kAsyncTransform;
+  Golden opt{async};
+  // The remap kernels collectively perform exactly the scattered loads the
+  // monolithic kernel performed.
+  const auto& pb = base.dev.report().at("pf_partition").counters;
+  const auto& pr = opt.dev.report().at("pf_remap").counters;
+  EXPECT_NEAR(pr.random_transactions, pb.random_transactions,
+              pb.random_transactions * 0.02);
+  // And the execute kernels are fully coalesced.
+  const auto& pe = opt.dev.report().at("pf_execute").counters;
+  EXPECT_DOUBLE_EQ(pe.random_transactions, 0.0);
+}
+
+TEST(GoldenCounters, LocRecoverAtomicsMatchVoteCount) {
+  Golden g{Options::baseline()};
+  const auto& c = g.dev.report().at("loc_recover").counters;
+  // Each selected bucket votes exactly n/B locations; cutoff = 2k buckets
+  // per location loop (library default cutoff_mult = 2), loops_loc = 6.
+  const std::size_t B = g.plan->buckets();
+  const double expected = static_cast<double>(g.params.loops_loc) *
+                          static_cast<double>(g.params.cutoff()) *
+                          static_cast<double>(g.params.n / B);
+  // num_hits bookkeeping adds a few extra atomics.
+  EXPECT_GE(c.atomic_ops, expected);
+  EXPECT_LT(c.atomic_ops, expected * 1.2);
+}
+
+TEST(GoldenCounters, EstimateLaunchOncePerExecute) {
+  Golden g{Options::baseline()};
+  EXPECT_EQ(g.dev.report().at("estimate").launches, 1u);
+  const auto& c = g.dev.report().at("estimate").counters;
+  // Each candidate reads L buckets + L filter coefficients (scattered).
+  EXPECT_GT(c.bytes_useful, 0.0);
+}
+
+TEST(GoldenCounters, BatchedFftStageGeometry) {
+  Golden g{Options::baseline()};
+  const auto& rep = g.dev.report().at("cufft_stage");
+  // B = 256 = 8*8*4: 3 passes, launched once each thanks to batching.
+  EXPECT_EQ(rep.launches, 3u);
+  // Threads per pass: L transforms x B/R elements, rounded up to whole
+  // 256-thread blocks (radix-8, radix-8, radix-4 for B=256).
+  const double L = static_cast<double>(g.params.total_loops());
+  auto launched = [L](double per_transform) {
+    return std::ceil(L * per_transform / 256.0) * 256.0;
+  };
+  EXPECT_DOUBLE_EQ(rep.counters.threads,
+                   launched(32) + launched(32) + launched(64));
+}
+
+}  // namespace
+}  // namespace cusfft::gpu

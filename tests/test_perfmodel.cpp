@@ -1,0 +1,133 @@
+// Tests for the GPU kernel cost model and the CPU roofline model.
+#include <gtest/gtest.h>
+
+#include "perfmodel/cpu_model.hpp"
+#include "perfmodel/gpu_model.hpp"
+
+namespace cusfft::perfmodel {
+namespace {
+
+TEST(GpuSpec, TableIValues) {
+  const GpuSpec s = GpuSpec::k20x();
+  EXPECT_EQ(s.name, "Tesla K20x");
+  EXPECT_EQ(s.sm_count * s.cores_per_sm, 2688u);  // Table I: 2688 cores
+  EXPECT_DOUBLE_EQ(s.clock_hz, 732e6);
+  EXPECT_DOUBLE_EQ(s.mem_bandwidth_Bps, 250e9);
+  EXPECT_EQ(s.global_mem_bytes, 6ULL << 30);
+  EXPECT_GT(s.dp_peak_flops(), 1e12);  // K20x ~1.31 DP TFLOPs
+  EXPECT_LT(s.dp_peak_flops(), 1.5e12);
+}
+
+TEST(CpuSpec, TableIIValues) {
+  const CpuSpec s = CpuSpec::e5_2640();
+  EXPECT_EQ(s.cores, 6u);
+  EXPECT_DOUBLE_EQ(s.clock_hz, 2.5e9);
+  EXPECT_EQ(s.l3_bytes, 15u * 1024 * 1024);
+}
+
+TEST(GpuModel, MemoryBoundKernelScalesWithTransactions) {
+  GpuModel m;
+  KernelCounters c;
+  c.warps = 1e6;  // plenty of occupancy
+  c.coalesced_transactions = 1e6;
+  const double t1 = m.kernel_cost(c).total_s;
+  c.coalesced_transactions = 2e6;
+  const double t2 = m.kernel_cost(c).total_s;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST(GpuModel, RandomTrafficSlowerThanCoalesced) {
+  GpuModel m;
+  KernelCounters coal, rand;
+  coal.warps = rand.warps = 1e6;
+  coal.coalesced_transactions = 1e6;
+  rand.random_transactions = 1e6;
+  EXPECT_GT(m.kernel_cost(rand).mem_s, m.kernel_cost(coal).mem_s);
+}
+
+TEST(GpuModel, UnderOccupiedKernelIsLatencyBound) {
+  GpuModel m;
+  KernelCounters c;
+  c.coalesced_transactions = 1e6;
+  c.warps = 4;  // almost no latency hiding
+  const double starved = m.kernel_cost(c).mem_s;
+  c.warps = 1e6;
+  const double occupied = m.kernel_cost(c).mem_s;
+  EXPECT_GT(starved, 10 * occupied);
+}
+
+TEST(GpuModel, ComputeBoundKernelUsesDpPeak) {
+  GpuModel m;
+  KernelCounters c;
+  c.warps = 1e6;
+  c.flops = m.spec().dp_peak_flops();  // exactly one second of DP work
+  const KernelCost k = m.kernel_cost(c);
+  EXPECT_NEAR(k.compute_s, 1.0, 1e-9);
+  EXPECT_NEAR(k.total_s, 1.0 + m.spec().kernel_launch_overhead_s, 1e-9);
+}
+
+TEST(GpuModel, AtomicConflictSerializes) {
+  GpuModel m;
+  KernelCounters c;
+  c.warps = 1e3;
+  c.max_atomic_conflict = 1e6;  // a million threads hammering one address
+  const KernelCost k = m.kernel_cost(c);
+  EXPECT_NEAR(k.atomic_s, 1e6 * m.spec().atomic_latency_s, 1e-12);
+  EXPECT_GE(k.total_s, k.atomic_s);
+}
+
+TEST(GpuModel, LaunchOverheadFloorsSmallKernels) {
+  GpuModel m;
+  KernelCounters c;
+  c.warps = 1;
+  c.coalesced_transactions = 1;
+  EXPECT_GE(m.kernel_cost(c).total_s, m.spec().kernel_launch_overhead_s);
+}
+
+TEST(GpuModel, TransferCostLatencyPlusBandwidth) {
+  GpuModel m;
+  const double small = m.transfer_cost_s(16);
+  EXPECT_NEAR(small, m.spec().pcie_latency_s, 1e-6);
+  const double big = m.transfer_cost_s(6e9);
+  EXPECT_NEAR(big, 1.0 + m.spec().pcie_latency_s, 1e-3);
+}
+
+TEST(CpuModel, BandwidthRoof) {
+  CpuModel m;
+  CpuWork w;
+  w.streamed_bytes = m.spec().mem_bandwidth_Bps;  // one second of streaming
+  w.threads = 6;
+  EXPECT_NEAR(m.phase_cost_s(w), 1.0 + m.spec().parallel_overhead_s, 1e-9);
+}
+
+TEST(CpuModel, LatencyRoofScalesDownWithThreads) {
+  CpuModel m;
+  CpuWork w;
+  w.random_accesses = 1e7;
+  w.threads = 1;
+  const double t1 = m.phase_cost_s(w);
+  w.threads = 6;
+  const double t6 = m.phase_cost_s(w);
+  EXPECT_NEAR(t1 / t6, 6.0, 0.1);
+}
+
+TEST(CpuModel, ThreadsClampedToCores) {
+  CpuModel m;
+  CpuWork w;
+  w.flops = 1e9;
+  w.threads = 64;  // more than the 6 cores
+  CpuWork w6 = w;
+  w6.threads = 6;
+  EXPECT_NEAR(m.phase_cost_s(w), m.phase_cost_s(w6), 1e-12);
+}
+
+TEST(CpuModel, FlopRoof) {
+  CpuModel m;
+  CpuWork w;
+  w.flops = m.spec().peak_flops();
+  w.threads = m.spec().cores;
+  EXPECT_NEAR(m.phase_cost_s(w), 1.0 + m.spec().parallel_overhead_s, 1e-9);
+}
+
+}  // namespace
+}  // namespace cusfft::perfmodel

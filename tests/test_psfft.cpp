@@ -1,0 +1,155 @@
+// Tests for the multicore CPU comparators: PsFFT (agreement with the serial
+// reference, model stats) and the parallel dense-FFT baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "fft/fft.hpp"
+#include "psfft/fftw_baseline.hpp"
+#include "psfft/psfft.hpp"
+#include "sfft/serial.hpp"
+#include "signal/generate.hpp"
+
+namespace cusfft::psfft {
+namespace {
+
+sfft::Params make_params(std::size_t n, std::size_t k) {
+  sfft::Params p;
+  p.n = n;
+  p.k = k;
+  p.seed = 555;
+  return p;
+}
+
+TEST(Psfft, MatchesSerialReferenceExactly) {
+  const std::size_t n = 1 << 14, k = 16;
+  Rng rng(1);
+  auto sig = signal::make_sparse_signal(n, k, rng);
+  const auto p = make_params(n, k);
+
+  sfft::SerialPlan serial(p);
+  const auto a = serial.execute(sig.x);
+
+  ThreadPool pool(4);
+  PsfftPlan parallel(p, pool);
+  const auto b = parallel.execute(sig.x);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].loc, b[i].loc) << i;
+    // Binning accumulates per bucket in the same order -> values match to
+    // rounding of the identical FFT plan.
+    EXPECT_NEAR(std::abs(a[i].val - b[i].val), 0.0, 1e-12) << i;
+  }
+}
+
+TEST(Psfft, RecoversSparseSignal) {
+  const std::size_t n = 1 << 15, k = 32;
+  Rng rng(2);
+  auto sig = signal::make_sparse_signal(n, k, rng);
+  ThreadPool pool(4);
+  PsfftPlan plan(make_params(n, k), pool);
+  const auto got = plan.execute(sig.x);
+  cvec oracle = densify(sig.truth, n);
+  EXPECT_DOUBLE_EQ(location_recall(got, oracle, k), 1.0);
+  EXPECT_LT(l1_error_per_coeff(got, oracle, k), 1e-2);
+}
+
+TEST(Psfft, StatsModelAllPhases) {
+  const std::size_t n = 1 << 13, k = 8;
+  Rng rng(3);
+  auto sig = signal::make_sparse_signal(n, k, rng);
+  ThreadPool pool(2);
+  PsfftPlan plan(make_params(n, k), pool);
+  CpuExecStats stats;
+  plan.execute(sig.x, &stats);
+  EXPECT_GT(stats.model_ms, 0.0);
+  EXPECT_GT(stats.host_ms, 0.0);
+  EXPECT_EQ(stats.step_model_ms.size(), 5u);
+  double sum = 0;
+  for (const auto& [k2, v] : stats.step_model_ms) sum += v;
+  EXPECT_NEAR(sum, stats.model_ms, 1e-9);
+}
+
+TEST(Psfft, RejectsWrongSize) {
+  ThreadPool pool(2);
+  PsfftPlan plan(make_params(1 << 13, 8), pool);
+  cvec wrong(1 << 12);
+  EXPECT_THROW(plan.execute(wrong), std::invalid_argument);
+}
+
+TEST(Psfft, SingleWorkerPoolStillCorrect) {
+  const std::size_t n = 1 << 13, k = 8;
+  Rng rng(5);
+  auto sig = signal::make_sparse_signal(n, k, rng);
+  ThreadPool pool(1);
+  PsfftPlan plan(make_params(n, k), pool);
+  const auto got = plan.execute(sig.x);
+  cvec oracle = densify(sig.truth, n);
+  EXPECT_DOUBLE_EQ(location_recall(got, oracle, k), 1.0);
+}
+
+TEST(Psfft, PoolSizeDoesNotChangeResults) {
+  const std::size_t n = 1 << 14, k = 12;
+  Rng rng(6);
+  auto sig = signal::make_sparse_signal(n, k, rng);
+  const auto p = make_params(n, k);
+  ThreadPool p1(1), p4(4);
+  const auto a = PsfftPlan(p, p1).execute(sig.x);
+  const auto b = PsfftPlan(p, p4).execute(sig.x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].loc, b[i].loc);
+    EXPECT_EQ(a[i].val, b[i].val);  // per-bucket order identical
+  }
+}
+
+TEST(Psfft, CustomCpuSpecChangesModelOnly) {
+  const std::size_t n = 1 << 13, k = 8;
+  Rng rng(7);
+  auto sig = signal::make_sparse_signal(n, k, rng);
+  ThreadPool pool(2);
+  perfmodel::CpuSpec fast = perfmodel::CpuSpec::e5_2640();
+  fast.cores = 12;
+  fast.mem_bandwidth_Bps *= 2;
+  PsfftPlan slow_plan(make_params(n, k), pool);
+  PsfftPlan fast_plan(make_params(n, k), pool, fast);
+  CpuExecStats ss, sf;
+  const auto a = slow_plan.execute(sig.x, &ss);
+  const auto b = fast_plan.execute(sig.x, &sf);
+  EXPECT_LT(sf.model_ms, ss.model_ms);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].loc, b[i].loc);
+}
+
+
+TEST(DenseFftBaseline, MatchesPlanOutput) {
+  const std::size_t n = 1 << 12;
+  Rng rng(4);
+  cvec x(n);
+  for (auto& v : x) v = cplx{rng.next_normal(), rng.next_normal()};
+  cvec out(n);
+  ThreadPool pool(4);
+  const auto r = dense_fft_parallel(x, out, pool);
+  cvec expect = fft::fft(x);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_NEAR(std::abs(out[i] - expect[i]), 0.0, 1e-9) << i;
+  EXPECT_GT(r.model_ms, 0.0);
+  EXPECT_GT(r.host_ms, 0.0);
+}
+
+TEST(DenseFftBaseline, ModelScalesRoughlyNLogN) {
+  // Compare sizes where data movement dominates the fixed parallel-region
+  // overhead; a 64x size step must cost well over 32x.
+  ThreadPool pool(1);
+  cvec a(1 << 16), b(1 << 22);
+  cvec oa(1 << 16), ob(1 << 22);
+  const auto ra = dense_fft_parallel(a, oa, pool);
+  const auto rb = dense_fft_parallel(b, ob, pool);
+  EXPECT_GT(rb.model_ms, 32.0 * ra.model_ms);
+}
+
+}  // namespace
+}  // namespace cusfft::psfft

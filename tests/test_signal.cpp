@@ -1,0 +1,236 @@
+// Tests for src/signal: window shapes, flat-filter frequency contract
+// (flat passband, exponentially small tail), generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/rng.hpp"
+#include "fft/fft.hpp"
+#include "signal/filter.hpp"
+#include "signal/generate.hpp"
+#include "signal/window.hpp"
+
+namespace cusfft {
+namespace {
+
+using signal::FlatFilter;
+using signal::FlatFilterParams;
+using signal::WindowKind;
+
+TEST(ChebPoly, MatchesCosineDefinitionInside) {
+  for (double x : {-0.9, -0.3, 0.0, 0.4, 1.0}) {
+    EXPECT_NEAR(signal::cheb_poly(3, x), 4 * x * x * x - 3 * x, 1e-12);
+    EXPECT_NEAR(signal::cheb_poly(2, x), 2 * x * x - 1, 1e-12);
+  }
+}
+
+TEST(ChebPoly, GrowsOutside) {
+  EXPECT_GT(signal::cheb_poly(8, 1.5), 1.0);
+  // parity: T_m(-x) = (-1)^m T_m(x)
+  EXPECT_NEAR(signal::cheb_poly(5, -1.5), -signal::cheb_poly(5, 1.5), 1e-9);
+  EXPECT_NEAR(signal::cheb_poly(6, -1.5), signal::cheb_poly(6, 1.5), 1e-9);
+}
+
+class WindowTest : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowTest, SymmetricRealPeakCentered) {
+  const auto w = signal::make_window(GetParam(), 0.02, 1e-6);
+  ASSERT_GE(w.size(), 3u);
+  const std::size_t c = w.size() / 2;
+  EXPECT_NEAR(w[c], 1.0, 0.05);  // unit peak at the center
+  for (std::size_t i = 0; i < w.size() / 2; ++i)
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-6) << i;
+}
+
+TEST_P(WindowTest, FrequencySidelobesBelowTolerance) {
+  const double lobefrac = 0.05, tol = 1e-6;
+  const auto w = signal::make_window(GetParam(), lobefrac, tol);
+  const std::size_t n = 4096;
+  ASSERT_LT(w.size(), n);
+  // Center taps at t=0 and inspect the response outside the main lobe.
+  cvec g(n, cplx{});
+  for (std::size_t j = 0; j < w.size(); ++j)
+    g[(j + n - w.size() / 2) % n] = cplx{w[j], 0.0};
+  cvec G = fft::fft(g);
+  const double peak = std::abs(G[0]);
+  EXPECT_GT(peak, 0.0);
+  const auto lobe = static_cast<std::size_t>(lobefrac * n);
+  for (std::size_t f = lobe + 1; f <= n / 2; ++f) {
+    EXPECT_LT(std::abs(G[f]) / peak, 20 * tol) << "f=" << f;
+    EXPECT_LT(std::abs(G[n - f]) / peak, 20 * tol) << "-f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, WindowTest,
+                         ::testing::Values(WindowKind::kDolphChebyshev,
+                                           WindowKind::kGaussian,
+                                           WindowKind::kKaiser));
+
+TEST(FlatFilter, RejectsBadArgs) {
+  EXPECT_THROW(signal::make_flat_filter(1000, 16), std::invalid_argument);
+  EXPECT_THROW(signal::make_flat_filter(1024, 24), std::invalid_argument);
+  EXPECT_THROW(signal::make_flat_filter(1024, 2048), std::invalid_argument);
+}
+
+TEST(FlatFilter, ShapesAndInvariants) {
+  const std::size_t n = 1 << 14, B = 64;
+  FlatFilter f = signal::make_flat_filter(n, B);
+  EXPECT_EQ(f.freq.size(), n);
+  EXPECT_TRUE(is_pow2(f.time.size()));
+  EXPECT_GE(f.time.size(), B);
+  EXPECT_LE(f.time.size(), n);
+  EXPECT_EQ(f.time.size() % B, 0u);  // integral rounds for the GPU kernel
+  // Peak-normalized frequency response.
+  double peak = 0;
+  for (const auto& v : f.freq) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, 1.0, 1e-9);
+}
+
+TEST(FlatFilter, PassbandFlatAndTailSmall) {
+  const std::size_t n = 1 << 14, B = 64;
+  FlatFilter f = signal::make_flat_filter(n, B);
+  const std::size_t half_bucket = n / (2 * B);
+  // Inside the bucket (the offsets estimation divides by): response must be
+  // well above the tail so the division is stable.
+  for (std::size_t d = 0; d <= half_bucket; ++d) {
+    EXPECT_GT(std::abs(f.freq[d]), 0.3) << d;
+    EXPECT_GT(std::abs(f.freq[n - 1 - d]), 0.2) << d;
+  }
+  // Far outside (more than 2 buckets away): exponentially small.
+  for (std::size_t ff = 4 * half_bucket; ff <= n / 2; ff += half_bucket)
+    EXPECT_LT(std::abs(f.freq[ff]), 1e-5) << ff;
+}
+
+TEST(FlatFilter, FreqIsDftOfAppliedTaps) {
+  const std::size_t n = 1 << 12, B = 32;
+  FlatFilter f = signal::make_flat_filter(n, B);
+  cvec padded(n, cplx{});
+  std::copy(f.time.begin(), f.time.end(), padded.begin());
+  cvec G = fft::fft(padded);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_NEAR(std::abs(G[i] - f.freq[i]), 0.0, 1e-9) << i;
+}
+
+TEST(FlatFilter, GaussianKindAlsoUsable) {
+  FlatFilterParams p;
+  p.kind = WindowKind::kGaussian;
+  FlatFilter f = signal::make_flat_filter(1 << 13, 32, p);
+  double peak = 0;
+  for (const auto& v : f.freq) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, 1.0, 1e-9);
+  EXPECT_GT(std::abs(f.freq[0]), 0.5);
+}
+
+TEST(Generate, ExactSparseMatchesOracle) {
+  Rng rng(11);
+  const std::size_t n = 1 << 10, k = 8;
+  auto sig = signal::make_sparse_signal(n, k, rng);
+  ASSERT_EQ(sig.truth.size(), k);
+  cvec oracle = fft::fft(sig.x);
+  cvec dense = densify(sig.truth, n);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_NEAR(std::abs(oracle[i] - dense[i]), 0.0, 1e-8) << i;
+}
+
+TEST(Generate, DistinctLocationsAndUnitMags) {
+  Rng rng(12);
+  auto sig = signal::make_sparse_signal(1 << 12, 64, rng);
+  std::set<u64> locs;
+  for (const auto& c : sig.truth) {
+    locs.insert(c.loc);
+    EXPECT_NEAR(std::abs(c.val), 1.0, 1e-12);
+  }
+  EXPECT_EQ(locs.size(), 64u);
+}
+
+TEST(Generate, UniformMagnitudeRange) {
+  Rng rng(13);
+  signal::SparseSignalParams p;
+  p.mags = signal::MagnitudeDist::kUniform1to10;
+  auto sig = signal::make_sparse_signal(1 << 12, 128, rng, p);
+  for (const auto& c : sig.truth) {
+    EXPECT_GE(std::abs(c.val), 1.0 - 1e-9);
+    EXPECT_LE(std::abs(c.val), 10.0 + 1e-9);
+  }
+}
+
+TEST(Generate, NoiseRaisesTimeDomainEnergy) {
+  Rng a(14), b(14);
+  auto clean = signal::make_sparse_signal(1 << 10, 4, a);
+  signal::SparseSignalParams p;
+  p.noise_sigma = 0.1;
+  auto noisy = signal::make_sparse_signal(1 << 10, 4, b, p);
+  double ec = 0, en = 0;
+  for (const auto& v : clean.x) ec += std::norm(v);
+  for (const auto& v : noisy.x) en += std::norm(v);
+  EXPECT_GT(en, ec);
+}
+
+TEST(Generate, ClusteredRunsAreContiguous) {
+  Rng rng(15);
+  auto sig = signal::make_clustered_signal(1 << 12, 12, 3, rng);
+  EXPECT_EQ(sig.truth.size(), 12u);
+  cvec oracle = fft::fft(sig.x);
+  cvec dense = densify(sig.truth, 1 << 12);
+  for (std::size_t i = 0; i < oracle.size(); ++i)
+    ASSERT_NEAR(std::abs(oracle[i] - dense[i]), 0.0, 1e-8);
+}
+
+TEST(Generate, RejectsBadArgs) {
+  Rng rng(16);
+  EXPECT_THROW(signal::make_sparse_signal(1000, 4, rng),
+               std::invalid_argument);
+  EXPECT_THROW(signal::make_clustered_signal(1 << 10, 4, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(signal::make_clustered_signal(1 << 10, 4, 9, rng),
+               std::invalid_argument);
+}
+
+
+TEST(WindowLength, MatchesBuiltWindows) {
+  for (auto kind : {WindowKind::kDolphChebyshev, WindowKind::kGaussian,
+                    WindowKind::kKaiser}) {
+    for (double lobefrac : {0.01, 0.05, 0.2}) {
+      for (double tol : {1e-4, 1e-8}) {
+        EXPECT_EQ(signal::window_length(kind, lobefrac, tol),
+                  signal::make_window(kind, lobefrac, tol).size())
+            << lobefrac << " " << tol;
+      }
+    }
+  }
+  EXPECT_THROW(signal::window_length(WindowKind::kGaussian, 0.7, 1e-6),
+               std::invalid_argument);
+}
+
+TEST(FlatFilterSizes, MatchesBuiltFilter) {
+  for (std::size_t B : {16u, 64u, 512u}) {
+    const std::size_t n = 1 << 14;
+    const auto [w, w_pad] = signal::flat_filter_sizes(n, B);
+    const auto f = signal::make_flat_filter(n, B);
+    EXPECT_EQ(w, f.w_active) << B;
+    EXPECT_EQ(w_pad, f.time.size()) << B;
+  }
+}
+
+
+TEST(BesselI0, MatchesKnownValues) {
+  EXPECT_NEAR(signal::bessel_i0(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(signal::bessel_i0(1.0), 1.2660658777520084, 1e-12);
+  EXPECT_NEAR(signal::bessel_i0(5.0), 27.239871823604442, 1e-9);
+  // Even function.
+  EXPECT_DOUBLE_EQ(signal::bessel_i0(-3.0), signal::bessel_i0(3.0));
+}
+
+TEST(KaiserWindow, FlatFilterWorksEndToEnd) {
+  FlatFilterParams p;
+  p.kind = WindowKind::kKaiser;
+  FlatFilter f = signal::make_flat_filter(1 << 13, 32, p);
+  double peak = 0;
+  for (const auto& v : f.freq) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, 1.0, 1e-9);
+  EXPECT_GT(std::abs(f.freq[0]), 0.5);
+}
+
+}  // namespace
+}  // namespace cusfft
