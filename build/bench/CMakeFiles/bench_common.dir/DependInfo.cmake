@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cpp" "bench/CMakeFiles/bench_common.dir/common.cpp.o" "gcc" "bench/CMakeFiles/bench_common.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cusfft/CMakeFiles/cusfft_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/psfft/CMakeFiles/cusfft_psfft.dir/DependInfo.cmake"
+  "/root/repo/build/src/cufftsim/CMakeFiles/cusfft_cufftsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfft/CMakeFiles/cusfft_sfft.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/cusfft_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/custhrust/CMakeFiles/cusfft_custhrust.dir/DependInfo.cmake"
+  "/root/repo/build/src/cusim/CMakeFiles/cusfft_cusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/cusfft_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/cusfft_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cusfft_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

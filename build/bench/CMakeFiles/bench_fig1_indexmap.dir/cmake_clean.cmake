@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_indexmap.dir/bench_fig1_indexmap.cpp.o"
+  "CMakeFiles/bench_fig1_indexmap.dir/bench_fig1_indexmap.cpp.o.d"
+  "bench_fig1_indexmap"
+  "bench_fig1_indexmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_indexmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_speedup_cufft.dir/bench_fig5c_speedup_cufft.cpp.o"
+  "CMakeFiles/bench_fig5c_speedup_cufft.dir/bench_fig5c_speedup_cufft.cpp.o.d"
+  "bench_fig5c_speedup_cufft"
+  "bench_fig5c_speedup_cufft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_speedup_cufft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5d_speedup_fftw.dir/bench_fig5d_speedup_fftw.cpp.o"
+  "CMakeFiles/bench_fig5d_speedup_fftw.dir/bench_fig5d_speedup_fftw.cpp.o.d"
+  "bench_fig5d_speedup_fftw"
+  "bench_fig5d_speedup_fftw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5d_speedup_fftw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

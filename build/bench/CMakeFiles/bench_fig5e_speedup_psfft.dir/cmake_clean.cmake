@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5e_speedup_psfft.dir/bench_fig5e_speedup_psfft.cpp.o"
+  "CMakeFiles/bench_fig5e_speedup_psfft.dir/bench_fig5e_speedup_psfft.cpp.o.d"
+  "bench_fig5e_speedup_psfft"
+  "bench_fig5e_speedup_psfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5e_speedup_psfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5e_speedup_psfft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_transform.dir/file_transform.cpp.o"
+  "CMakeFiles/file_transform.dir/file_transform.cpp.o.d"
+  "file_transform"
+  "file_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gps_acquisition.dir/gps_acquisition.cpp.o"
+  "CMakeFiles/gps_acquisition.dir/gps_acquisition.cpp.o.d"
+  "gps_acquisition"
+  "gps_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitone_tracker.dir/multitone_tracker.cpp.o"
+  "CMakeFiles/multitone_tracker.dir/multitone_tracker.cpp.o.d"
+  "multitone_tracker"
+  "multitone_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitone_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

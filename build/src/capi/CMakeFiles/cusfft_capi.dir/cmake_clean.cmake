@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_capi.dir/cusfft_c.cpp.o"
+  "CMakeFiles/cusfft_capi.dir/cusfft_c.cpp.o.d"
+  "libcusfft_capi.a"
+  "libcusfft_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

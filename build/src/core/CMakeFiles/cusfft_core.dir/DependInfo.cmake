@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/cusfft_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/cusfft_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/modmath.cpp" "src/core/CMakeFiles/cusfft_core.dir/modmath.cpp.o" "gcc" "src/core/CMakeFiles/cusfft_core.dir/modmath.cpp.o.d"
+  "/root/repo/src/core/spectrum.cpp" "src/core/CMakeFiles/cusfft_core.dir/spectrum.cpp.o" "gcc" "src/core/CMakeFiles/cusfft_core.dir/spectrum.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/cusfft_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/cusfft_core.dir/table.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/core/CMakeFiles/cusfft_core.dir/thread_pool.cpp.o" "gcc" "src/core/CMakeFiles/cusfft_core.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_core.dir/metrics.cpp.o"
+  "CMakeFiles/cusfft_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/cusfft_core.dir/modmath.cpp.o"
+  "CMakeFiles/cusfft_core.dir/modmath.cpp.o.d"
+  "CMakeFiles/cusfft_core.dir/spectrum.cpp.o"
+  "CMakeFiles/cusfft_core.dir/spectrum.cpp.o.d"
+  "CMakeFiles/cusfft_core.dir/table.cpp.o"
+  "CMakeFiles/cusfft_core.dir/table.cpp.o.d"
+  "CMakeFiles/cusfft_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/cusfft_core.dir/thread_pool.cpp.o.d"
+  "libcusfft_core.a"
+  "libcusfft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_cufftsim.dir/cufftsim.cpp.o"
+  "CMakeFiles/cusfft_cufftsim.dir/cufftsim.cpp.o.d"
+  "libcusfft_cufftsim.a"
+  "libcusfft_cufftsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_cufftsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

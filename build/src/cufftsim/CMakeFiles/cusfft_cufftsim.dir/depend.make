@@ -1,0 +1,2 @@
+# Empty dependencies file for cusfft_cufftsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_gpu.dir/plan.cpp.o"
+  "CMakeFiles/cusfft_gpu.dir/plan.cpp.o.d"
+  "libcusfft_gpu.a"
+  "libcusfft_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

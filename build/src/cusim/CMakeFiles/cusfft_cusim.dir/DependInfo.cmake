@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cusim/device.cpp" "src/cusim/CMakeFiles/cusfft_cusim.dir/device.cpp.o" "gcc" "src/cusim/CMakeFiles/cusfft_cusim.dir/device.cpp.o.d"
+  "/root/repo/src/cusim/report.cpp" "src/cusim/CMakeFiles/cusfft_cusim.dir/report.cpp.o" "gcc" "src/cusim/CMakeFiles/cusfft_cusim.dir/report.cpp.o.d"
+  "/root/repo/src/cusim/timeline.cpp" "src/cusim/CMakeFiles/cusfft_cusim.dir/timeline.cpp.o" "gcc" "src/cusim/CMakeFiles/cusfft_cusim.dir/timeline.cpp.o.d"
+  "/root/repo/src/cusim/trace.cpp" "src/cusim/CMakeFiles/cusfft_cusim.dir/trace.cpp.o" "gcc" "src/cusim/CMakeFiles/cusfft_cusim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cusfft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/cusfft_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_cusim.dir/device.cpp.o"
+  "CMakeFiles/cusfft_cusim.dir/device.cpp.o.d"
+  "CMakeFiles/cusfft_cusim.dir/report.cpp.o"
+  "CMakeFiles/cusfft_cusim.dir/report.cpp.o.d"
+  "CMakeFiles/cusfft_cusim.dir/timeline.cpp.o"
+  "CMakeFiles/cusfft_cusim.dir/timeline.cpp.o.d"
+  "CMakeFiles/cusfft_cusim.dir/trace.cpp.o"
+  "CMakeFiles/cusfft_cusim.dir/trace.cpp.o.d"
+  "libcusfft_cusim.a"
+  "libcusfft_cusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_cusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

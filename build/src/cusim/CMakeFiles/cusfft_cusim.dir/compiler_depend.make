@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cusfft_cusim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_custhrust.dir/reduce.cpp.o"
+  "CMakeFiles/cusfft_custhrust.dir/reduce.cpp.o.d"
+  "CMakeFiles/cusfft_custhrust.dir/scan.cpp.o"
+  "CMakeFiles/cusfft_custhrust.dir/scan.cpp.o.d"
+  "CMakeFiles/cusfft_custhrust.dir/select.cpp.o"
+  "CMakeFiles/cusfft_custhrust.dir/select.cpp.o.d"
+  "CMakeFiles/cusfft_custhrust.dir/sort.cpp.o"
+  "CMakeFiles/cusfft_custhrust.dir/sort.cpp.o.d"
+  "libcusfft_custhrust.a"
+  "libcusfft_custhrust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_custhrust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_fft.dir/dft.cpp.o"
+  "CMakeFiles/cusfft_fft.dir/dft.cpp.o.d"
+  "CMakeFiles/cusfft_fft.dir/fft.cpp.o"
+  "CMakeFiles/cusfft_fft.dir/fft.cpp.o.d"
+  "libcusfft_fft.a"
+  "libcusfft_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_perfmodel.dir/cpu_model.cpp.o"
+  "CMakeFiles/cusfft_perfmodel.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/cusfft_perfmodel.dir/gpu_model.cpp.o"
+  "CMakeFiles/cusfft_perfmodel.dir/gpu_model.cpp.o.d"
+  "libcusfft_perfmodel.a"
+  "libcusfft_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_psfft.dir/fftw_baseline.cpp.o"
+  "CMakeFiles/cusfft_psfft.dir/fftw_baseline.cpp.o.d"
+  "CMakeFiles/cusfft_psfft.dir/psfft.cpp.o"
+  "CMakeFiles/cusfft_psfft.dir/psfft.cpp.o.d"
+  "libcusfft_psfft.a"
+  "libcusfft_psfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_psfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

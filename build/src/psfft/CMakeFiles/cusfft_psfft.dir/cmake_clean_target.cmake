@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcusfft_psfft.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfft/comb.cpp" "src/sfft/CMakeFiles/cusfft_sfft.dir/comb.cpp.o" "gcc" "src/sfft/CMakeFiles/cusfft_sfft.dir/comb.cpp.o.d"
+  "/root/repo/src/sfft/inverse.cpp" "src/sfft/CMakeFiles/cusfft_sfft.dir/inverse.cpp.o" "gcc" "src/sfft/CMakeFiles/cusfft_sfft.dir/inverse.cpp.o.d"
+  "/root/repo/src/sfft/params.cpp" "src/sfft/CMakeFiles/cusfft_sfft.dir/params.cpp.o" "gcc" "src/sfft/CMakeFiles/cusfft_sfft.dir/params.cpp.o.d"
+  "/root/repo/src/sfft/serial.cpp" "src/sfft/CMakeFiles/cusfft_sfft.dir/serial.cpp.o" "gcc" "src/sfft/CMakeFiles/cusfft_sfft.dir/serial.cpp.o.d"
+  "/root/repo/src/sfft/steps.cpp" "src/sfft/CMakeFiles/cusfft_sfft.dir/steps.cpp.o" "gcc" "src/sfft/CMakeFiles/cusfft_sfft.dir/steps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cusfft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/cusfft_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/cusfft_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_sfft.dir/comb.cpp.o"
+  "CMakeFiles/cusfft_sfft.dir/comb.cpp.o.d"
+  "CMakeFiles/cusfft_sfft.dir/inverse.cpp.o"
+  "CMakeFiles/cusfft_sfft.dir/inverse.cpp.o.d"
+  "CMakeFiles/cusfft_sfft.dir/params.cpp.o"
+  "CMakeFiles/cusfft_sfft.dir/params.cpp.o.d"
+  "CMakeFiles/cusfft_sfft.dir/serial.cpp.o"
+  "CMakeFiles/cusfft_sfft.dir/serial.cpp.o.d"
+  "CMakeFiles/cusfft_sfft.dir/steps.cpp.o"
+  "CMakeFiles/cusfft_sfft.dir/steps.cpp.o.d"
+  "libcusfft_sfft.a"
+  "libcusfft_sfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_sfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/filter.cpp" "src/signal/CMakeFiles/cusfft_signal.dir/filter.cpp.o" "gcc" "src/signal/CMakeFiles/cusfft_signal.dir/filter.cpp.o.d"
+  "/root/repo/src/signal/generate.cpp" "src/signal/CMakeFiles/cusfft_signal.dir/generate.cpp.o" "gcc" "src/signal/CMakeFiles/cusfft_signal.dir/generate.cpp.o.d"
+  "/root/repo/src/signal/window.cpp" "src/signal/CMakeFiles/cusfft_signal.dir/window.cpp.o" "gcc" "src/signal/CMakeFiles/cusfft_signal.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cusfft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/cusfft_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

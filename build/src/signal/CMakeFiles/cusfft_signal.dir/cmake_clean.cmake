@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusfft_signal.dir/filter.cpp.o"
+  "CMakeFiles/cusfft_signal.dir/filter.cpp.o.d"
+  "CMakeFiles/cusfft_signal.dir/generate.cpp.o"
+  "CMakeFiles/cusfft_signal.dir/generate.cpp.o.d"
+  "CMakeFiles/cusfft_signal.dir/window.cpp.o"
+  "CMakeFiles/cusfft_signal.dir/window.cpp.o.d"
+  "libcusfft_signal.a"
+  "libcusfft_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusfft_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

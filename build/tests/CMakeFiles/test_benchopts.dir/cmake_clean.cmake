@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchopts.dir/test_benchopts.cpp.o"
+  "CMakeFiles/test_benchopts.dir/test_benchopts.cpp.o.d"
+  "test_benchopts"
+  "test_benchopts.pdb"
+  "test_benchopts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchopts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

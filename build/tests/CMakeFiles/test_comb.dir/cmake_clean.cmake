@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comb.dir/test_comb.cpp.o"
+  "CMakeFiles/test_comb.dir/test_comb.cpp.o.d"
+  "test_comb"
+  "test_comb.pdb"
+  "test_comb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

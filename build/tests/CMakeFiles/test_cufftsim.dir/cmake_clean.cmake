@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cufftsim.dir/test_cufftsim.cpp.o"
+  "CMakeFiles/test_cufftsim.dir/test_cufftsim.cpp.o.d"
+  "test_cufftsim"
+  "test_cufftsim.pdb"
+  "test_cufftsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cufftsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cusfft.dir/test_cusfft.cpp.o"
+  "CMakeFiles/test_cusfft.dir/test_cusfft.cpp.o.d"
+  "test_cusfft"
+  "test_cusfft.pdb"
+  "test_cusfft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cusfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

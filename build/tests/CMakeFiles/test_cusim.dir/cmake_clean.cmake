@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cusim.dir/test_cusim.cpp.o"
+  "CMakeFiles/test_cusim.dir/test_cusim.cpp.o.d"
+  "test_cusim"
+  "test_cusim.pdb"
+  "test_cusim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

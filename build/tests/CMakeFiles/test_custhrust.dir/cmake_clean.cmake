@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_custhrust.dir/test_custhrust.cpp.o"
+  "CMakeFiles/test_custhrust.dir/test_custhrust.cpp.o.d"
+  "test_custhrust"
+  "test_custhrust.pdb"
+  "test_custhrust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_custhrust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_golden.dir/test_model_golden.cpp.o"
+  "CMakeFiles/test_model_golden.dir/test_model_golden.cpp.o.d"
+  "test_model_golden"
+  "test_model_golden.pdb"
+  "test_model_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_psfft.cpp" "tests/CMakeFiles/test_psfft.dir/test_psfft.cpp.o" "gcc" "tests/CMakeFiles/test_psfft.dir/test_psfft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/psfft/CMakeFiles/cusfft_psfft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfft/CMakeFiles/cusfft_sfft.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/cusfft_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/cusfft_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/cusfft_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cusfft_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

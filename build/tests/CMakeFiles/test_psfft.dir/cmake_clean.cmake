@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psfft.dir/test_psfft.cpp.o"
+  "CMakeFiles/test_psfft.dir/test_psfft.cpp.o.d"
+  "test_psfft"
+  "test_psfft.pdb"
+  "test_psfft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfft.dir/test_sfft.cpp.o"
+  "CMakeFiles/test_sfft.dir/test_sfft.cpp.o.d"
+  "test_sfft"
+  "test_sfft.pdb"
+  "test_sfft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

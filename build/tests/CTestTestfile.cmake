@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_signal[1]_include.cmake")
+include("/root/repo/build/tests/test_sfft[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_cusim[1]_include.cmake")
+include("/root/repo/build/tests/test_custhrust[1]_include.cmake")
+include("/root/repo/build/tests/test_cufftsim[1]_include.cmake")
+include("/root/repo/build/tests/test_cusfft[1]_include.cmake")
+include("/root/repo/build/tests/test_psfft[1]_include.cmake")
+include("/root/repo/build/tests/test_comb[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_capi[1]_include.cmake")
+include("/root/repo/build/tests/test_model_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_benchopts[1]_include.cmake")
