@@ -1,0 +1,106 @@
+// Throughput bench: signals/sec of the optimized GPU backend when many
+// same-shape signals flow through one plan. Three configurations at
+// n = 2^min_logn (CUSFFT_MIN_LOGN / --min-logn), batch size CUSFFT_BATCH:
+//   cold_plan    — a fresh GpuPlan per signal (what a naive caller pays;
+//                  with the filter cache and buffer pool warm, plan cost is
+//                  permutation setup + filter upload, not two length-n FFTs);
+//   execute      — one plan, N independent execute() calls;
+//   execute_many — one plan, one batched call (no per-call capture reset).
+// host_sps is functional-simulation wall throughput on this container;
+// model_ms_per_signal is the modeled device time and must not depend on
+// which configuration ran.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "common.hpp"
+#include "cusfft/plan.hpp"
+#include "cusim/device.hpp"
+#include "cusim/pool.hpp"
+#include "signal/filter.hpp"
+
+using namespace cusfft;
+using namespace cusfft::bench;
+
+int main(int argc, char** argv) {
+  const BenchOpts o = BenchOpts::parse(argc, argv);
+  const char* batch_env = std::getenv("CUSFFT_BATCH");
+  const std::size_t batch =
+      batch_env ? std::strtoull(batch_env, nullptr, 10) : 8;
+  const std::size_t n = 1ULL << o.min_logn;
+  const std::size_t k = std::min(o.k, n / 8);
+  std::cout << "Throughput: optimized GPU backend, n=2^" << o.min_logn
+            << " k=" << k << " batch=" << batch << "\n\n";
+
+  std::vector<cvec> signals;
+  std::vector<std::span<const cplx>> views;
+  for (std::size_t i = 0; i < batch; ++i)
+    signals.push_back(make_signal(n, k, o.seed + i));
+  for (const cvec& s : signals) views.emplace_back(s);
+
+  const sfft::Params params = paper_params(n, k, o.seed);
+  const gpu::Options opts = gpu::Options::optimized();
+
+  ResultTable t({"mode", "signals", "host_ms", "host_sps",
+                 "model_ms_per_signal"});
+  auto add = [&](const char* mode, double host_ms, double model_ms) {
+    t.add_row({mode, std::to_string(batch), ResultTable::num(host_ms),
+               ResultTable::num(host_ms > 0
+                                    ? 1e3 * static_cast<double>(batch) /
+                                          host_ms
+                                    : 0),
+               ResultTable::num(batch > 0
+                                    ? model_ms / static_cast<double>(batch)
+                                    : 0)});
+  };
+
+  {  // cold_plan: plan + execute per signal (pool/filter-cache warm-up run
+     // first so the row measures the recycled steady state).
+    cusim::Device dev;
+    { gpu::GpuPlan warm(dev, params, opts); }
+    WallTimer wall;
+    double model_ms = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      gpu::GpuPlan plan(dev, params, opts);
+      gpu::GpuExecStats st;
+      plan.execute(views[i], &st);
+      model_ms += st.model_ms;
+    }
+    add("cold_plan", wall.ms(), model_ms);
+  }
+
+  {  // execute: one plan, N captures.
+    cusim::Device dev;
+    gpu::GpuPlan plan(dev, params, opts);
+    WallTimer wall;
+    double model_ms = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      gpu::GpuExecStats st;
+      plan.execute(views[i], &st);
+      model_ms += st.model_ms;
+    }
+    add("execute", wall.ms(), model_ms);
+  }
+
+  {  // execute_many: one plan, one capture for the whole batch.
+    cusim::Device dev;
+    gpu::GpuPlan plan(dev, params, opts);
+    WallTimer wall;
+    gpu::GpuBatchStats st;
+    plan.execute_many(views, &st);
+    add("execute_many", wall.ms(), st.model_ms);
+  }
+
+  const auto pool = cusim::BufferPool::global().stats();
+  const auto fc = signal::flat_filter_cache_stats();
+  std::cout << "\nbuffer pool: " << pool.allocations << " allocations, "
+            << pool.reuses << " reuses, "
+            << pool.bytes_allocated / (1024 * 1024) << " MiB allocated\n"
+            << "filter cache: " << fc.hits << " hits, " << fc.misses
+            << " misses\n\n";
+
+  emit(o, "throughput", t);
+  return 0;
+}

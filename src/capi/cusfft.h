@@ -51,6 +51,18 @@ cusfft_status cusfft_execute(cusfft_handle h, const double* input,
                              uint64_t* locations, double* values,
                              size_t* count);
 
+/* Batch (throughput) variant. `inputs` is `batch` signals of n interleaved
+ * (re, im) doubles each, laid out back to back (stride 2*n doubles).
+ * `capacity` is the per-signal capacity of the output arrays: signal i
+ * writes at most `capacity` pairs into locations + i*capacity and
+ * values + 2*i*capacity, and counts[i] receives the number written
+ * (truncated to capacity, largest magnitudes first). GPU backends reuse
+ * one plan's device state across the whole batch; CPU backends loop. */
+cusfft_status cusfft_execute_many(cusfft_handle h, const double* inputs,
+                                  size_t batch, size_t capacity,
+                                  uint64_t* locations, double* values,
+                                  size_t* counts);
+
 /* Plan introspection. */
 cusfft_status cusfft_get_size(cusfft_handle h, size_t* n, size_t* k);
 

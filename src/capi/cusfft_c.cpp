@@ -4,6 +4,7 @@
 #include <memory>
 #include <new>
 #include <span>
+#include <vector>
 
 #include "core/spectrum.hpp"
 #include "core/thread_pool.hpp"
@@ -114,6 +115,55 @@ cusfft_status cusfft_execute(cusfft_handle h, const double* input,
       values[2 * i + 1] = s[i].val.imag();
     }
     *count = s.size();
+  } catch (const std::invalid_argument&) {
+    return CUSFFT_INVALID_ARGUMENT;
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_execute_many(cusfft_handle h, const double* inputs,
+                                  size_t batch, size_t capacity,
+                                  uint64_t* locations, double* values,
+                                  size_t* counts) {
+  if (h == nullptr || inputs == nullptr || locations == nullptr ||
+      values == nullptr || counts == nullptr)
+    return CUSFFT_INVALID_ARGUMENT;
+  try {
+    const size_t n = h->params.n;
+    std::vector<std::span<const cusfft::cplx>> xs(batch);
+    for (size_t i = 0; i < batch; ++i)
+      xs[i] = std::span<const cusfft::cplx>(
+          reinterpret_cast<const cusfft::cplx*>(inputs) + i * n, n);
+
+    std::vector<cusfft::SparseSpectrum> results;
+    switch (h->backend) {
+      case CUSFFT_BACKEND_SERIAL:
+        results.reserve(batch);
+        for (const auto& x : xs) results.push_back(h->serial->execute(x));
+        break;
+      case CUSFFT_BACKEND_PSFFT:
+        results.reserve(batch);
+        for (const auto& x : xs) results.push_back(h->psfft->execute(x));
+        break;
+      default:
+        results = h->gpu->execute_many(xs);
+        break;
+    }
+
+    for (size_t i = 0; i < batch; ++i) {
+      cusfft::SparseSpectrum s = std::move(results[i]);
+      if (s.size() > capacity) s = cusfft::trim_top_k(std::move(s), capacity);
+      uint64_t* locs = locations + i * capacity;
+      double* vals = values + 2 * i * capacity;
+      for (size_t j = 0; j < s.size(); ++j) {
+        locs[j] = s[j].loc;
+        vals[2 * j] = s[j].val.real();
+        vals[2 * j + 1] = s[j].val.imag();
+      }
+      counts[i] = s.size();
+    }
   } catch (const std::invalid_argument&) {
     return CUSFFT_INVALID_ARGUMENT;
   } catch (...) {

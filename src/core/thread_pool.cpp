@@ -1,6 +1,7 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace cusfft {
 
@@ -36,7 +37,14 @@ void ThreadPool::worker_loop(std::size_t idx) {
       task = tasks_[idx];
       tasks_[idx].fn = nullptr;
     }
-    if (task.fn && task.begin < task.end) (*task.fn)(task.begin, task.end);
+    if (task.fn && task.begin < task.end) {
+      try {
+        (*task.fn)(idx, task.begin, task.end);
+      } catch (...) {
+        std::lock_guard lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
     {
       std::lock_guard lk(mu_);
       --pending_;
@@ -48,10 +56,17 @@ void ThreadPool::worker_loop(std::size_t idx) {
 void ThreadPool::parallel_for(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for_indexed(
+      count, [&fn](std::size_t, std::size_t b, std::size_t e) { fn(b, e); });
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   const std::size_t nthreads = tasks_.size();
   if (count == 0) return;
   if (nthreads <= 1 || count == 1) {
-    fn(0, count);
+    fn(0, 0, count);
     return;
   }
   const std::size_t chunk = (count + nthreads - 1) / nthreads;
@@ -59,6 +74,7 @@ void ThreadPool::parallel_for(
   {
     std::lock_guard lk(mu_);
     pending_ = 0;
+    error_ = nullptr;
     for (std::size_t i = 1; i < nthreads; ++i) {
       const std::size_t b = std::min(i * chunk, count);
       const std::size_t e = std::min(b + chunk, count);
@@ -72,13 +88,30 @@ void ThreadPool::parallel_for(
     ++generation_;
   }
   cv_work_.notify_all();
-  fn(0, my_end);  // chunk 0 on the calling thread
+  try {
+    fn(0, 0, my_end);  // chunk 0 on the calling thread
+  } catch (...) {
+    std::lock_guard lk(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
   std::unique_lock lk(mu_);
   cv_done_.wait(lk, [&] { return pending_ == 0; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("CUSFFT_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(std::min(v, 512L));
+    }
+    return std::size_t{0};  // hardware concurrency
+  }());
   return pool;
 }
 

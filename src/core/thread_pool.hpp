@@ -1,10 +1,13 @@
 // Minimal work-sharing thread pool with a blocking parallel_for. Stands in
-// for OpenMP worksharing in the CPU comparators (parallel FFTW / PsFFT): the
-// decomposition is the same static chunking `#pragma omp parallel for` uses.
+// for OpenMP worksharing in the CPU comparators (parallel FFTW / PsFFT) and
+// drives the block-parallel functional execution of cusim::Device::launch:
+// the decomposition is the same static chunking `#pragma omp parallel for`
+// uses.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,16 +29,27 @@ class ThreadPool {
 
   /// Runs fn(begin, end) over [0, count) split into one contiguous chunk per
   /// worker (static schedule), blocking until every chunk completes. The
-  /// calling thread executes chunk 0 itself.
+  /// calling thread executes chunk 0 itself. The first exception thrown by
+  /// any chunk is rethrown on the calling thread after all chunks finish.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
-  /// Process-wide pool sized to the hardware (created on first use).
+  /// Same decomposition, but fn also receives the chunk slot in
+  /// [0, size()) so callers can keep per-worker state without sharing.
+  void parallel_for_indexed(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool (created on first use). Sized from the CUSFFT_THREADS
+  /// environment variable when set (clamped to [1, 512]); otherwise to the
+  /// hardware. CUSFFT_THREADS=1 forces fully serial execution everywhere the
+  /// global pool is used — the reproducibility knob for 1-core CI runners.
   static ThreadPool& global();
 
  private:
   struct Task {
-    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
+        nullptr;
     std::size_t begin = 0, end = 0;
   };
 
@@ -48,6 +62,7 @@ class ThreadPool {
   std::vector<Task> tasks_;     // one slot per worker
   std::size_t pending_ = 0;     // tasks not yet finished in this batch
   std::size_t generation_ = 0;  // bumped per parallel_for call
+  std::exception_ptr error_;    // first failure in the current batch
   bool stop_ = false;
 };
 

@@ -33,7 +33,6 @@ struct GpuPlan::Impl {
 
   std::size_t n = 0, B = 0, L = 0, w_pad = 0, rounds = 0, mask = 0;
   std::size_t hits_cap = 0;
-  signal::FlatFilter filter;             // host-side construction
   std::vector<sfft::LoopPerm> perms;     // same draw as the serial plan
 
   // Device-resident state (allocated once per plan, like a real cusFFT
@@ -144,7 +143,11 @@ struct GpuPlan::Impl {
                   const u64 i = t.global_id();
                   if (i < B) dst.store(t, dst_off + i, cplx{0.0, 0.0});
                 });
-    dev->launch(LaunchCfg::for_elements("pf_atomic_hist", w_pad, 256, s),
+    // Complex-double atomics: keep the functional accumulation order fixed
+    // so rounding matches the sequential sweep bit for bit.
+    auto cfg = LaunchCfg::for_elements("pf_atomic_hist", w_pad, 256, s);
+    cfg.sequential = true;
+    dev->launch(cfg,
                 [&, ai, tau, dst_off](ThreadCtx& t) {
                   const u64 i = t.global_id();
                   if (i >= w_pad) return;
@@ -182,7 +185,11 @@ struct GpuPlan::Impl {
         }
       }
     };
-    dev->launch(LaunchCfg::for_elements("pf_shared_hist", w_pad, 256, s),
+    // The closure-local sub-histogram emulates per-block shared memory by
+    // relying on blocks executing in order — host-sequential by contract.
+    auto cfg = LaunchCfg::for_elements("pf_shared_hist", w_pad, 256, s);
+    cfg.sequential = true;
+    dev->launch(cfg,
                 [&, ai, tau](ThreadCtx& t) {
                   if (t.block_idx != current_block) {
                     flush(t);  // previous block's merge stage
@@ -273,7 +280,12 @@ struct GpuPlan::Impl {
 
     dev->launch(LaunchCfg::for_elements("select_reset", 1, 1, s),
                 [&](ThreadCtx& t) { d_sel_count.store(t, 0, 0); });
-    dev->launch(LaunchCfg::for_elements("fast_select", B, 256, s),
+    // The atomic slot counter defines d_selected's layout; thread order
+    // must stay fixed so the selected list is identical (and ascending)
+    // under both host execution paths. B threads — negligible cost.
+    auto cfg = LaunchCfg::for_elements("fast_select", B, 256, s);
+    cfg.sequential = true;
+    dev->launch(cfg,
                 [&, r, thresh2](ThreadCtx& t) {
                   const u64 i = t.global_id();
                   if (i >= B) return;
@@ -413,6 +425,132 @@ struct GpuPlan::Impl {
           d_est.store(t, tid, cplx{re[mid], im[mid]});
         });
   }
+
+  /// Timeline markers of one signal's phase boundaries (for the per-phase
+  /// spans of GpuExecStats).
+  struct PhaseEvents {
+    std::size_t start = 0, setup = 0, binned = 0, voted = 0;
+  };
+
+  /// The full kernel sequence for one signal, inside an open capture.
+  /// execute() wraps it with stats; execute_many() calls it per signal,
+  /// reusing every piece of device state.
+  SparseSpectrum exec_signal(std::span<const cplx> x, PhaseEvents& ev) {
+    cusim::Device& dev = *this->dev;
+    if (x.size() != n)
+      throw std::invalid_argument("GpuPlan::execute: signal size mismatch");
+    ev.start = dev.record_event();
+
+    // Input transfer (H2D). When excluded from the modeled time
+    // (GPU-resident comparisons, Fig. 5a-d) the data still lands in device
+    // memory.
+    if (opts.include_transfer) {
+      dev.upload(d_signal, x);
+      dev.sync_point();  // no kernel may consume the signal mid-transfer
+    } else {
+      std::copy(x.begin(), x.end(), d_signal.host().begin());
+    }
+
+    // Reset per-signal state.
+    dev.launch(LaunchCfg::for_elements("score_clear", n, 256),
+               [&](ThreadCtx& t) {
+                 const u64 i = t.global_id();
+                 if (i < n) d_score.store(t, i, 0);
+               });
+    dev.launch(LaunchCfg::for_elements("hits_reset", 1, 1),
+               [&](ThreadCtx& t) { d_num_hits.store(t, 0, 0); });
+
+    ev.setup = dev.record_event();
+
+    // ---- sFFT 2.0 Comb prefilter (optional) ----
+    if (comb_W != 0) {
+      run_comb(0);
+      dev.sync_point();  // the voting kernels read the approved flags
+    }
+
+    // ---- Steps 1-3: binning + subsampled FFT for all L loops ----
+    for (std::size_t r = 0; r < L; ++r) {
+      DeviceBuffer<cplx>& dst = opts.batched_fft ? d_buckets : d_z;
+      const std::size_t dst_off = opts.batched_fft ? r * B : 0;
+
+      switch (opts.binning) {
+        case Binning::kSerialChain:
+          k_serial_chain(r, dst, dst_off, 0);
+          break;
+        case Binning::kAsyncTransform:
+          // Fig. 4: remap(c) -> execute(c) on stream c%32; chunks pipeline.
+          for (std::size_t c = 0; c < rounds; ++c) {
+            const StreamId s = streams[c % streams.size()];
+            k_remap(r, c, s);
+            k_execute_chunk(c, s);
+          }
+          dev.sync_point();
+          k_combine(dst, dst_off, 0);
+          break;
+        case Binning::kLoopPartition:
+          k_perm_filter_partition(r, dst, dst_off, 0);
+          break;
+        case Binning::kGlobalAtomicHist:
+          k_atomic_histogram(r, dst, dst_off, 0);
+          break;
+        case Binning::kSharedHist:
+          k_shared_histogram(r, dst, dst_off, 0);
+          break;
+      }
+
+      if (!opts.batched_fft) {
+        fft_single->execute(d_z, cufftsim::Direction::kForward, 0);
+        dev.launch(LaunchCfg::for_elements("bucket_copy", B, 256),
+                   [&, r](ThreadCtx& t) {
+                     const u64 i = t.global_id();
+                     if (i < B)
+                       d_buckets.store(t, r * B + i, d_z.load(t, i));
+                   });
+      }
+    }
+    if (opts.batched_fft) {
+      dev.sync_point();  // all loops binned before the single batched FFT
+      fft_batched->execute(d_buckets, cufftsim::Direction::kForward, 0);
+    }
+    dev.sync_point();
+    ev.binned = dev.record_event();
+
+    // ---- Steps 4-5 per location loop: cutoff + reverse hash voting ----
+    for (std::size_t r = 0; r < p.loops_loc; ++r) {
+      if (opts.fast_selection) {
+        const std::size_t count = cutoff_fast_select(r, 0);
+        k_loc_recover(r, d_selected, count, 0);
+      } else {
+        const std::size_t count = cutoff_sort_select(r, 0);
+        k_loc_recover(r, d_vals, count, 0);
+      }
+    }
+    dev.sync_point();
+    ev.voted = dev.record_event();
+
+    // ---- Step 6: estimation ----
+    const std::size_t num_hits =
+        std::min<std::size_t>(d_num_hits.host()[0], d_hits.size());
+    // Canonicalize candidate order: hits arrive in vote-completion order,
+    // which under the block-parallel host path is a nondeterministic
+    // permutation of the same set. Sorting (host-side, untraced) makes the
+    // estimation kernel's functional state and traced access pattern
+    // identical whichever launch path ran.
+    std::sort(d_hits.host().begin(), d_hits.host().begin() + num_hits);
+    if (num_hits > 0) k_estimate(num_hits, 0);
+
+    // ---- D2H of the sparse result ----
+    dev.note_transfer("d2h", static_cast<double>(num_hits) * (4 + 16));
+    SparseSpectrum out;
+    out.reserve(num_hits);
+    for (std::size_t i = 0; i < num_hits; ++i)
+      out.push_back({d_hits.host()[i], d_est.host()[i]});
+    std::sort(out.begin(), out.end(),
+              [](const SparseCoef& a, const SparseCoef& b) {
+                return a.loc < b.loc;
+              });
+    return out;
+  }
 };
 
 GpuPlan::GpuPlan(cusim::Device& dev, sfft::Params params, Options opts)
@@ -458,8 +596,11 @@ GpuPlan::GpuPlan(cusim::Device& dev, sfft::Params params, Options opts)
           std::to_string(dev.spec().global_mem_bytes / 1e9) + " GB");
   }
 
-  im.filter = signal::make_flat_filter(im.n, im.B, params.filter);
-  im.w_pad = im.filter.time.size();
+  // Shared immutable filter from the plan cache: repeated plans with the
+  // same (n, B, window) skip the two plan-time length-n FFTs.
+  const std::shared_ptr<const signal::FlatFilter> filter =
+      signal::get_flat_filter(im.n, im.B, params.filter);
+  im.w_pad = filter->time.size();
   im.rounds = im.w_pad / im.B;
   {
     Rng rng(params.seed);
@@ -477,14 +618,12 @@ GpuPlan::GpuPlan(cusim::Device& dev, sfft::Params params, Options opts)
   im.d_signal = DeviceBuffer<cplx>(im.n);
   im.d_filter_time = DeviceBuffer<cplx>(im.w_pad);
   im.d_filter_freq = DeviceBuffer<cplx>(im.n);
-  std::copy(im.filter.time.begin(), im.filter.time.end(),
+  std::copy(filter->time.begin(), filter->time.end(),
             im.d_filter_time.host().begin());
-  std::copy(im.filter.freq.begin(), im.filter.freq.end(),
+  std::copy(filter->freq.begin(), filter->freq.end(),
             im.d_filter_freq.host().begin());
-  // The host copy of the length-n frequency response is dead weight once
-  // it is device-resident (2 GB at n=2^27) — release it.
-  im.filter.freq.clear();
-  im.filter.freq.shrink_to_fit();
+  // Once device-resident the plan needs no host copy; the cache keeps one
+  // shared host instance per (n, B, window) for later plans.
   im.d_ai = DeviceBuffer<u64>(im.L);
   im.d_a = DeviceBuffer<u64>(im.L);
   im.d_tau = DeviceBuffer<u64>(im.L);
@@ -539,132 +678,61 @@ SparseSpectrum GpuPlan::execute(std::span<const cplx> x,
                                 GpuExecStats* stats) {
   Impl& im = *impl_;
   cusim::Device& dev = *im.dev;
-  if (x.size() != im.n)
-    throw std::invalid_argument("GpuPlan::execute: signal size mismatch");
 
   WallTimer wall;
   dev.begin_capture();
-  const std::size_t ev_start = dev.record_event();
-
-  // Input transfer (H2D). When excluded from the modeled time (GPU-resident
-  // comparisons, Fig. 5a-d) the data still lands in device memory.
-  if (im.opts.include_transfer) {
-    dev.upload(im.d_signal, x);
-    dev.sync_point();  // no kernel may consume the signal mid-transfer
-  } else {
-    std::copy(x.begin(), x.end(), im.d_signal.host().begin());
-  }
-
-  // Reset per-execute state.
-  dev.launch(LaunchCfg::for_elements("score_clear", im.n, 256),
-             [&](ThreadCtx& t) {
-               const u64 i = t.global_id();
-               if (i < im.n) im.d_score.store(t, i, 0);
-             });
-  dev.launch(LaunchCfg::for_elements("hits_reset", 1, 1),
-             [&](ThreadCtx& t) { im.d_num_hits.store(t, 0, 0); });
-
-  const std::size_t ev_setup = dev.record_event();
-
-  // ---- sFFT 2.0 Comb prefilter (optional) ----
-  if (im.comb_W != 0) {
-    im.run_comb(0);
-    dev.sync_point();  // the voting kernels read the approved flags
-  }
-
-  // ---- Steps 1-3: binning + subsampled FFT for all L loops ----
-  for (std::size_t r = 0; r < im.L; ++r) {
-    DeviceBuffer<cplx>& dst = im.opts.batched_fft ? im.d_buckets : im.d_z;
-    const std::size_t dst_off = im.opts.batched_fft ? r * im.B : 0;
-
-    switch (im.opts.binning) {
-      case Binning::kSerialChain:
-        im.k_serial_chain(r, dst, dst_off, 0);
-        break;
-      case Binning::kAsyncTransform:
-        // Fig. 4: remap(c) -> execute(c) on stream c%32; chunks pipeline.
-        for (std::size_t c = 0; c < im.rounds; ++c) {
-          const StreamId s = im.streams[c % im.streams.size()];
-          im.k_remap(r, c, s);
-          im.k_execute_chunk(c, s);
-        }
-        dev.sync_point();
-        im.k_combine(dst, dst_off, 0);
-        break;
-      case Binning::kLoopPartition:
-        im.k_perm_filter_partition(r, dst, dst_off, 0);
-        break;
-      case Binning::kGlobalAtomicHist:
-        im.k_atomic_histogram(r, dst, dst_off, 0);
-        break;
-      case Binning::kSharedHist:
-        im.k_shared_histogram(r, dst, dst_off, 0);
-        break;
-    }
-
-    if (!im.opts.batched_fft) {
-      im.fft_single->execute(im.d_z, cufftsim::Direction::kForward, 0);
-      dev.launch(LaunchCfg::for_elements("bucket_copy", im.B, 256),
-                 [&, r](ThreadCtx& t) {
-                   const u64 i = t.global_id();
-                   if (i < im.B)
-                     im.d_buckets.store(t, r * im.B + i, im.d_z.load(t, i));
-                 });
-    }
-  }
-  if (im.opts.batched_fft) {
-    dev.sync_point();  // all loops binned before the single batched FFT
-    im.fft_batched->execute(im.d_buckets, cufftsim::Direction::kForward, 0);
-  }
-  dev.sync_point();
-  const std::size_t ev_binned = dev.record_event();
-
-  // ---- Steps 4-5 per location loop: cutoff + reverse hash voting ----
-  for (std::size_t r = 0; r < im.p.loops_loc; ++r) {
-    if (im.opts.fast_selection) {
-      const std::size_t count = im.cutoff_fast_select(r, 0);
-      im.k_loc_recover(r, im.d_selected, count, 0);
-    } else {
-      const std::size_t count = im.cutoff_sort_select(r, 0);
-      im.k_loc_recover(r, im.d_vals, count, 0);
-    }
-  }
-  dev.sync_point();
-  const std::size_t ev_voted = dev.record_event();
-
-  // ---- Step 6: estimation ----
-  const std::size_t num_hits =
-      std::min<std::size_t>(im.d_num_hits.host()[0], im.d_hits.size());
-  if (num_hits > 0) im.k_estimate(num_hits, 0);
-
-  // ---- D2H of the sparse result ----
-  dev.note_transfer("d2h", static_cast<double>(num_hits) * (4 + 16));
-  SparseSpectrum out;
-  out.reserve(num_hits);
-  for (std::size_t i = 0; i < num_hits; ++i)
-    out.push_back({im.d_hits.host()[i], im.d_est.host()[i]});
-  std::sort(out.begin(), out.end(),
-            [](const SparseCoef& a, const SparseCoef& b) {
-              return a.loc < b.loc;
-            });
+  Impl::PhaseEvents ev;
+  SparseSpectrum out = im.exec_signal(x, ev);
 
   if (stats) {
     stats->model_ms = dev.elapsed_model_ms();
     stats->host_ms = wall.ms();
-    stats->candidates = num_hits;
+    stats->candidates = out.size();
     stats->step_model_ms.clear();
     for (const auto& [name, rep] : dev.report())
       stats->step_model_ms[step_of_kernel(name)] += rep.solo_s * 1e3;
     // Overlap-aware phase spans from the timeline events.
-    const double t0 = dev.event_time_ms(ev_start);
-    const double t1 = dev.event_time_ms(ev_setup);
-    const double t2 = dev.event_time_ms(ev_binned);
-    const double t3 = dev.event_time_ms(ev_voted);
+    const double t0 = dev.event_time_ms(ev.start);
+    const double t1 = dev.event_time_ms(ev.setup);
+    const double t2 = dev.event_time_ms(ev.binned);
+    const double t3 = dev.event_time_ms(ev.voted);
     stats->phase_span_ms.clear();
     stats->phase_span_ms["a transfer+reset"] = t1 - t0;
     stats->phase_span_ms["b comb+bin+fft"] = t2 - t1;
     stats->phase_span_ms["c cutoff+vote"] = t3 - t2;
     stats->phase_span_ms["d estimate+d2h"] = stats->model_ms - t3;
+  }
+  return out;
+}
+
+std::vector<SparseSpectrum> GpuPlan::execute_many(
+    std::span<const std::span<const cplx>> xs, GpuBatchStats* stats) {
+  Impl& im = *impl_;
+  cusim::Device& dev = *im.dev;
+
+  WallTimer wall;
+  // One capture for the whole batch: every device buffer, the uploaded
+  // filter, the cuFFT-sim plans and the stream pool are reused across
+  // signals, so per-signal cost is purely the kernel sequence.
+  dev.begin_capture();
+  std::vector<SparseSpectrum> out;
+  out.reserve(xs.size());
+  std::size_t candidates = 0;
+  for (const std::span<const cplx>& x : xs) {
+    Impl::PhaseEvents ev;
+    out.push_back(im.exec_signal(x, ev));
+    candidates += out.back().size();
+    // Signals are serialized on the device timeline; overlapping signal
+    // i+1's binning with signal i's estimation is a planned refinement
+    // (see ROADMAP).
+    dev.sync_point();
+  }
+
+  if (stats) {
+    stats->model_ms = dev.elapsed_model_ms();
+    stats->host_ms = wall.ms();
+    stats->signals = xs.size();
+    stats->candidates = candidates;
   }
   return out;
 }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/timer.hpp"
 #include "core/types.hpp"
@@ -21,6 +22,14 @@
 #include "sfft/params.hpp"
 
 namespace cusfft::gpu {
+
+/// Modeled timing and wall time for one execute_many() batch.
+struct GpuBatchStats {
+  double model_ms = 0;  // modeled makespan of the whole batch
+  double host_ms = 0;   // wall time of the functional simulation
+  std::size_t signals = 0;
+  std::size_t candidates = 0;  // summed over the batch
+};
 
 /// Modeled timing and counters for one execute().
 struct GpuExecStats {
@@ -53,6 +62,15 @@ class GpuPlan {
   /// sparse spectrum sorted by location.
   SparseSpectrum execute(std::span<const cplx> x,
                          GpuExecStats* stats = nullptr);
+
+  /// Throughput path: runs the algorithm on every signal of the batch in
+  /// one capture, reusing all of the plan's device state (no per-signal
+  /// setup, pooled buffers stay warm). Modeled time is the sum of the
+  /// per-signal device timelines — cross-signal stream overlap is a
+  /// planned refinement (see ROADMAP). Each signal must have length n.
+  std::vector<SparseSpectrum> execute_many(
+      std::span<const std::span<const cplx>> xs,
+      GpuBatchStats* stats = nullptr);
 
  private:
   struct Impl;

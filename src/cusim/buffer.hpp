@@ -1,66 +1,114 @@
 // Device global-memory buffer: host-backed storage (the simulator executes
 // kernels functionally on real data) plus a distinct device address range so
-// the warp tracer can run the 128-byte coalescing analysis.
+// the warp tracer can run the 128-byte coalescing analysis. Storage comes
+// from the process-wide BufferPool, so destroying a buffer parks its
+// allocation for the next plan or execute() instead of freeing it.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <span>
 #include <stdexcept>
-#include <vector>
+#include <type_traits>
 
 #include "core/types.hpp"
+#include "cusim/pool.hpp"
 #include "cusim/thread_ctx.hpp"
 
 namespace cusfft::cusim {
 
 namespace detail {
-/// Process-wide device address space; allocations are 256-byte aligned like
-/// cudaMalloc's guarantees.
-inline u64 allocate_device_range(u64 bytes) {
-  static std::atomic<u64> next{1u << 20};
-  const u64 aligned = (bytes + 255) & ~u64{255};
-  return next.fetch_add(aligned + 256);
+/// Address-striped spin locks making the functional side of device atomics
+/// genuinely atomic under the block-parallel launch path. Same address ->
+/// same lock, so read-modify-writes on one cell serialize; different cells
+/// at worst share a stripe (harmless contention). Uncontended cost is one
+/// cache-hot test_and_set, so the sequential path is unaffected.
+inline std::atomic_flag& atomic_lock_for(u64 addr) {
+  static std::array<std::atomic_flag, 256> locks;
+  return locks[(addr >> 3) & 255];
 }
+
+class AtomicGuard {
+ public:
+  explicit AtomicGuard(u64 addr) : lock_(atomic_lock_for(addr)) {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~AtomicGuard() { lock_.clear(std::memory_order_release); }
+  AtomicGuard(const AtomicGuard&) = delete;
+  AtomicGuard& operator=(const AtomicGuard&) = delete;
+
+ private:
+  std::atomic_flag& lock_;
+};
 }  // namespace detail
 
 template <typename T>
 class DeviceBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "DeviceBuffer elements must be trivially copyable (the pool "
+                "recycles raw storage)");
+
  public:
   DeviceBuffer() = default;
   explicit DeviceBuffer(std::size_t count)
-      : data_(count),
-        base_(detail::allocate_device_range(count * sizeof(T))) {}
+      : block_(BufferPool::global().acquire(count * sizeof(T))),
+        count_(count) {}
+  ~DeviceBuffer() { BufferPool::global().release(std::move(block_)); }
 
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
-  u64 device_addr(std::size_t i = 0) const { return base_ + i * sizeof(T); }
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : block_(std::move(o.block_)), count_(o.count_) {
+    o.block_ = BufferPool::Block{};
+    o.count_ = 0;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      BufferPool::global().release(std::move(block_));
+      block_ = std::move(o.block_);
+      count_ = o.count_;
+      o.block_ = BufferPool::Block{};
+      o.count_ = 0;
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  u64 device_addr(std::size_t i = 0) const {
+    return block_.base + i * sizeof(T);
+  }
 
   // ---- device-side (traced) accessors; use inside kernels ----
   const T& load(ThreadCtx& t, std::size_t i) const {
     check(i);
     t.record_global(device_addr(i), sizeof(T));
-    return data_[i];
+    return data()[i];
   }
   void store(ThreadCtx& t, std::size_t i, const T& v) {
     check(i);
     t.record_global(device_addr(i), sizeof(T));
-    data_[i] = v;
+    data()[i] = v;
   }
   /// Read-modify-write with conflict accounting (atomicAdd and friends).
+  /// Atomic for real: concurrent blocks may hit the same cell.
   template <typename U>
   T atomic_add(ThreadCtx& t, std::size_t i, const U& delta) {
     check(i);
     t.record_atomic(device_addr(i), sizeof(T));
-    const T old = data_[i];
-    data_[i] = static_cast<T>(old + delta);
+    detail::AtomicGuard g(device_addr(i));
+    const T old = data()[i];
+    data()[i] = static_cast<T>(old + delta);
     return old;
   }
   /// Compare-free atomic max for unsigned counters.
   T atomic_max(ThreadCtx& t, std::size_t i, const T& v) {
     check(i);
     t.record_atomic(device_addr(i), sizeof(T));
-    const T old = data_[i];
-    if (v > old) data_[i] = v;
+    detail::AtomicGuard g(device_addr(i));
+    const T old = data()[i];
+    if (v > old) data()[i] = v;
     return old;
   }
 
@@ -75,21 +123,25 @@ class DeviceBuffer {
     check(linear_slot);
     t.record_shared(2);  // one shared write + one shared read
     t.record_global(device_addr(linear_slot), sizeof(T));
-    data_[i] = v;
+    data()[i] = v;
   }
 
   // ---- host-side (untraced) access; use via Device::upload/download or in
   // test assertions ----
-  std::span<T> host() { return data_; }
-  std::span<const T> host() const { return data_; }
+  std::span<T> host() { return {data(), count_}; }
+  std::span<const T> host() const { return {data(), count_}; }
 
  private:
+  T* data() { return reinterpret_cast<T*>(block_.bytes.data()); }
+  const T* data() const {
+    return reinterpret_cast<const T*>(block_.bytes.data());
+  }
   void check(std::size_t i) const {
-    if (i >= data_.size())
+    if (i >= count_)
       throw std::out_of_range("DeviceBuffer: index out of range");
   }
-  std::vector<T> data_;
-  u64 base_ = 0;
+  BufferPool::Block block_;
+  std::size_t count_ = 0;
 };
 
 }  // namespace cusfft::cusim

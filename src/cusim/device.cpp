@@ -1,11 +1,29 @@
 #include "cusim/device.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 namespace cusfft::cusim {
 
+namespace {
+bool sequential_env() {
+  const char* env = std::getenv("CUSIM_SEQUENTIAL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+}  // namespace
+
 Device::Device(perfmodel::GpuSpec spec)
-    : model_(spec), timeline_(spec.max_concurrent_kernels) {}
+    : model_(spec), timeline_(spec.max_concurrent_kernels) {
+  parallel_ = !sequential_env();
+}
+
+ThreadPool* Device::launch_pool(const LaunchCfg& cfg) const {
+  if (!parallel_ || cfg.sequential || cfg.blocks < 2) return nullptr;
+  if (cfg.blocks * cfg.threads_per_block < min_parallel_threads_)
+    return nullptr;
+  ThreadPool& pool = ThreadPool::global();
+  return pool.size() > 1 ? &pool : nullptr;
+}
 
 void Device::begin_capture() {
   timeline_.clear();

@@ -3,6 +3,16 @@
 // feed the transaction-level performance model. Results: bit-exact outputs
 // plus modeled durations on the configured GpuSpec (default: the paper's
 // Tesla K20x, Table I).
+//
+// Host execution model: thread blocks are independent in CUDA semantics, so
+// the functional sweep fans blocks out over the process-wide ThreadPool
+// (contiguous block ranges per worker). Each worker traces into its own
+// KernelAccum; after the grid drains they are merged in warp-index order,
+// which reproduces the sequential fold bit for bit — modeled counters and
+// durations are identical whichever path ran. CUSIM_SEQUENTIAL=1 (or
+// set_parallel(false), or LaunchCfg::sequential for kernels whose functional
+// simulation depends on cross-block execution order) forces the sequential
+// sweep.
 #pragma once
 
 #include <algorithm>
@@ -10,7 +20,9 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "core/thread_pool.hpp"
 #include "core/types.hpp"
 #include "cusim/buffer.hpp"
 #include "cusim/thread_ctx.hpp"
@@ -25,6 +37,11 @@ struct LaunchCfg {
   std::size_t blocks = 1;
   std::size_t threads_per_block = 256;
   StreamId stream = 0;
+  /// Kernels whose *functional simulation* relies on blocks executing in
+  /// order (closure-state shared histograms, floating-point atomics whose
+  /// rounding must stay deterministic) set this to opt out of the
+  /// block-parallel host path. Modeled time is unaffected either way.
+  bool sequential = false;
 
   /// Convenience: shape for one thread per element.
   static LaunchCfg for_elements(const char* name, std::size_t count,
@@ -59,38 +76,77 @@ class Device {
   /// exact counts can raise it.
   void set_max_traced_warps(u64 v) { max_traced_warps_ = std::max<u64>(1, v); }
 
+  /// Host-parallel functional execution toggle (default: on unless the
+  /// CUSIM_SEQUENTIAL environment variable is set). Both paths produce
+  /// bit-identical buffers, counters, and modeled times.
+  void set_parallel(bool on) { parallel_ = on; }
+  bool parallel() const { return parallel_; }
+
+  /// Grids smaller than this many threads stay on the sequential sweep
+  /// (pool dispatch would cost more than it saves).
+  void set_min_parallel_threads(std::size_t v) { min_parallel_threads_ = v; }
+
   /// Launches `body(ThreadCtx&)` for every thread in the grid. Functional
-  /// execution is immediate and sequential; the modeled duration is queued
-  /// on the timeline under cfg.stream.
+  /// execution is immediate — sequential or block-parallel on the host
+  /// ThreadPool (see the header comment); the modeled duration is queued on
+  /// the timeline under cfg.stream either way.
   template <typename F>
   void launch(const LaunchCfg& cfg, F&& body) {
     const std::size_t warp = spec().warp_size;
-    const u64 total_warps = static_cast<u64>(cfg.blocks) *
-                            ((cfg.threads_per_block + warp - 1) / warp);
+    const std::size_t warps_per_block =
+        (cfg.threads_per_block + warp - 1) / warp;
+    const u64 total_warps = static_cast<u64>(cfg.blocks) * warps_per_block;
     const u64 stride = std::max<u64>(1, total_warps / max_traced_warps_);
     accum_.reset(spec().mem_transaction_bytes, stride);
 
-    ThreadCtx ctx;
-    ctx.block_dim = static_cast<u32>(cfg.threads_per_block);
-    ctx.grid_dim = cfg.blocks;
-    u64 warp_index = 0;
-    for (std::size_t b = 0; b < cfg.blocks; ++b) {
-      ctx.block_idx = static_cast<u32>(b);
-      for (std::size_t w0 = 0; w0 < cfg.threads_per_block; w0 += warp) {
-        const bool traced = (warp_index % stride) == 0;
-        if (traced) accum_.tracer().reset(spec().mem_transaction_bytes);
-        ctx.attach_trace(traced ? &accum_.tracer() : nullptr, &accum_);
-        const std::size_t hi =
-            std::min(cfg.threads_per_block, w0 + warp);
-        for (std::size_t tiid = w0; tiid < hi; ++tiid) {
-          ctx.begin_thread(static_cast<u32>(tiid));
-          body(ctx);
+    // One worker's sweep over a contiguous block range, tracing into its
+    // own accumulator. Threads of a block run consecutively on one worker,
+    // preserving the intra-block ordering kernels may rely on.
+    auto run_blocks = [&](KernelAccum& acc, ThreadCtx& ctx, std::size_t b0,
+                          std::size_t b1) {
+      ctx.block_dim = static_cast<u32>(cfg.threads_per_block);
+      ctx.grid_dim = cfg.blocks;
+      for (std::size_t b = b0; b < b1; ++b) {
+        ctx.block_idx = static_cast<u32>(b);
+        u64 warp_index = static_cast<u64>(b) * warps_per_block;
+        for (std::size_t w0 = 0; w0 < cfg.threads_per_block;
+             w0 += warp, ++warp_index) {
+          const bool traced = (warp_index % stride) == 0;
+          if (traced) acc.tracer().reset(spec().mem_transaction_bytes);
+          ctx.attach_trace(traced ? &acc.tracer() : nullptr, &acc);
+          const std::size_t hi = std::min(cfg.threads_per_block, w0 + warp);
+          for (std::size_t tiid = w0; tiid < hi; ++tiid) {
+            ctx.begin_thread(static_cast<u32>(tiid));
+            body(ctx);
+          }
+          if (traced) acc.fold_warp(warp_index);
         }
-        if (traced) accum_.fold_warp();
-        ++warp_index;
+      }
+    };
+
+    double flops = 0;
+    ThreadPool* pool = launch_pool(cfg);
+    if (pool == nullptr) {
+      ThreadCtx ctx;
+      run_blocks(accum_, ctx, 0, cfg.blocks);
+      flops = ctx.flops();
+    } else {
+      const std::size_t slots = pool->size();
+      if (worker_accums_.size() < slots) worker_accums_.resize(slots);
+      for (std::size_t s = 0; s < slots; ++s)
+        worker_accums_[s].reset(spec().mem_transaction_bytes, stride);
+      std::vector<ThreadCtx> ctxs(slots);
+      pool->parallel_for_indexed(
+          cfg.blocks,
+          [&](std::size_t slot, std::size_t b0, std::size_t b1) {
+            run_blocks(worker_accums_[slot], ctxs[slot], b0, b1);
+          });
+      for (std::size_t s = 0; s < slots; ++s) {
+        accum_.absorb(worker_accums_[s]);
+        flops += ctxs[s].flops();  // integer-valued: order-independent
       }
     }
-    finish_launch(cfg, ctx.flops());
+    finish_launch(cfg, flops);
   }
 
   /// Host-to-device copy: functional copy plus a PCIe timeline entry.
@@ -146,15 +202,21 @@ class Device {
   const Timeline& timeline() const { return timeline_; }
 
  private:
+  /// Picks the pool for this launch, or nullptr for the sequential sweep.
+  ThreadPool* launch_pool(const LaunchCfg& cfg) const;
+
   void finish_launch(const LaunchCfg& cfg, double flops);
   void submit_copy(const char* name, double bytes, StreamId s);
 
   perfmodel::GpuModel model_;
   Timeline timeline_;
   KernelAccum accum_;
+  std::vector<KernelAccum> worker_accums_;  // reused across launches
   std::map<std::string, KernelReport> report_;
   StreamId next_stream_ = 1;
   u64 max_traced_warps_ = 4096;
+  bool parallel_ = true;
+  std::size_t min_parallel_threads_ = 1024;
 };
 
 }  // namespace cusfft::cusim

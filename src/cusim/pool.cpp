@@ -1,0 +1,89 @@
+#include "cusim/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace cusfft::cusim {
+
+namespace {
+/// Process-wide simulated device address space; allocations are 256-byte
+/// aligned like cudaMalloc's guarantees, with a 256-byte guard gap so
+/// distinct ranges never share a 128-byte coalescing segment.
+u64 allocate_device_range(u64 bytes) {
+  static std::atomic<u64> next{1u << 20};
+  const u64 aligned = (bytes + 255) & ~u64{255};
+  return next.fetch_add(aligned + 256);
+}
+}  // namespace
+
+BufferPool::Block BufferPool::acquire(std::size_t bytes) {
+  const u64 cap = std::max<u64>(256, (static_cast<u64>(bytes) + 255) &
+                                         ~u64{255});
+  {
+    std::lock_guard lk(mu_);
+    auto it = free_.lower_bound(cap);
+    if (enabled_ && it != free_.end() && it->first <= 2 * cap) {
+      Block b = std::move(it->second);
+      free_.erase(it);
+      ++stats_.reuses;
+      stats_.bytes_pooled -= b.cap;
+      std::memset(b.bytes.data(), 0, b.bytes.size());
+      return b;
+    }
+    ++stats_.allocations;
+    stats_.bytes_allocated += cap;
+  }
+  Block b;
+  b.cap = cap;
+  b.bytes.assign(cap, std::byte{0});
+  b.base = allocate_device_range(cap);
+  return b;
+}
+
+void BufferPool::release(Block&& b) {
+  if (b.cap == 0) return;
+  std::lock_guard lk(mu_);
+  if (!enabled_ || stats_.bytes_pooled + b.cap > max_pooled_bytes_) return;
+  stats_.bytes_pooled += b.cap;
+  free_.emplace(b.cap, std::move(b));
+}
+
+void BufferPool::trim() {
+  std::lock_guard lk(mu_);
+  free_.clear();
+  stats_.bytes_pooled = 0;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void BufferPool::set_enabled(bool on) {
+  std::lock_guard lk(mu_);
+  enabled_ = on;
+}
+
+void BufferPool::set_max_pooled_bytes(u64 bytes) {
+  std::lock_guard lk(mu_);
+  max_pooled_bytes_ = bytes;
+}
+
+BufferPool& BufferPool::global() {
+  static BufferPool* pool = [] {
+    auto* p = new BufferPool();
+    if (const char* env = std::getenv("CUSFFT_POOL");
+        env != nullptr && env[0] == '0')
+      p->set_enabled(false);
+    if (const char* env = std::getenv("CUSFFT_POOL_MAX_MB")) {
+      const long mb = std::strtol(env, nullptr, 10);
+      if (mb >= 0) p->set_max_pooled_bytes(static_cast<u64>(mb) << 20);
+    }
+    return p;
+  }();
+  return *pool;
+}
+
+}  // namespace cusfft::cusim

@@ -1,0 +1,69 @@
+// Device-memory arena: recycles the host-backed allocations behind
+// DeviceBuffer across plan construction and execute() calls. A real cusFFT
+// plan pays cudaMalloc/cudaFree per buffer; the functional simulator was
+// paying the same cost in page faults and zeroing ~20 times per plan. The
+// pool keeps released blocks (host storage + their simulated device address
+// range) on a size-keyed free list, so a warm plan rebuild or a batched
+// execute_many() performs no new allocations — asserted by tests via
+// stats().
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace cusfft::cusim {
+
+class BufferPool {
+ public:
+  /// One allocation: host storage plus its 256-byte-aligned simulated
+  /// device address range (stable across reuses, like a recycled
+  /// cudaMalloc range).
+  struct Block {
+    std::vector<std::byte> bytes;
+    u64 base = 0;  // simulated device address of bytes[0]
+    u64 cap = 0;   // capacity in bytes (256-byte multiple); 0 == empty
+  };
+
+  struct Stats {
+    u64 allocations = 0;     // fresh device ranges created
+    u64 reuses = 0;          // acquires served from the free list
+    u64 bytes_allocated = 0; // cumulative fresh bytes
+    u64 bytes_pooled = 0;    // currently parked on the free list
+  };
+
+  /// Returns a zeroed block of at least `bytes` capacity — from the free
+  /// list when a fit exists (capacity within 2x of the request), otherwise
+  /// freshly allocated.
+  Block acquire(std::size_t bytes);
+
+  /// Parks a block for reuse; frees it instead when pooling is disabled or
+  /// the pooled-bytes budget would be exceeded.
+  void release(Block&& b);
+
+  /// Frees every parked block (the free list only; live buffers are
+  /// untouched).
+  void trim();
+
+  Stats stats() const;
+
+  /// Pooling toggle and pooled-bytes budget. The process-wide pool reads
+  /// CUSFFT_POOL=0 (disable) and CUSFFT_POOL_MAX_MB once at creation.
+  void set_enabled(bool on);
+  void set_max_pooled_bytes(u64 bytes);
+
+  /// Process-wide pool used by DeviceBuffer (created on first use).
+  static BufferPool& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::multimap<u64, Block> free_;  // capacity -> parked block
+  Stats stats_;
+  bool enabled_ = true;
+  u64 max_pooled_bytes_ = u64{1} << 30;
+};
+
+}  // namespace cusfft::cusim

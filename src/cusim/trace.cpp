@@ -53,24 +53,36 @@ WarpTotals WarpTracer::finalize() {
 
 void KernelAccum::reset(std::size_t transaction_bytes, u64 sample_stride) {
   tracer_.reset(transaction_bytes);
-  sum_ = WarpTotals{};
+  warps_.clear();
   atomic_conflicts_.clear();
   stride_ = std::max<u64>(1, sample_stride);
 }
 
-void KernelAccum::fold_warp() {
-  const WarpTotals t = tracer_.finalize();
-  sum_.coalesced_tx += t.coalesced_tx;
-  sum_.random_tx += t.random_tx;
-  sum_.useful_bytes += t.useful_bytes;
-  sum_.atomic_ops += t.atomic_ops;
-  sum_.shared_accesses += t.shared_accesses;
+void KernelAccum::fold_warp(u64 warp_index) {
+  warps_.emplace_back(warp_index, tracer_.finalize());
 }
 
 void KernelAccum::on_atomic_addr(u64 addr) { ++atomic_conflicts_[addr]; }
 
-WarpTotals KernelAccum::scaled_totals() const {
-  WarpTotals s = sum_;
+void KernelAccum::absorb(KernelAccum& other) {
+  warps_.insert(warps_.end(), other.warps_.begin(), other.warps_.end());
+  other.warps_.clear();
+  for (const auto& [addr, cnt] : other.atomic_conflicts_)
+    atomic_conflicts_[addr] += cnt;
+  other.atomic_conflicts_.clear();
+}
+
+WarpTotals KernelAccum::scaled_totals() {
+  std::sort(warps_.begin(), warps_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  WarpTotals s;
+  for (const auto& [idx, t] : warps_) {
+    s.coalesced_tx += t.coalesced_tx;
+    s.random_tx += t.random_tx;
+    s.useful_bytes += t.useful_bytes;
+    s.atomic_ops += t.atomic_ops;
+    s.shared_accesses += t.shared_accesses;
+  }
   const double m = static_cast<double>(stride_);
   s.coalesced_tx *= m;
   s.random_tx *= m;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
@@ -52,6 +53,13 @@ class WarpTracer {
 
 /// Whole-kernel accumulation across traced warps plus the kernel-wide
 /// atomic-conflict map (deepest same-address chain).
+///
+/// Traced warps are kept as per-warp records keyed by their grid-wide warp
+/// index instead of a running sum. The block-parallel launch path gives each
+/// pool worker its own KernelAccum, absorb()s them after the grid drains,
+/// and scaled_totals() folds the records in ascending warp-index order — the
+/// exact summation order of a sequential sweep, so parallel and sequential
+/// launches produce bit-identical counters.
 class KernelAccum {
  public:
   void reset(std::size_t transaction_bytes, u64 sample_stride);
@@ -59,19 +67,26 @@ class KernelAccum {
   WarpTracer& tracer() { return tracer_; }
   u64 sample_stride() const { return stride_; }
 
-  /// Folds one traced warp's totals in.
-  void fold_warp();
+  /// Finalizes the tracer into the record for grid-wide warp `warp_index`.
+  void fold_warp(u64 warp_index);
 
   /// Records an atomic on `addr` from a traced warp (conflict accounting).
   void on_atomic_addr(u64 addr);
 
-  /// Extrapolated whole-kernel counters (multiplies by the sample stride).
-  WarpTotals scaled_totals() const;
+  /// Moves another accumulator's traced warps and atomic-conflict counts
+  /// into this one (used to merge per-worker accumulators; `other` is left
+  /// empty). Per-address conflict counts add, so the merge is independent of
+  /// worker interleaving.
+  void absorb(KernelAccum& other);
+
+  /// Extrapolated whole-kernel counters (multiplies by the sample stride),
+  /// folded in warp-index order.
+  WarpTotals scaled_totals();
   double max_atomic_conflict() const;
 
  private:
   WarpTracer tracer_;
-  WarpTotals sum_;
+  std::vector<std::pair<u64, WarpTotals>> warps_;  // (warp index, totals)
   std::unordered_map<u64, u32> atomic_conflicts_;
   u64 stride_ = 1;
 };

@@ -23,7 +23,7 @@ struct PsfftPlan::Impl {
   ThreadPool* pool = nullptr;
   perfmodel::CpuModel model;
   std::size_t n = 0, B = 0, L = 0, w_pad = 0, rounds = 0, mask = 0;
-  signal::FlatFilter filter;
+  std::shared_ptr<const signal::FlatFilter> filter;
   fft::Plan bfft;
 
   Impl(sfft::Params params, ThreadPool& pl, perfmodel::CpuSpec spec)
@@ -34,9 +34,9 @@ struct PsfftPlan::Impl {
         B(p.buckets()),
         L(p.total_loops()),
         mask(n - 1),
-        filter(signal::make_flat_filter(n, B, p.filter)),
+        filter(signal::get_flat_filter(n, B, p.filter)),
         bfft(B, fft::Direction::kForward) {
-    w_pad = filter.time.size();
+    w_pad = filter->time.size();
     rounds = w_pad / B;
   }
 
@@ -51,7 +51,7 @@ struct PsfftPlan::Impl {
         for (std::size_t j = 0; j < rounds; ++j) {
           const u64 off = b + B * j;
           const u64 index = (tau + off * ai) & mask;
-          acc += x[index] * filter.time[off];
+          acc += x[index] * filter->time[off];
         }
         z[b] = acc;
       }
@@ -138,7 +138,7 @@ SparseSpectrum PsfftPlan::execute(std::span<const cplx> x,
   im.pool->parallel_for(hits.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i)
       out[i] = {hits[i], sfft::estimate_coef(hits[i], perms, bucket_sets,
-                                             im.filter.freq, im.n, im.B)};
+                                             im.filter->freq, im.n, im.B)};
   });
   w_est.random_accesses += 2.0 * static_cast<double>(hits.size() * im.L);
   w_est.flops += 60.0 * static_cast<double>(hits.size() * im.L);

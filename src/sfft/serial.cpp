@@ -11,7 +11,7 @@ namespace cusfft::sfft {
 SerialPlan::SerialPlan(Params p)
     : p_(std::move(p)),
       B_((p_.validate(), p_.buckets())),
-      filter_(signal::make_flat_filter(p_.n, B_, p_.filter)),
+      filter_(signal::get_flat_filter(p_.n, B_, p_.filter)),
       bfft_(B_, fft::Direction::kForward) {}
 
 SparseSpectrum SerialPlan::execute(std::span<const cplx> x,
@@ -47,7 +47,7 @@ SparseSpectrum SerialPlan::execute(std::span<const cplx> x,
     bucket_sets[r].resize(B_);
     {
       auto s = timed(step::kPermFilter);
-      bin_permuted(x, filter_.time, perms[r], bucket_sets[r]);
+      bin_permuted(x, filter_->time, perms[r], bucket_sets[r]);
     }
     {
       auto s = timed(step::kSubFft);
@@ -73,7 +73,7 @@ SparseSpectrum SerialPlan::execute(std::span<const cplx> x,
     out.reserve(hits.size());
     for (u64 f : hits)
       out.push_back(
-          {f, estimate_coef(f, perms, bucket_sets, filter_.freq, n, B_)});
+          {f, estimate_coef(f, perms, bucket_sets, filter_->freq, n, B_)});
   }
   std::sort(out.begin(), out.end(),
             [](const SparseCoef& a, const SparseCoef& b) {

@@ -33,7 +33,7 @@ class SerialPlan {
 
   const Params& params() const { return p_; }
   std::size_t buckets() const { return B_; }
-  const signal::FlatFilter& filter() const { return filter_; }
+  const signal::FlatFilter& filter() const { return *filter_; }
 
   /// Runs the full algorithm on x (length n). Deterministic for a fixed
   /// Params::seed. Optionally accumulates per-step wall time into `timers`.
@@ -43,7 +43,7 @@ class SerialPlan {
  private:
   Params p_;
   std::size_t B_ = 0;
-  signal::FlatFilter filter_;
+  std::shared_ptr<const signal::FlatFilter> filter_;
   fft::Plan bfft_;
 };
 

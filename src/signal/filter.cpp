@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <compare>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/modmath.hpp"
@@ -94,6 +97,77 @@ FlatFilter make_flat_filter(std::size_t n, std::size_t B,
   for (auto& v : out.time) v *= inv_peak;
   for (auto& v : out.freq) v *= inv_peak;
   return out;
+}
+
+namespace {
+
+struct FilterKey {
+  std::size_t n, B;
+  WindowKind kind;
+  double tolerance, lobefrac_scale, boxcar_scale;
+  auto operator<=>(const FilterKey&) const = default;
+};
+
+struct FilterCache {
+  std::mutex mu;
+  // value: (filter, last-use tick) — a tiny LRU; entries hold a length-n
+  // frequency response each, so keep few.
+  std::map<FilterKey, std::pair<std::shared_ptr<const FlatFilter>, u64>>
+      entries;
+  u64 tick = 0;
+  std::size_t hits = 0, misses = 0;
+  static constexpr std::size_t kCapacity = 8;
+};
+
+FilterCache& filter_cache() {
+  static FilterCache* c = new FilterCache();  // leaked: exit-order safe
+  return *c;
+}
+
+}  // namespace
+
+std::shared_ptr<const FlatFilter> get_flat_filter(std::size_t n,
+                                                  std::size_t B,
+                                                  const FlatFilterParams& p) {
+  check_filter_args(n, B);
+  const FilterKey key{n, B, p.kind, p.tolerance, p.lobefrac_scale,
+                      p.boxcar_scale};
+  FilterCache& c = filter_cache();
+  {
+    std::lock_guard lk(c.mu);
+    auto it = c.entries.find(key);
+    if (it != c.entries.end()) {
+      ++c.hits;
+      it->second.second = ++c.tick;
+      return it->second.first;
+    }
+    ++c.misses;
+  }
+  // Build outside the lock (seconds at large n); a racing duplicate build
+  // is harmless — last writer wins, both results are identical.
+  auto filter = std::make_shared<const FlatFilter>(make_flat_filter(n, B, p));
+  std::lock_guard lk(c.mu);
+  if (c.entries.size() >= FilterCache::kCapacity &&
+      c.entries.find(key) == c.entries.end()) {
+    auto lru = c.entries.begin();
+    for (auto it = c.entries.begin(); it != c.entries.end(); ++it)
+      if (it->second.second < lru->second.second) lru = it;
+    c.entries.erase(lru);
+  }
+  c.entries[key] = {filter, ++c.tick};
+  return filter;
+}
+
+FilterCacheStats flat_filter_cache_stats() {
+  FilterCache& c = filter_cache();
+  std::lock_guard lk(c.mu);
+  return {c.hits, c.misses, c.entries.size()};
+}
+
+void flat_filter_cache_clear() {
+  FilterCache& c = filter_cache();
+  std::lock_guard lk(c.mu);
+  c.entries.clear();
 }
 
 }  // namespace cusfft::signal

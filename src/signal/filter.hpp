@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <utility>
 
 #include "core/types.hpp"
@@ -38,6 +39,21 @@ struct FlatFilterParams {
 /// implementation; execution-time cost of using the filter is O(w_pad).
 FlatFilter make_flat_filter(std::size_t n, std::size_t B,
                             const FlatFilterParams& p = {});
+
+/// Cached variant: repeated plans with the same (n, B, window) share one
+/// immutable filter and skip the two plan-time length-n FFTs entirely. An
+/// LRU of a few entries bounds host memory (one length-n response per
+/// entry); cache hits cost a map lookup. Thread-safe.
+std::shared_ptr<const FlatFilter> get_flat_filter(
+    std::size_t n, std::size_t B, const FlatFilterParams& p = {});
+
+struct FilterCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+};
+FilterCacheStats flat_filter_cache_stats();
+void flat_filter_cache_clear();
 
 /// The {w_active, w_pad} the filter for (n, B, p) will have, without
 /// building it — used for device-memory planning before any allocation.

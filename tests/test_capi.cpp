@@ -71,6 +71,64 @@ INSTANTIATE_TEST_SUITE_P(
       }
     });
 
+TEST(CApi, ExecuteManyMatchesExecutePerSignal) {
+  constexpr std::size_t kBatch = 3;
+  constexpr std::size_t kCap = 64;
+  const std::size_t n = 1 << 13, k = 10;
+  std::vector<double> inputs;  // back-to-back interleaved signals
+  std::vector<CWorkload> ws;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    ws.push_back(make_workload(n, k, 900 + i));
+    const double* d = reinterpret_cast<const double*>(ws[i].x.data());
+    inputs.insert(inputs.end(), d, d + 2 * n);
+  }
+
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, n, k, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+
+  std::vector<uint64_t> locs(kBatch * kCap);
+  std::vector<double> vals(2 * kBatch * kCap);
+  std::size_t counts[kBatch] = {};
+  ASSERT_EQ(cusfft_execute_many(h, inputs.data(), kBatch, kCap, locs.data(),
+                                vals.data(), counts),
+            CUSFFT_SUCCESS);
+
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    std::vector<uint64_t> one_locs(kCap);
+    std::vector<double> one_vals(2 * kCap);
+    std::size_t count = kCap;
+    ASSERT_EQ(cusfft_execute(h,
+                             reinterpret_cast<const double*>(ws[i].x.data()),
+                             one_locs.data(), one_vals.data(), &count),
+              CUSFFT_SUCCESS);
+    ASSERT_EQ(counts[i], count) << "signal " << i;
+    for (std::size_t j = 0; j < count; ++j) {
+      EXPECT_EQ(locs[i * kCap + j], one_locs[j]);
+      EXPECT_EQ(vals[2 * (i * kCap + j)], one_vals[2 * j]);
+      EXPECT_EQ(vals[2 * (i * kCap + j) + 1], one_vals[2 * j + 1]);
+    }
+  }
+  EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
+}
+
+TEST(CApi, ExecuteManyErrorPaths) {
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, 1 << 10, 4, CUSFFT_BACKEND_SERIAL),
+            CUSFFT_SUCCESS);
+  uint64_t locs[4];
+  double vals[8];
+  std::size_t counts[1];
+  std::vector<double> in(2 << 10, 0.0);
+  EXPECT_EQ(cusfft_execute_many(nullptr, in.data(), 1, 4, locs, vals, counts),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_execute_many(h, nullptr, 1, 4, locs, vals, counts),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_execute_many(h, in.data(), 1, 4, locs, vals, nullptr),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
+}
+
 TEST(CApi, CapacityTruncationKeepsLargest) {
   const auto w = make_workload(1 << 13, 10, 654);
   cusfft_handle h = nullptr;

@@ -1,0 +1,261 @@
+// Tests for the host execution/throughput layer: BufferPool recycling, the
+// flat-filter cache, block-parallel vs sequential launch determinism, and
+// the execute_many batch path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "cusfft/plan.hpp"
+#include "cusim/device.hpp"
+#include "cusim/pool.hpp"
+#include "signal/filter.hpp"
+#include "signal/generate.hpp"
+
+namespace cusfft {
+namespace {
+
+// Pin the pool width before anything touches ThreadPool::global() so the
+// block-parallel launch path is exercised even on single-core CI runners.
+// Runs at static-init time, before gtest_main.
+const int kEnvGuard = [] {
+  setenv("CUSFFT_THREADS", "4", /*overwrite=*/0);
+  return 0;
+}();
+
+using cusim::BufferPool;
+
+TEST(BufferPool, ReuseKeepsDeviceAddressAndZeroes) {
+  BufferPool pool;
+  BufferPool::Block a = pool.acquire(1000);
+  ASSERT_GE(a.cap, 1000u);
+  EXPECT_EQ(a.cap % 256, 0u);
+  const u64 base = a.base;
+  a.bytes[5] = std::byte{0xAB};
+  pool.release(std::move(a));
+
+  BufferPool::Block b = pool.acquire(900);  // fits in the parked 1024-cap
+  EXPECT_EQ(b.base, base);
+  EXPECT_EQ(b.bytes[5], std::byte{0});  // reused blocks come back zeroed
+
+  const auto s = pool.stats();
+  EXPECT_EQ(s.allocations, 1u);
+  EXPECT_EQ(s.reuses, 1u);
+  EXPECT_EQ(s.bytes_pooled, 0u);
+  pool.release(std::move(b));
+  EXPECT_GT(pool.stats().bytes_pooled, 0u);
+}
+
+TEST(BufferPool, OversizedBlocksAreNotReused) {
+  BufferPool pool;
+  BufferPool::Block big = pool.acquire(1 << 20);
+  pool.release(std::move(big));
+  // A tiny request must not be served from a 1 MiB block (2x fit rule).
+  BufferPool::Block small = pool.acquire(64);
+  EXPECT_LT(small.cap, 1u << 20);
+  EXPECT_EQ(pool.stats().reuses, 0u);
+  EXPECT_EQ(pool.stats().allocations, 2u);
+}
+
+TEST(BufferPool, TrimAndDisable) {
+  BufferPool pool;
+  pool.release(pool.acquire(4096));
+  EXPECT_GT(pool.stats().bytes_pooled, 0u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().bytes_pooled, 0u);
+
+  pool.set_enabled(false);
+  pool.release(pool.acquire(4096));
+  EXPECT_EQ(pool.stats().bytes_pooled, 0u);  // freed, not parked
+}
+
+TEST(BufferPool, BudgetBoundsParkedBytes) {
+  BufferPool pool;
+  pool.set_max_pooled_bytes(1 << 10);
+  pool.release(pool.acquire(1 << 10));  // fits the budget exactly
+  const u64 pooled = pool.stats().bytes_pooled;
+  EXPECT_GT(pooled, 0u);
+  pool.release(pool.acquire(1 << 12));  // would exceed: freed instead
+  EXPECT_EQ(pool.stats().bytes_pooled, pooled);
+}
+
+TEST(FilterCache, RepeatedPlansShareOneFilter) {
+  signal::flat_filter_cache_clear();
+  const auto before = signal::flat_filter_cache_stats();
+  auto f1 = signal::get_flat_filter(1 << 12, 64);
+  auto f2 = signal::get_flat_filter(1 << 12, 64);
+  EXPECT_EQ(f1.get(), f2.get());  // same immutable filter object
+  const auto after = signal::flat_filter_cache_stats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.hits, before.hits + 1);
+
+  // A different shape is a different entry.
+  auto f3 = signal::get_flat_filter(1 << 12, 32);
+  EXPECT_NE(f1.get(), f3.get());
+}
+
+TEST(ThreadPoolEnv, GlobalRespectsCusfftThreads) {
+  // kEnvGuard set CUSFFT_THREADS=4 before any global() call (unless the
+  // environment already pinned it — honor that value then). Mirror
+  // global()'s parse: non-positive or unparseable values fall back to
+  // hardware concurrency, and the width is capped at 512.
+  const char* v = std::getenv("CUSFFT_THREADS");
+  ASSERT_NE(v, nullptr);
+  const long parsed = std::strtol(v, nullptr, 10);
+  if (parsed > 0) {
+    EXPECT_EQ(ThreadPool::global().size(),
+              static_cast<std::size_t>(std::min(parsed, 512L)));
+  } else {
+    EXPECT_GE(ThreadPool::global().size(), 1u);
+  }
+}
+
+sfft::Params small_params() {
+  sfft::Params p;
+  p.n = 1 << 12;
+  p.k = 8;
+  p.seed = 7;
+  return p;
+}
+
+cvec test_signal(std::size_t n, std::size_t k, u64 seed) {
+  Rng rng(seed);
+  return signal::make_sparse_signal(n, k, rng).x;
+}
+
+TEST(GpuPlanPool, WarmRebuildAllocatesNothing) {
+  const sfft::Params p = small_params();
+  const auto opts = gpu::Options::optimized();
+  const cvec x = test_signal(p.n, p.k, 11);
+
+  cusim::Device dev;
+  {  // warm-up: populates the pool and the filter cache
+    gpu::GpuPlan plan(dev, p, opts);
+    plan.execute(x);
+  }
+  const auto s0 = BufferPool::global().stats();
+  {
+    gpu::GpuPlan plan(dev, p, opts);
+    plan.execute(x);
+  }
+  const auto s1 = BufferPool::global().stats();
+  EXPECT_EQ(s1.allocations, s0.allocations)
+      << "an identical plan rebuild must be served from the pool";
+  EXPECT_GT(s1.reuses, s0.reuses);
+}
+
+TEST(GpuPlanBatch, ExecuteManyMatchesRepeatedExecute) {
+  const sfft::Params p = small_params();
+  const auto opts = gpu::Options::optimized();
+  constexpr std::size_t kBatch = 3;
+
+  std::vector<cvec> signals;
+  std::vector<std::span<const cplx>> views;
+  for (std::size_t i = 0; i < kBatch; ++i)
+    signals.push_back(test_signal(p.n, p.k, 100 + i));
+  for (const cvec& s : signals) views.emplace_back(s);
+
+  cusim::Device dev;
+  gpu::GpuPlan plan(dev, p, opts);
+  std::vector<SparseSpectrum> one_by_one;
+  double model_sum = 0;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    gpu::GpuExecStats st;
+    one_by_one.push_back(plan.execute(views[i], &st));
+    model_sum += st.model_ms;
+  }
+
+  gpu::GpuBatchStats bst;
+  const auto batched = plan.execute_many(views, &bst);
+
+  ASSERT_EQ(batched.size(), kBatch);
+  EXPECT_EQ(bst.signals, kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    ASSERT_EQ(batched[i].size(), one_by_one[i].size()) << "signal " << i;
+    for (std::size_t j = 0; j < batched[i].size(); ++j) {
+      EXPECT_EQ(batched[i][j].loc, one_by_one[i][j].loc);
+      EXPECT_EQ(batched[i][j].val, one_by_one[i][j].val);
+    }
+  }
+  // Per-signal device timelines are serialized, so the batch makespan is
+  // the sum of the individual ones.
+  EXPECT_NEAR(bst.model_ms, model_sum, 1e-6 * model_sum);
+  EXPECT_GT(bst.candidates, 0u);
+}
+
+TEST(GpuPlanBatch, RejectsWrongLength) {
+  const sfft::Params p = small_params();
+  cusim::Device dev;
+  gpu::GpuPlan plan(dev, p, gpu::Options::optimized());
+  const cvec bad(p.n / 2);
+  const std::span<const cplx> view(bad);
+  EXPECT_THROW(plan.execute_many({&view, 1}), std::invalid_argument);
+}
+
+TEST(Determinism, ParallelAndSequentialLaunchesAreBitIdentical) {
+  const sfft::Params p = small_params();
+  const auto opts = gpu::Options::optimized();
+  const cvec x = test_signal(p.n, p.k, 42);
+
+  cusim::Device par_dev;
+  par_dev.set_min_parallel_threads(1);  // parallelize every eligible launch
+  gpu::GpuPlan par_plan(par_dev, p, opts);
+  gpu::GpuExecStats par_st;
+  const auto par = par_plan.execute(x, &par_st);
+
+  cusim::Device seq_dev;
+  seq_dev.set_parallel(false);
+  gpu::GpuPlan seq_plan(seq_dev, p, opts);
+  gpu::GpuExecStats seq_st;
+  const auto seq = seq_plan.execute(x, &seq_st);
+
+  // Spectra: bit-identical.
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    EXPECT_EQ(par[i].loc, seq[i].loc);
+    EXPECT_EQ(par[i].val, seq[i].val);
+  }
+
+  // Modeled time and every traced counter: bit-identical (the parallel
+  // merge folds warps in the sequential order).
+  EXPECT_EQ(par_st.model_ms, seq_st.model_ms);
+  const auto& pr = par_dev.report();
+  const auto& sr = seq_dev.report();
+  ASSERT_EQ(pr.size(), sr.size());
+  for (const auto& [name, rep] : pr) {
+    ASSERT_TRUE(sr.count(name)) << name;
+    const auto& other = sr.at(name);
+    EXPECT_EQ(rep.launches, other.launches) << name;
+    EXPECT_EQ(rep.solo_s, other.solo_s) << name;
+    const auto& a = rep.counters;
+    const auto& b = other.counters;
+    EXPECT_EQ(a.blocks, b.blocks) << name;
+    EXPECT_EQ(a.threads, b.threads) << name;
+    EXPECT_EQ(a.warps, b.warps) << name;
+    EXPECT_EQ(a.coalesced_transactions, b.coalesced_transactions) << name;
+    EXPECT_EQ(a.random_transactions, b.random_transactions) << name;
+    EXPECT_EQ(a.bytes_useful, b.bytes_useful) << name;
+    EXPECT_EQ(a.flops, b.flops) << name;
+    EXPECT_EQ(a.atomic_ops, b.atomic_ops) << name;
+    EXPECT_EQ(a.max_atomic_conflict, b.max_atomic_conflict) << name;
+    EXPECT_EQ(a.shared_accesses, b.shared_accesses) << name;
+  }
+}
+
+TEST(Determinism, AtomicAddIsAtomicUnderParallelBlocks) {
+  cusim::Device dev;
+  dev.set_min_parallel_threads(1);
+  dev.begin_capture();
+  cusim::DeviceBuffer<u32> counter(1);
+  const std::size_t kThreads = 64 * 256;
+  dev.launch(cusim::LaunchCfg::for_elements("contended_inc", kThreads),
+             [&](cusim::ThreadCtx& t) { counter.atomic_add(t, 0, u32{1}); });
+  EXPECT_EQ(counter.host()[0], kThreads);
+}
+
+}  // namespace
+}  // namespace cusfft
