@@ -53,6 +53,8 @@ int main(int argc, char** argv) {
       std::cout << "per-kernel counters at n=2^" << logn
                 << " (nvprof-style):\n"
                 << cusim::report_table(dev).to_ascii() << "\n";
+      if (!o.profile.empty())
+        write_profile_artifact(dev.end_capture(), o.profile);
     }
   }
   emit(o, "gpu_profile_vs_n", t);

@@ -91,6 +91,10 @@ int main(int argc, char** argv) {
     gpu::GpuBatchStats st;
     plan.execute_many(views, &st);
     add("execute_many", wall.ms(), st.model_ms);
+    // The batched capture is the interesting timeline (per-signal phase
+    // tracks, warm pool): emit it as the bench's profile artifact.
+    if (!o.profile.empty())
+      write_profile_artifact(dev.end_capture(), o.profile);
   }
 
   const auto pool = cusim::BufferPool::global().stats();

@@ -30,6 +30,10 @@ double env_or_d(const char* name, double def) {
   return v ? std::strtod(v, nullptr) : def;
 }
 
+// Profile artifact path registered by BenchOpts::parse (process-wide so
+// run_cusfft can emit without threading BenchOpts through every helper).
+std::string g_profile_path;
+
 // The benches run the paper's parameter regime: B = sqrt(nk/log2 n) with
 // unit constant (Section III step 2), 1e-6 filter tolerance and L =
 // 4 location + 8 estimation loops (reference-implementation-scale
@@ -58,6 +62,7 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
   o.fixed_logn = env_or("CUSFFT_FIXED_LOGN", o.fixed_logn);
   o.seed = env_or("CUSFFT_SEED", o.seed);
   if (const char* d = std::getenv("CUSFFT_OUT_DIR")) o.out_dir = d;
+  if (const char* p = std::getenv("CUSFFT_PROFILE")) o.profile = p;
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string key = argv[i];
     const std::string val = argv[i + 1];
@@ -67,9 +72,23 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
     else if (key == "--fixed-logn") o.fixed_logn = std::stoull(val);
     else if (key == "--seed") o.seed = std::stoull(val);
     else if (key == "--out-dir") o.out_dir = val;
+    else if (key == "--profile") o.profile = val;
   }
   if (o.max_logn < o.min_logn) o.max_logn = o.min_logn;
+  g_profile_path = o.profile;
   return o;
+}
+
+const std::string& profile_path() { return g_profile_path; }
+
+void write_profile_artifact(const cusim::CaptureProfile& p,
+                            const std::string& path) {
+  if (p.write(path))
+    std::cout << "[profile] " << path << "\n";
+  else
+    std::cout << "[profile] failed to write " << path << "\n";
+  if (!p.to_table().write_csv(path + ".csv"))
+    std::cout << "[profile] failed to write " << path << ".csv\n";
 }
 
 cvec make_signal(std::size_t n, std::size_t k, u64 seed) {
@@ -85,6 +104,10 @@ RunResult run_cusfft(std::size_t n, std::size_t k, const gpu::Options& opts,
   gpu::GpuExecStats stats;
   plan.execute(x, &stats);
   if (steps) *steps = stats.step_model_ms;
+  // Registered --profile / CUSFFT_PROFILE path: emit this capture's
+  // artifact (sweeps overwrite; the file ends up holding the last run).
+  if (!g_profile_path.empty())
+    write_profile_artifact(dev.end_capture(), g_profile_path);
   return {stats.model_ms, stats.host_ms};
 }
 

@@ -18,6 +18,7 @@
 #include "core/timer.hpp"
 #include "core/types.hpp"
 #include "cusfft/options.hpp"
+#include "cusim/profiler.hpp"
 #include "sfft/params.hpp"
 
 namespace cusfft::bench {
@@ -29,9 +30,15 @@ struct BenchOpts {
   std::size_t fixed_logn = 22;  // paper uses 2^27 for Fig. 5(b)/(f)
   u64 seed = 20160523;          // IPDPS'16 vintage
   std::string out_dir = "bench_results";
+  /// When non-empty, the bench writes a chrome-trace profile artifact of
+  /// its last cusFFT capture to this path (plus the profile's CSV next to
+  /// it). parse() also registers the path process-wide so run_cusfft()
+  /// emits it without per-bench wiring (docs/PROFILING.md).
+  std::string profile;
 
   /// Reads CUSFFT_MIN_LOGN / CUSFFT_MAX_LOGN / CUSFFT_K / CUSFFT_FIXED_LOGN
-  /// / CUSFFT_SEED / CUSFFT_OUT_DIR, then applies simple --key value args.
+  /// / CUSFFT_SEED / CUSFFT_OUT_DIR / CUSFFT_PROFILE, then applies simple
+  /// --key value args (--profile <path> included).
   static BenchOpts parse(int argc, char** argv);
 };
 
@@ -60,5 +67,16 @@ RunResult run_serial_sfft(std::size_t n, std::size_t k, u64 seed,
 
 /// Prints the table, writes <out_dir>/<name>.csv, and reports the path.
 void emit(const BenchOpts& o, const std::string& name, const ResultTable& t);
+
+/// Writes `p` as a chrome-trace JSON artifact to `path` and its structured
+/// table as CSV to `path + ".csv"`. Used by run_cusfft() when a profile
+/// path is registered, and directly by benches that drive GpuPlan
+/// themselves (bench_gpu_profile, bench_throughput).
+void write_profile_artifact(const cusim::CaptureProfile& p,
+                            const std::string& path);
+
+/// The profile path registered by the last BenchOpts::parse() (empty when
+/// profiling is off).
+const std::string& profile_path();
 
 }  // namespace cusfft::bench

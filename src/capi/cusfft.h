@@ -66,6 +66,29 @@ cusfft_status cusfft_execute_many(cusfft_handle h, const double* inputs,
 /* Plan introspection. */
 cusfft_status cusfft_get_size(cusfft_handle h, size_t* n, size_t* k);
 
+/* ---- Profiling (GPU backends) ----
+ * After an execute/execute_many on a GPU backend the plan retains a
+ * capture profile of the run: a chrome://tracing JSON document (loadable
+ * at chrome://tracing or ui.perfetto.dev) with one track per stream plus
+ * a PCIe track, and the structured per-kernel/per-phase/allocation
+ * telemetry embedded under its top-level "profile" key. See
+ * docs/PROFILING.md for the schema.
+ *
+ * cusfft_profile_json copies the document into `buf` (capacity `cap`
+ * bytes) and NUL-terminates it. `*len` always receives the required
+ * buffer size in bytes, including the terminator; pass buf == NULL (or an
+ * insufficient cap) to query the size first — the call then returns
+ * CUSFFT_SUCCESS without copying when buf is NULL, or
+ * CUSFFT_INVALID_ARGUMENT when cap is too small. Returns
+ * CUSFFT_INVALID_ARGUMENT when no profile is available (CPU backend, or
+ * no execute yet). */
+cusfft_status cusfft_profile_json(cusfft_handle h, char* buf, size_t cap,
+                                  size_t* len);
+
+/* Writes the same document to `path`. CUSFFT_INTERNAL_ERROR on I/O
+ * failure; CUSFFT_INVALID_ARGUMENT when no profile is available. */
+cusfft_status cusfft_profile_write(cusfft_handle h, const char* path);
+
 cusfft_status cusfft_destroy(cusfft_handle h);
 
 /* Human-readable name for a status code (static storage). */

@@ -6,11 +6,14 @@
 #include <span>
 #include <vector>
 
+#include <cstring>
+
 #include "core/spectrum.hpp"
 #include "core/thread_pool.hpp"
 #include "core/types.hpp"
 #include "cusfft/plan.hpp"
 #include "cusim/device.hpp"
+#include "cusim/profiler.hpp"
 #include "psfft/psfft.hpp"
 #include "sfft/serial.hpp"
 
@@ -25,12 +28,23 @@ struct cusfft_plan_t {
   std::unique_ptr<cusfft::cusim::Device> device;
   std::unique_ptr<cusfft::gpu::GpuPlan> gpu;
 
+  /// Capture profile of the most recent GPU execute/execute_many (null
+  /// until then, and for CPU backends).
+  std::unique_ptr<cusfft::cusim::CaptureProfile> profile;
+
+  /// Retains the open capture's profile after a GPU run.
+  void collect_profile() {
+    profile = std::make_unique<cusfft::cusim::CaptureProfile>(
+        device->end_capture());
+  }
+
   cusfft_status rebuild() {
     try {
       serial.reset();
       psfft.reset();
       gpu.reset();
       device.reset();
+      profile.reset();
       switch (backend) {
         case CUSFFT_BACKEND_SERIAL:
           serial = std::make_unique<cusfft::sfft::SerialPlan>(params);
@@ -106,6 +120,7 @@ cusfft_status cusfft_execute(cusfft_handle h, const double* input,
         break;
       default:
         s = h->gpu->execute(x);
+        h->collect_profile();
         break;
     }
     if (s.size() > *count) s = cusfft::trim_top_k(std::move(s), *count);
@@ -149,6 +164,7 @@ cusfft_status cusfft_execute_many(cusfft_handle h, const double* inputs,
         break;
       default:
         results = h->gpu->execute_many(xs);
+        h->collect_profile();
         break;
     }
 
@@ -177,6 +193,33 @@ cusfft_status cusfft_get_size(cusfft_handle h, size_t* n, size_t* k) {
     return CUSFFT_INVALID_ARGUMENT;
   *n = h->params.n;
   *k = h->params.k;
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_profile_json(cusfft_handle h, char* buf, size_t cap,
+                                  size_t* len) {
+  if (h == nullptr || len == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  if (h->profile == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  try {
+    const std::string doc = h->profile->chrome_trace_json();
+    *len = doc.size() + 1;  // incl. NUL
+    if (buf == nullptr) return CUSFFT_SUCCESS;  // size query
+    if (cap < *len) return CUSFFT_INVALID_ARGUMENT;
+    std::memcpy(buf, doc.c_str(), *len);
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_profile_write(cusfft_handle h, const char* path) {
+  if (h == nullptr || path == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  if (h->profile == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  try {
+    if (!h->profile->write(path)) return CUSFFT_INTERNAL_ERROR;
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
   return CUSFFT_SUCCESS;
 }
 

@@ -1,0 +1,251 @@
+#include "core/json_lite.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace cusfft::json {
+
+namespace {
+
+/// Recursive-descent parser over the whole document string.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  bool run(Value& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing content after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& msg) {
+    if (error_ != nullptr)
+      *error_ = msg + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (s_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= s_.size()) return fail("unexpected end of document");
+    switch (s_[pos_]) {
+      case 'n':
+        out.kind = Value::Kind::kNull;
+        return literal("null", 4);
+      case 't':
+        out.kind = Value::Kind::kBool;
+        out.boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out.kind = Value::Kind::kBool;
+        out.boolean = false;
+        return literal("false", 5);
+      case '"':
+        out.kind = Value::Kind::kString;
+        return parse_string(out.string);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      return fail("invalid number");
+    // RFC 8259: the integer part is "0" or a nonzero digit followed by
+    // digits — "01" is not a number.
+    if (s_[pos_] == '0') {
+      ++pos_;
+      if (pos_ < s_.size() &&
+          std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return fail("leading zero in number");
+    }
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return fail("digit expected after decimal point");
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        return fail("digit expected in exponent");
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    out.kind = Value::Kind::kNumber;
+    out.number = std::strtod(s_.c_str() + start, nullptr);
+    if (!std::isfinite(out.number)) return fail("number out of range");
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    out.clear();
+    ++pos_;  // opening quote
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      const char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      if (++pos_ >= s_.size()) return fail("unfinished escape");
+      switch (s_[pos_]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 >= s_.size()) return fail("unfinished \\u escape");
+          unsigned code = 0;
+          for (int i = 1; i <= 4; ++i) {
+            const char h = s_[pos_ + i];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad hex digit in \\u escape");
+          }
+          pos_ += 4;
+          // UTF-8 encode (surrogate pairs unsupported: the profiler only
+          // emits ASCII, so a lone surrogate is simply passed through).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_array(Value& out, int depth) {
+    out.kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Value elem;
+      skip_ws();
+      if (!parse_value(elem, depth + 1)) return false;
+      out.array.push_back(std::move(elem));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(Value& out, int depth) {
+    out.kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"')
+        return fail("expected string key in object");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':')
+        return fail("expected ':' after object key");
+      ++pos_;
+      skip_ws();
+      Value val;
+      if (!parse_value(val, depth + 1)) return false;
+      out.object[std::move(key)] = std::move(val);
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& s_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value& out, std::string* error) {
+  out = Value{};
+  return Parser(text, error).run(out);
+}
+
+}  // namespace cusfft::json

@@ -1,0 +1,60 @@
+// Minimal JSON reader for validating the profiler's exported artifacts
+// (chrome-trace documents and structured capture profiles) without an
+// external dependency. Full RFC-8259 value grammar, DOM representation;
+// no streaming, no writer (the profiler formats its own output).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cusfft::json {
+
+/// One parsed JSON value. Arrays/objects own their children; object keys
+/// keep insertion order irrelevant (lookup by name only).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  /// Convenience: the member's number, or `def` when absent / wrong type.
+  double number_or(const std::string& key, double def) const {
+    const Value* v = find(key);
+    return (v != nullptr && v->is_number()) ? v->number : def;
+  }
+
+  /// Convenience: the member's string, or `def` when absent / wrong type.
+  std::string string_or(const std::string& key,
+                        const std::string& def) const {
+    const Value* v = find(key);
+    return (v != nullptr && v->is_string()) ? v->string : def;
+  }
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed, any
+/// other trailing content is an error). Returns true on success; on
+/// failure fills `error` (when non-null) with a position-annotated message.
+bool parse(const std::string& text, Value& out, std::string* error = nullptr);
+
+}  // namespace cusfft::json

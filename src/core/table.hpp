@@ -16,7 +16,9 @@ class ResultTable {
 
   void add_row(std::vector<std::string> cells);
 
-  /// Convenience: formats doubles with `prec` significant digits.
+  /// Convenience: formats doubles with `prec` significant digits (printf
+  /// %g — deterministic: a given (value, prec) always yields the same
+  /// string, so tables diff cleanly across runs).
   static std::string num(double v, int prec = 4);
 
   /// Aligned, pipe-separated ASCII rendering.

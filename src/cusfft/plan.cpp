@@ -427,10 +427,18 @@ struct GpuPlan::Impl {
   }
 
   /// Timeline markers of one signal's phase boundaries (for the per-phase
-  /// spans of GpuExecStats).
+  /// spans of GpuExecStats). Recorded via Device::annotate_phase so a
+  /// collected CaptureProfile carries the same named spans.
   struct PhaseEvents {
     std::size_t start = 0, setup = 0, binned = 0, voted = 0;
   };
+
+  /// Phase labels — shared by GpuExecStats::phase_span_ms keys and the
+  /// capture profile's phase track.
+  static constexpr const char* kPhaseTransfer = "a transfer+reset";
+  static constexpr const char* kPhaseBin = "b comb+bin+fft";
+  static constexpr const char* kPhaseVote = "c cutoff+vote";
+  static constexpr const char* kPhaseEstimate = "d estimate+d2h";
 
   /// The full kernel sequence for one signal, inside an open capture.
   /// execute() wraps it with stats; execute_many() calls it per signal,
@@ -439,7 +447,7 @@ struct GpuPlan::Impl {
     cusim::Device& dev = *this->dev;
     if (x.size() != n)
       throw std::invalid_argument("GpuPlan::execute: signal size mismatch");
-    ev.start = dev.record_event();
+    ev.start = dev.annotate_phase(kPhaseTransfer);
 
     // Input transfer (H2D). When excluded from the modeled time
     // (GPU-resident comparisons, Fig. 5a-d) the data still lands in device
@@ -460,7 +468,7 @@ struct GpuPlan::Impl {
     dev.launch(LaunchCfg::for_elements("hits_reset", 1, 1),
                [&](ThreadCtx& t) { d_num_hits.store(t, 0, 0); });
 
-    ev.setup = dev.record_event();
+    ev.setup = dev.annotate_phase(kPhaseBin);
 
     // ---- sFFT 2.0 Comb prefilter (optional) ----
     if (comb_W != 0) {
@@ -513,7 +521,7 @@ struct GpuPlan::Impl {
       fft_batched->execute(d_buckets, cufftsim::Direction::kForward, 0);
     }
     dev.sync_point();
-    ev.binned = dev.record_event();
+    ev.binned = dev.annotate_phase(kPhaseVote);
 
     // ---- Steps 4-5 per location loop: cutoff + reverse hash voting ----
     for (std::size_t r = 0; r < p.loops_loc; ++r) {
@@ -526,7 +534,7 @@ struct GpuPlan::Impl {
       }
     }
     dev.sync_point();
-    ev.voted = dev.record_event();
+    ev.voted = dev.annotate_phase(kPhaseEstimate);
 
     // ---- Step 6: estimation ----
     const std::size_t num_hits =
@@ -697,10 +705,10 @@ SparseSpectrum GpuPlan::execute(std::span<const cplx> x,
     const double t2 = dev.event_time_ms(ev.binned);
     const double t3 = dev.event_time_ms(ev.voted);
     stats->phase_span_ms.clear();
-    stats->phase_span_ms["a transfer+reset"] = t1 - t0;
-    stats->phase_span_ms["b comb+bin+fft"] = t2 - t1;
-    stats->phase_span_ms["c cutoff+vote"] = t3 - t2;
-    stats->phase_span_ms["d estimate+d2h"] = stats->model_ms - t3;
+    stats->phase_span_ms[Impl::kPhaseTransfer] = t1 - t0;
+    stats->phase_span_ms[Impl::kPhaseBin] = t2 - t1;
+    stats->phase_span_ms[Impl::kPhaseVote] = t3 - t2;
+    stats->phase_span_ms[Impl::kPhaseEstimate] = stats->model_ms - t3;
   }
   return out;
 }

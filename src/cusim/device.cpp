@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "cusim/profiler.hpp"
+
 namespace cusfft::cusim {
 
 namespace {
@@ -15,6 +17,7 @@ bool sequential_env() {
 Device::Device(perfmodel::GpuSpec spec)
     : model_(spec), timeline_(spec.max_concurrent_kernels) {
   parallel_ = !sequential_env();
+  pool_at_capture_ = BufferPool::global().stats();
 }
 
 ThreadPool* Device::launch_pool(const LaunchCfg& cfg) const {
@@ -28,7 +31,11 @@ ThreadPool* Device::launch_pool(const LaunchCfg& cfg) const {
 void Device::begin_capture() {
   timeline_.clear();
   report_.clear();
+  phases_.clear();
+  pool_at_capture_ = BufferPool::global().stats();
 }
+
+CaptureProfile Device::end_capture() { return collect_profile(*this); }
 
 double Device::elapsed_model_ms() { return timeline_.simulate() * 1e3; }
 
@@ -55,6 +62,10 @@ void Device::finish_launch(const LaunchCfg& cfg, double flops) {
   item.resource = Resource::kDeviceMemory;
   item.mem_s = cost.mem_s;
   item.compute_s = cost.compute_s + cost.atomic_s + cost.overhead_s;
+  item.mem_bytes = cost.mem_bytes;
+  item.useful_bytes = c.bytes_useful;
+  item.transactions = c.coalesced_transactions + c.random_transactions;
+  item.atomic_conflict = c.max_atomic_conflict;
   timeline_.submit(std::move(item));
 
   KernelReport& r = report_[cfg.name];
@@ -82,6 +93,8 @@ void Device::submit_copy(const char* name, double bytes, StreamId s) {
   // Latency is part of the wire time: duration = latency + bytes/bw.
   item.mem_s = spec().pcie_latency_s + bytes / spec().pcie_bandwidth_Bps;
   item.compute_s = 0.0;
+  item.mem_bytes = bytes;
+  item.useful_bytes = bytes;
   timeline_.submit(std::move(item));
 
   KernelReport& r = report_[name];

@@ -31,6 +31,15 @@
 
 namespace cusfft::cusim {
 
+struct CaptureProfile;  // profiler.hpp
+
+/// A named phase boundary inside a capture (cudaEvent + label). The phase
+/// spans from its event time to the next annotation's (or the makespan).
+struct PhaseAnnotation {
+  std::string name;
+  std::size_t event_id = 0;
+};
+
 /// Kernel launch shape, CUDA-style <<<blocks, threads, stream>>>.
 struct LaunchCfg {
   const char* name = "kernel";
@@ -188,8 +197,28 @@ class Device {
     return timeline_.event_time_s(event_id) * 1e3;
   }
 
-  /// Starts a fresh measured region: clears the timeline and the report.
+  /// Named phase boundary: records a timeline event and remembers the label
+  /// so captures export per-phase spans (profiler.hpp). Returns the event
+  /// id (usable with event_time_ms like a plain record_event()).
+  std::size_t annotate_phase(std::string name) {
+    const std::size_t ev = timeline_.record_event();
+    phases_.push_back({std::move(name), ev});
+    return ev;
+  }
+  const std::vector<PhaseAnnotation>& phase_annotations() const {
+    return phases_;
+  }
+
+  /// Starts a fresh measured region: clears the timeline, the report, and
+  /// the phase annotations, and snapshots the global BufferPool stats so
+  /// the capture can report allocation deltas.
   void begin_capture();
+
+  /// Simulates everything submitted since begin_capture() and assembles the
+  /// full observability record: per-item trace spans, per-phase spans,
+  /// per-kernel counters with derived metrics, and the BufferPool delta.
+  /// Does not clear anything — call begin_capture() for the next region.
+  CaptureProfile end_capture();
 
   /// Simulates everything submitted since begin_capture(); returns the
   /// modeled makespan in milliseconds. Idempotent until the next submit.
@@ -200,6 +229,12 @@ class Device {
     return report_;
   }
   const Timeline& timeline() const { return timeline_; }
+
+  /// BufferPool::global() stats as of the last begin_capture() (or device
+  /// construction) — the baseline for per-capture allocation deltas.
+  const BufferPool::Stats& pool_stats_at_capture() const {
+    return pool_at_capture_;
+  }
 
  private:
   /// Picks the pool for this launch, or nullptr for the sequential sweep.
@@ -213,6 +248,8 @@ class Device {
   KernelAccum accum_;
   std::vector<KernelAccum> worker_accums_;  // reused across launches
   std::map<std::string, KernelReport> report_;
+  std::vector<PhaseAnnotation> phases_;
+  BufferPool::Stats pool_at_capture_;
   StreamId next_stream_ = 1;
   u64 max_traced_warps_ = 4096;
   bool parallel_ = true;

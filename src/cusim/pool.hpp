@@ -33,6 +33,19 @@ class BufferPool {
     u64 reuses = 0;          // acquires served from the free list
     u64 bytes_allocated = 0; // cumulative fresh bytes
     u64 bytes_pooled = 0;    // currently parked on the free list
+
+    /// Delta of the monotonic counters against an earlier snapshot
+    /// (bytes_pooled is a level, not a counter, so the delta keeps the
+    /// current value). This is what captures report: "allocations since
+    /// begin_capture()".
+    Stats since(const Stats& earlier) const {
+      Stats d;
+      d.allocations = allocations - earlier.allocations;
+      d.reuses = reuses - earlier.reuses;
+      d.bytes_allocated = bytes_allocated - earlier.bytes_allocated;
+      d.bytes_pooled = bytes_pooled;
+      return d;
+    }
   };
 
   /// Returns a zeroed block of at least `bytes` capacity — from the free

@@ -1,0 +1,287 @@
+#include "cusim/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cusfft::cusim {
+
+namespace {
+
+/// Deterministic JSON number: fixed %.12g, non-finite values clamp to 0
+/// (JSON has no inf/nan; the model never produces them in practice).
+std::string jnum(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void append_pool_stats(std::ostringstream& os, const BufferPool::Stats& s) {
+  os << "{\"allocations\":" << s.allocations << ",\"reuses\":" << s.reuses
+     << ",\"bytes_allocated\":" << s.bytes_allocated
+     << ",\"bytes_pooled\":" << s.bytes_pooled << "}";
+}
+
+/// The trace's thread ids: one per stream, then one synthetic PCIe track.
+constexpr int kPcieTid = 1000000;
+constexpr int kPhaseTid = 1000001;
+
+int tid_of(const TraceSpan& s) {
+  return s.pcie ? kPcieTid : static_cast<int>(s.stream);
+}
+
+}  // namespace
+
+CaptureProfile collect_profile(Device& dev) {
+  CaptureProfile p;
+  const perfmodel::GpuSpec& spec = dev.spec();
+  p.device = spec.name;
+  p.model_ms = dev.elapsed_model_ms();  // simulates (idempotent)
+  p.mem_bw_Bps = spec.mem_bandwidth_Bps;
+  p.pcie_bw_Bps = spec.pcie_bandwidth_Bps;
+  p.max_concurrent_kernels = spec.max_concurrent_kernels;
+
+  // Per-item trace spans from the simulated schedule.
+  const Timeline& tl = dev.timeline();
+  const auto& items = tl.items();
+  const auto& sched = tl.schedule();
+  p.spans.reserve(items.size());
+  double device_busy_ms = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    TraceSpan s;
+    s.name = items[i].name;
+    s.stream = items[i].stream;
+    s.pcie = items[i].resource == Resource::kPcie;
+    s.start_ms = sched[i].start_s * 1e3;
+    s.end_ms = sched[i].finish_s * 1e3;
+    s.mem_bytes = items[i].mem_bytes;
+    s.useful_bytes = items[i].useful_bytes;
+    s.transactions = items[i].transactions;
+    s.atomic_conflict = items[i].atomic_conflict;
+    const double dur_s = sched[i].finish_s - sched[i].start_s;
+    const double peak = s.pcie ? p.pcie_bw_Bps : p.mem_bw_Bps;
+    if (dur_s > 0 && peak > 0)
+      s.achieved_bw_frac = s.mem_bytes / dur_s / peak;
+    if (!s.pcie) device_busy_ms += s.end_ms - s.start_ms;
+    p.spans.push_back(std::move(s));
+  }
+  if (p.model_ms > 0 && p.max_concurrent_kernels > 0)
+    p.occupancy_frac =
+        device_busy_ms / p.model_ms / p.max_concurrent_kernels;
+
+  // Phase spans: each annotation opens a phase that the next one (or the
+  // makespan) closes — exactly GpuExecStats::phase_span_ms's arithmetic.
+  const auto& anns = dev.phase_annotations();
+  p.phases.reserve(anns.size());
+  for (std::size_t i = 0; i < anns.size(); ++i) {
+    PhaseSpan ph;
+    ph.name = anns[i].name;
+    ph.start_ms = tl.event_time_s(anns[i].event_id) * 1e3;
+    ph.end_ms = i + 1 < anns.size()
+                    ? tl.event_time_s(anns[i + 1].event_id) * 1e3
+                    : p.model_ms;
+    p.phases.push_back(std::move(ph));
+  }
+
+  // Per-kernel aggregation with derived metrics (report() is a std::map,
+  // so the order is lexicographic and stable).
+  for (const auto& [name, r] : dev.report()) {
+    KernelProfile k;
+    k.name = name;
+    k.launches = r.launches;
+    k.counters = r.counters;
+    k.solo_ms = r.solo_s * 1e3;
+    const double tx =
+        r.counters.coalesced_transactions + r.counters.random_transactions;
+    if (tx > 0) k.coalesced_frac = r.counters.coalesced_transactions / tx;
+    if (r.solo_s > 0 && p.mem_bw_Bps > 0)
+      k.achieved_bw_frac = tx * static_cast<double>(
+                                    spec.mem_transaction_bytes) /
+                           r.solo_s / p.mem_bw_Bps;
+    p.kernels.push_back(std::move(k));
+  }
+
+  p.pool_begin = dev.pool_stats_at_capture();
+  p.pool_end = BufferPool::global().stats();
+  return p;
+}
+
+std::string CaptureProfile::to_json() const {
+  std::ostringstream os;
+  os << "{\"device\":" << jstr(device)
+     << ",\"model_ms\":" << jnum(model_ms)
+     << ",\"mem_bw_Bps\":" << jnum(mem_bw_Bps)
+     << ",\"pcie_bw_Bps\":" << jnum(pcie_bw_Bps)
+     << ",\"max_concurrent_kernels\":" << max_concurrent_kernels
+     << ",\"occupancy_frac\":" << jnum(occupancy_frac);
+
+  os << ",\"phases\":[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseSpan& ph = phases[i];
+    os << (i ? "," : "") << "{\"name\":" << jstr(ph.name)
+       << ",\"start_ms\":" << jnum(ph.start_ms)
+       << ",\"end_ms\":" << jnum(ph.end_ms)
+       << ",\"span_ms\":" << jnum(ph.span_ms()) << "}";
+  }
+  os << "]";
+
+  os << ",\"kernels\":[";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelProfile& k = kernels[i];
+    os << (i ? "," : "") << "{\"name\":" << jstr(k.name)
+       << ",\"launches\":" << k.launches
+       << ",\"solo_ms\":" << jnum(k.solo_ms)
+       << ",\"coalesced_tx\":" << jnum(k.counters.coalesced_transactions)
+       << ",\"random_tx\":" << jnum(k.counters.random_transactions)
+       << ",\"useful_bytes\":" << jnum(k.counters.bytes_useful)
+       << ",\"flops\":" << jnum(k.counters.flops)
+       << ",\"atomics\":" << jnum(k.counters.atomic_ops)
+       << ",\"max_conflict\":" << jnum(k.counters.max_atomic_conflict)
+       << ",\"shared_accesses\":" << jnum(k.counters.shared_accesses)
+       << ",\"coalesced_frac\":" << jnum(k.coalesced_frac)
+       << ",\"achieved_bw_frac\":" << jnum(k.achieved_bw_frac) << "}";
+  }
+  os << "]";
+
+  // Only the capture-scoped delta is serialized: the absolute begin/end
+  // snapshots count process-lifetime pool activity, which would make two
+  // otherwise-identical captures serialize differently.
+  os << ",\"pool\":";
+  append_pool_stats(os, pool_delta());
+  os << "}";
+  return os.str();
+}
+
+std::string CaptureProfile::chrome_trace_json() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  // Track metadata: process name, then one thread per stream seen, plus
+  // the PCIe and phase tracks. Streams sorted for determinism.
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":"
+     << jstr("cusim " + device) << "}}";
+  std::vector<int> tids;
+  for (const TraceSpan& s : spans)
+    if (!s.pcie) tids.push_back(static_cast<int>(s.stream));
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (const int t : tids) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+       << ",\"args\":{\"name\":" << jstr("stream " + std::to_string(t))
+       << "}}";
+  }
+  sep();
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+     << kPcieTid << ",\"args\":{\"name\":\"PCIe\"}}";
+  if (!phases.empty()) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << kPhaseTid << ",\"args\":{\"name\":\"phases\"}}";
+  }
+
+  // Duration events, microsecond timestamps (the trace format's unit).
+  for (const TraceSpan& s : spans) {
+    sep();
+    os << "{\"name\":" << jstr(s.name) << ",\"cat\":"
+       << (s.pcie ? "\"copy\"" : "\"kernel\"")
+       << ",\"ph\":\"X\",\"pid\":0,\"tid\":" << tid_of(s)
+       << ",\"ts\":" << jnum(s.start_ms * 1e3)
+       << ",\"dur\":" << jnum((s.end_ms - s.start_ms) * 1e3)
+       << ",\"args\":{\"stream\":" << s.stream
+       << ",\"transactions\":" << jnum(s.transactions)
+       << ",\"useful_bytes\":" << jnum(s.useful_bytes)
+       << ",\"mem_bytes\":" << jnum(s.mem_bytes)
+       << ",\"achieved_bw_pct\":" << jnum(s.achieved_bw_frac * 100.0)
+       << ",\"atomic_conflict\":" << jnum(s.atomic_conflict) << "}}";
+  }
+  for (const PhaseSpan& ph : phases) {
+    sep();
+    os << "{\"name\":" << jstr(ph.name)
+       << ",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":0,\"tid\":" << kPhaseTid
+       << ",\"ts\":" << jnum(ph.start_ms * 1e3)
+       << ",\"dur\":" << jnum(ph.span_ms() * 1e3) << ",\"args\":{}}";
+  }
+  os << "],\"profile\":" << to_json() << "}";
+  return os.str();
+}
+
+ResultTable CaptureProfile::to_table() const {
+  ResultTable t({"kind", "name", "ms", "launches", "coalesced_tx",
+                 "random_tx", "useful_MB", "Mflops", "atomics",
+                 "max_conflict", "coalesced_frac", "achieved_bw_frac"});
+  const std::string na = "-";
+  t.add_row({"capture", device, ResultTable::num(model_ms), na, na, na, na,
+             na, na, na, na,
+             ResultTable::num(occupancy_frac)});
+  for (const PhaseSpan& ph : phases)
+    t.add_row({"phase", ph.name, ResultTable::num(ph.span_ms()), na, na, na,
+               na, na, na, na, na, na});
+  for (const KernelProfile& k : kernels)
+    t.add_row({"kernel", k.name, ResultTable::num(k.solo_ms),
+               std::to_string(k.launches),
+               ResultTable::num(k.counters.coalesced_transactions),
+               ResultTable::num(k.counters.random_transactions),
+               ResultTable::num(k.counters.bytes_useful / 1e6),
+               ResultTable::num(k.counters.flops / 1e6),
+               ResultTable::num(k.counters.atomic_ops),
+               ResultTable::num(k.counters.max_atomic_conflict),
+               ResultTable::num(k.coalesced_frac),
+               ResultTable::num(k.achieved_bw_frac)});
+  const BufferPool::Stats d = pool_delta();
+  t.add_row({"pool", "allocations",
+             ResultTable::num(static_cast<double>(d.allocations)), na, na,
+             na, na, na, na, na, na, na});
+  t.add_row({"pool", "reuses",
+             ResultTable::num(static_cast<double>(d.reuses)), na, na, na, na,
+             na, na, na, na, na});
+  t.add_row({"pool", "fresh_MB",
+             ResultTable::num(static_cast<double>(d.bytes_allocated) / 1e6),
+             na, na, na, na, na, na, na, na, na});
+  t.add_row({"pool", "pooled_MB",
+             ResultTable::num(static_cast<double>(d.bytes_pooled) / 1e6),
+             na, na, na, na, na, na, na, na, na});
+  return t;
+}
+
+bool CaptureProfile::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << chrome_trace_json() << "\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace cusfft::cusim

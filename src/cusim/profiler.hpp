@@ -1,0 +1,104 @@
+// Structured capture observability: turns one measured region of a Device
+// (everything between begin_capture() and end_capture()) into a
+// machine-readable CaptureProfile — the evidence behind every figure the
+// benches regenerate (Fig. 2 profile breakdown, Fig. 4 stream overlap,
+// Table II counters), exportable instead of trapped in printed tables.
+//
+// Three serializations, all deterministic (identical captures produce
+// byte-identical output):
+//   chrome_trace_json() — a chrome://tracing / Perfetto document: one track
+//       per stream plus a PCIe track, every kernel/copy as a duration
+//       event carrying transactions, useful bytes, achieved-bandwidth %,
+//       and atomic-conflict depth in its args; phase annotations as a
+//       separate track; the structured profile embedded under the
+//       top-level "profile" key (trace viewers ignore unknown keys).
+//   to_json()           — just the structured profile object.
+//   to_table()          — ResultTable for the existing CSV path. Row order:
+//       one `capture` row, `phase` rows in annotation order, `kernel` rows
+//       in lexicographic name order, `pool` rows in a fixed order. Cells
+//       that do not apply hold "-".
+//
+// See docs/PROFILING.md for the schema and a worked chrome://tracing
+// example.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "cusim/device.hpp"
+#include "cusim/pool.hpp"
+
+namespace cusfft::cusim {
+
+/// One named phase of the capture (from Device::annotate_phase): spans from
+/// its annotation's event time to the next annotation (or the makespan).
+struct PhaseSpan {
+  std::string name;
+  double start_ms = 0;
+  double end_ms = 0;
+  double span_ms() const { return end_ms - start_ms; }
+};
+
+/// One scheduled timeline item (kernel launch or PCIe copy) with its
+/// schedule and the telemetry the trace export renders as event args.
+struct TraceSpan {
+  std::string name;
+  StreamId stream = 0;
+  bool pcie = false;  // PCIe copy (its own track) vs device kernel
+  double start_ms = 0;
+  double end_ms = 0;
+  double mem_bytes = 0;        // bytes that crossed this item's resource
+  double useful_bytes = 0;     // bytes the program asked for
+  double transactions = 0;     // 128B segments (coalesced + random)
+  double atomic_conflict = 0;  // deepest same-address atomic chain
+  double achieved_bw_frac = 0;  // (mem_bytes/duration) / resource peak
+};
+
+/// Per-kernel-name aggregation with derived metrics.
+struct KernelProfile {
+  std::string name;
+  std::size_t launches = 0;
+  perfmodel::KernelCounters counters;  // summed over launches
+  double solo_ms = 0;                  // summed isolated durations
+  double coalesced_frac = 0;   // coalesced_tx / (coalesced_tx + random_tx)
+  double achieved_bw_frac = 0;  // transaction bytes / solo time / peak BW
+};
+
+/// Everything observable about one capture region.
+struct CaptureProfile {
+  std::string device;  // GpuSpec name
+  double model_ms = 0;  // makespan
+  double mem_bw_Bps = 0;   // spec peaks, for de-normalizing the fractions
+  double pcie_bw_Bps = 0;
+  unsigned max_concurrent_kernels = 0;
+  /// Time-averaged number of in-flight device kernels over the makespan,
+  /// divided by the concurrent-kernel window (32 on GK110) — the modeled
+  /// occupancy of the Hyper-Q window.
+  double occupancy_frac = 0;
+
+  std::vector<TraceSpan> spans;       // submission order
+  std::vector<PhaseSpan> phases;      // annotation order
+  std::vector<KernelProfile> kernels; // lexicographic by name
+
+  /// BufferPool::global() stats at begin_capture() and at collection;
+  /// pool_delta() is what "no allocations after warm-up" asserts on.
+  /// Serialization (to_json/to_table) carries only the delta — the
+  /// absolute snapshots are process-lifetime counters and would break
+  /// byte-identical output for identical captures.
+  BufferPool::Stats pool_begin, pool_end;
+  BufferPool::Stats pool_delta() const { return pool_end.since(pool_begin); }
+
+  std::string to_json() const;
+  std::string chrome_trace_json() const;
+  ResultTable to_table() const;
+
+  /// Writes chrome_trace_json() to `path`; returns success.
+  bool write(const std::string& path) const;
+};
+
+/// Simulates the device's current capture region and assembles its profile
+/// (also available as Device::end_capture()).
+CaptureProfile collect_profile(Device& dev);
+
+}  // namespace cusfft::cusim

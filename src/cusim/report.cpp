@@ -1,11 +1,15 @@
 #include "cusim/report.hpp"
 
+#include "cusim/pool.hpp"
+
 namespace cusfft::cusim {
 
 ResultTable report_table(const Device& dev) {
   ResultTable t({"kernel", "launches", "coalesced_tx", "random_tx",
                  "useful_MB", "Mflops", "atomics", "max_conflict",
                  "solo_ms"});
+  // dev.report() is a std::map: rows come out in lexicographic kernel-name
+  // order, run after run.
   for (const auto& [name, r] : dev.report()) {
     t.add_row({name, std::to_string(r.launches),
                ResultTable::num(r.counters.coalesced_transactions),
@@ -16,6 +20,18 @@ ResultTable report_table(const Device& dev) {
                ResultTable::num(r.counters.max_atomic_conflict),
                ResultTable::num(r.solo_s * 1e3)});
   }
+  // Allocation telemetry for the capture (value in the launches column).
+  const BufferPool::Stats d =
+      BufferPool::global().stats().since(dev.pool_stats_at_capture());
+  const std::string na = "-";
+  auto pool_row = [&](const char* what, double v) {
+    t.add_row({std::string("[pool ") + what + "]", ResultTable::num(v), na,
+               na, na, na, na, na, na});
+  };
+  pool_row("allocations", static_cast<double>(d.allocations));
+  pool_row("reuses", static_cast<double>(d.reuses));
+  pool_row("fresh_MB", static_cast<double>(d.bytes_allocated) / 1e6);
+  pool_row("pooled_MB", static_cast<double>(d.bytes_pooled) / 1e6);
   return t;
 }
 

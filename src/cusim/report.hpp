@@ -1,5 +1,15 @@
 // Renders a capture region's per-kernel statistics as a ResultTable —
 // the simulator's equivalent of an nvprof summary.
+//
+// Output contract (stable golden-file diffs rely on it):
+//   * one row per kernel name, in lexicographic name order;
+//   * then four `[pool ...]` rows reporting the BufferPool::global() delta
+//     since the device's begin_capture() — allocations, reuses, fresh MB,
+//     currently pooled MB — with the value in the `launches` column and
+//     "-" elsewhere, so "no allocations after warm-up" is assertable from
+//     the report alone;
+//   * floats formatted by ResultTable::num (%.4g — deterministic for a
+//     given value).
 #pragma once
 
 #include "core/table.hpp"
@@ -8,7 +18,8 @@
 namespace cusfft::cusim {
 
 /// One row per kernel name: launches, transactions (coalesced/random),
-/// useful bytes, flops, atomics, worst conflict chain, summed solo time.
+/// useful bytes, flops, atomics, worst conflict chain, summed solo time;
+/// then the `[pool ...]` allocation-telemetry rows (see header comment).
 ResultTable report_table(const Device& dev);
 
 }  // namespace cusfft::cusim

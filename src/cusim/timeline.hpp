@@ -24,6 +24,13 @@ struct TimelineItem {
   double compute_s = 0;  // non-shareable time (compute + atomics + overhead)
   std::size_t after = 0;  // barrier: may not start before items [0, after)
                           // have all completed (set by Timeline::barrier)
+
+  // Telemetry carried for the profiler's trace export (filled by
+  // Device::finish_launch / submit_copy; the scheduler ignores them).
+  double mem_bytes = 0;        // bytes crossing this item's resource
+  double useful_bytes = 0;     // bytes the program asked for
+  double transactions = 0;     // 128B segments (coalesced + random)
+  double atomic_conflict = 0;  // deepest same-address atomic chain
 };
 
 /// Result for one item after simulation.

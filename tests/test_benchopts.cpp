@@ -40,6 +40,34 @@ TEST(BenchOpts, EnvOverrides) {
   ::unsetenv("CUSFFT_OUT_DIR");
 }
 
+TEST(BenchOpts, ProfileFlagRegistersPath) {
+  ::unsetenv("CUSFFT_PROFILE");
+  const char* argv[] = {"bench", "--profile", "/tmp/trace.json"};
+  const auto o = BenchOpts::parse(static_cast<int>(std::size(argv)),
+                                  const_cast<char**>(argv));
+  EXPECT_EQ(o.profile, "/tmp/trace.json");
+  EXPECT_EQ(profile_path(), "/tmp/trace.json");
+
+  // No flag, no env: parse() clears the registered path again.
+  const char* none[] = {"bench"};
+  const auto o2 = BenchOpts::parse(1, const_cast<char**>(none));
+  EXPECT_TRUE(o2.profile.empty());
+  EXPECT_TRUE(profile_path().empty());
+}
+
+TEST(BenchOpts, ProfileEnvIsOverriddenByFlag) {
+  ::setenv("CUSFFT_PROFILE", "/tmp/env.json", 1);
+  const char* envonly[] = {"bench"};
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(envonly)).profile,
+            "/tmp/env.json");
+  const char* argv[] = {"bench", "--profile", "/tmp/cli.json"};
+  EXPECT_EQ(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                             const_cast<char**>(argv))
+                .profile,
+            "/tmp/cli.json");
+  ::unsetenv("CUSFFT_PROFILE");
+}
+
 TEST(PaperParams, FollowsPaperRegimeByDefault) {
   ::unsetenv("CUSFFT_BCST");
   ::unsetenv("CUSFFT_LOOPS_LOC");

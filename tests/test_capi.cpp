@@ -3,9 +3,14 @@
 // surface only.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "capi/cusfft.h"
+#include "core/json_lite.hpp"
 #include "core/metrics.hpp"
 #include "core/rng.hpp"
 #include "signal/generate.hpp"
@@ -190,6 +195,87 @@ TEST(CApi, ErrorPaths) {
             CUSFFT_INVALID_ARGUMENT);
   cusfft_destroy(h);
   EXPECT_EQ(cusfft_destroy(nullptr), CUSFFT_SUCCESS);  // free(NULL) style
+}
+
+TEST(CApi, ProfileJsonSizeQueryThenFetch) {
+  const auto w = make_workload(1 << 12, 8, 654);
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, w.n, w.k, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+
+  // Before the first execute there is no capture to profile.
+  std::size_t len = 0;
+  EXPECT_EQ(cusfft_profile_json(h, nullptr, 0, &len),
+            CUSFFT_INVALID_ARGUMENT);
+
+  std::vector<uint64_t> locs(4 * w.k);
+  std::vector<double> vals(2 * locs.size());
+  std::size_t count = locs.size();
+  ASSERT_EQ(cusfft_execute(h, reinterpret_cast<const double*>(w.x.data()),
+                           locs.data(), vals.data(), &count),
+            CUSFFT_SUCCESS);
+
+  // Size query, then an undersized buffer, then the real fetch.
+  ASSERT_EQ(cusfft_profile_json(h, nullptr, 0, &len), CUSFFT_SUCCESS);
+  ASSERT_GT(len, 2u);
+  std::vector<char> small(len / 2);
+  std::size_t need = small.size();
+  EXPECT_EQ(cusfft_profile_json(h, small.data(), small.size(), &need),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(need, len);  // the required capacity is always reported
+  std::vector<char> buf(len);
+  ASSERT_EQ(cusfft_profile_json(h, buf.data(), buf.size(), &len),
+            CUSFFT_SUCCESS);
+  EXPECT_EQ(buf[len - 1], '\0');
+
+  cusfft::json::Value doc;
+  std::string err;
+  ASSERT_TRUE(cusfft::json::parse(buf.data(), doc, &err)) << err;
+  const cusfft::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+  EXPECT_FALSE(events->array.empty());
+  EXPECT_NE(doc.find("profile"), nullptr);
+
+  cusfft_destroy(h);
+}
+
+TEST(CApi, ProfileWriteAndCpuBackendHasNone) {
+  const auto w = make_workload(1 << 12, 8, 655);
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, w.n, w.k, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+  std::vector<uint64_t> locs(4 * w.k);
+  std::vector<double> vals(2 * locs.size());
+  std::size_t count = locs.size();
+  ASSERT_EQ(cusfft_execute(h, reinterpret_cast<const double*>(w.x.data()),
+                           locs.data(), vals.data(), &count),
+            CUSFFT_SUCCESS);
+
+  const std::string path =
+      ::testing::TempDir() + "cusfft_capi_profile.json";
+  ASSERT_EQ(cusfft_profile_write(h, path.c_str()), CUSFFT_SUCCESS);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  cusfft::json::Value doc;
+  EXPECT_TRUE(cusfft::json::parse(ss.str(), doc));
+  std::remove(path.c_str());
+  EXPECT_EQ(cusfft_profile_write(h, nullptr), CUSFFT_INVALID_ARGUMENT);
+  cusfft_destroy(h);
+
+  // CPU backends run no simulated device, so no profile exists.
+  cusfft_handle cpu = nullptr;
+  ASSERT_EQ(cusfft_plan(&cpu, w.n, w.k, CUSFFT_BACKEND_SERIAL),
+            CUSFFT_SUCCESS);
+  count = locs.size();
+  ASSERT_EQ(cusfft_execute(cpu, reinterpret_cast<const double*>(w.x.data()),
+                           locs.data(), vals.data(), &count),
+            CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_profile_write(cpu, path.c_str()),
+            CUSFFT_INVALID_ARGUMENT);
+  cusfft_destroy(cpu);
 }
 
 TEST(CApi, StatusStrings) {

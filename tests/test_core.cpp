@@ -6,6 +6,7 @@
 #include <numeric>
 #include <set>
 
+#include "core/json_lite.hpp"
 #include "core/metrics.hpp"
 #include "core/modmath.hpp"
 #include "core/rng.hpp"
@@ -229,6 +230,58 @@ TEST(Spectrum, TrimTopKKeepsLargest) {
   // k >= size: unchanged content.
   EXPECT_EQ(trim_top_k(s, 10).size(), 4u);
   EXPECT_TRUE(trim_top_k({}, 3).empty());
+}
+
+TEST(JsonLite, ParsesScalarsAndContainers) {
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(
+      R"({"a":1.5,"b":[true,false,null],"c":{"d":"x"},"e":-2e3})", v, &err))
+      << err;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.number_or("a", 0), 1.5);
+  EXPECT_DOUBLE_EQ(v.number_or("e", 0), -2000.0);
+  const json::Value* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].is_bool() && b->array[0].boolean);
+  EXPECT_TRUE(b->array[2].is_null());
+  const json::Value* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->string_or("d", ""), "x");
+  // Convenience accessors fall back on absence or type mismatch.
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 7), 7.0);
+  EXPECT_EQ(v.string_or("a", "def"), "def");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonLite, DecodesStringEscapes) {
+  json::Value v;
+  ASSERT_TRUE(json::parse(R"(["a\"b\\c\/\n\t", "Aé"])", v));
+  ASSERT_EQ(v.array.size(), 2u);
+  EXPECT_EQ(v.array[0].string, "a\"b\\c/\n\t");
+  EXPECT_EQ(v.array[1].string, "A\xc3\xa9");  // UTF-8 encoded
+}
+
+TEST(JsonLite, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",            // empty
+      "{",           // unterminated object
+      "[1,]",        // trailing comma
+      "{\"a\":1} x",  // trailing content
+      "\"unterminated",
+      "[\"bad\\q\"]",  // unknown escape
+      "01",            // leading zero
+      "nul",           // truncated literal
+      "1e999",         // overflows to non-finite
+  };
+  for (const char* doc : bad) {
+    json::Value v;
+    std::string err;
+    EXPECT_FALSE(json::parse(doc, v, &err)) << doc;
+    EXPECT_FALSE(err.empty()) << doc;
+  }
 }
 
 TEST(Spectrum, MergeDuplicatesSums) {

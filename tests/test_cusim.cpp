@@ -418,8 +418,59 @@ TEST(Report, TableListsKernels) {
     if (t.global_id() < 256) buf.store(t, t.global_id(), 1.0);
   });
   const ResultTable t = report_table(dev);
-  EXPECT_EQ(t.rows(), 1u);
-  EXPECT_NE(t.to_ascii().find("alpha"), std::string::npos);
+  EXPECT_EQ(t.rows(), 5u);  // one kernel row + four [pool ...] rows
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("[pool allocations]"), std::string::npos);
+}
+
+TEST(Timeline, EventBeforeAnyItemIsZero) {
+  Timeline tl(32);
+  const std::size_t e = tl.record_event();
+  tl.simulate();  // empty timeline: event still resolvable
+  EXPECT_DOUBLE_EQ(tl.event_time_s(e), 0.0);
+
+  tl.clear();
+  const std::size_t e2 = tl.record_event();
+  tl.submit({"later", 0, Resource::kDeviceMemory, 1e-3, 0.0, 0});
+  tl.simulate();
+  // The event predates every item, so completing work can't move it.
+  EXPECT_DOUBLE_EQ(tl.event_time_s(e2), 0.0);
+}
+
+TEST(Timeline, EventAfterBarrierSeesAllPriorWork) {
+  Timeline tl(32);
+  tl.submit({"s0", 0, Resource::kDeviceMemory, 0.0, 1e-3, 0});
+  tl.submit({"s1", 1, Resource::kDeviceMemory, 0.0, 4e-3, 0});
+  tl.barrier();
+  const std::size_t e = tl.record_event();
+  tl.submit({"tail", 2, Resource::kDeviceMemory, 0.0, 1e-3, 0});
+  const double makespan = tl.simulate();
+  // The event covers both pre-barrier streams (slowest: 4 ms), and the
+  // post-barrier item starts no earlier than that.
+  EXPECT_NEAR(tl.event_time_s(e), 4e-3, 1e-9);
+  EXPECT_NEAR(makespan, 5e-3, 1e-9);
+  EXPECT_GE(tl.schedule().back().start_s, 4e-3 - 1e-12);
+}
+
+TEST(Timeline, RepeatedSimulateIsIdempotent) {
+  Timeline tl(4);
+  for (int i = 0; i < 8; ++i)
+    tl.submit({"k" + std::to_string(i), static_cast<StreamId>(i % 3),
+               Resource::kDeviceMemory, 1e-3, 5e-4, 0});
+  const std::size_t e = tl.record_event();
+  const double first = tl.simulate();
+  const auto sched = tl.schedule();
+  const double t_first = tl.event_time_s(e);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_DOUBLE_EQ(tl.simulate(), first);
+    EXPECT_DOUBLE_EQ(tl.event_time_s(e), t_first);
+    ASSERT_EQ(tl.schedule().size(), sched.size());
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+      EXPECT_DOUBLE_EQ(tl.schedule()[i].start_s, sched[i].start_s);
+      EXPECT_DOUBLE_EQ(tl.schedule()[i].finish_s, sched[i].finish_s);
+    }
+  }
 }
 
 }  // namespace
