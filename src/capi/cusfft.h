@@ -63,6 +63,14 @@ cusfft_status cusfft_execute_many(cusfft_handle h, const double* inputs,
                                   uint64_t* locations, double* values,
                                   size_t* counts);
 
+/* Batch scheduling toggle for GPU backends. Nonzero (the default):
+ * cusfft_execute_many overlaps signal i+1's transfer + binning kernels
+ * with signal i's selection/estimation kernels on the modeled timeline
+ * (stream-pipelined). Zero: signals run one at a time. Results are
+ * bit-identical either way; only the modeled batch time changes. CPU
+ * backends accept and ignore the call. */
+cusfft_status cusfft_set_batch_pipeline(cusfft_handle h, int enable);
+
 /* Plan introspection. */
 cusfft_status cusfft_get_size(cusfft_handle h, size_t* n, size_t* k);
 

@@ -22,6 +22,7 @@
 struct cusfft_plan_t {
   cusfft::sfft::Params params;
   cusfft_backend backend = CUSFFT_BACKEND_SERIAL;
+  int batch_pipeline = 1;  // cusfft_set_batch_pipeline; GPU batches only
 
   std::unique_ptr<cusfft::sfft::SerialPlan> serial;
   std::unique_ptr<cusfft::psfft::PsfftPlan> psfft;
@@ -101,6 +102,12 @@ cusfft_status cusfft_set_seed(cusfft_handle h, uint64_t seed) {
   return h->rebuild();
 }
 
+cusfft_status cusfft_set_batch_pipeline(cusfft_handle h, int enable) {
+  if (h == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  h->batch_pipeline = enable;
+  return CUSFFT_SUCCESS;
+}
+
 cusfft_status cusfft_execute(cusfft_handle h, const double* input,
                              uint64_t* locations, double* values,
                              size_t* count) {
@@ -163,7 +170,10 @@ cusfft_status cusfft_execute_many(cusfft_handle h, const double* inputs,
         for (const auto& x : xs) results.push_back(h->psfft->execute(x));
         break;
       default:
-        results = h->gpu->execute_many(xs);
+        results = h->gpu->execute_many(
+            xs, nullptr,
+            h->batch_pipeline != 0 ? cusfft::gpu::BatchMode::kAuto
+                                   : cusfft::gpu::BatchMode::kSerialized);
         h->collect_profile();
         break;
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
@@ -67,6 +68,56 @@ struct GpuPlan::Impl {
   DeviceBuffer<u32> d_comb_vals;                // W sort values
   std::unique_ptr<cufftsim::Plan> comb_fft;     // (W, 1)
 
+  // Pipelined-batch state (BatchMode::kPipelined): two home streams that
+  // alternate by signal parity, plus a parity-1 copy of every buffer that
+  // crosses the front/back stage boundary — the front stage (transfer +
+  // comb + binning + FFT) of signal i+1 runs while the back stage
+  // (cutoff + vote + estimate + d2h) of signal i drains, so both signals'
+  // per-signal state must coexist. Back-stage-only buffers (hits, est,
+  // selection scratch) stay single: back stages are serialized among
+  // themselves by the `done` event chain, as are front stages (they share
+  // the chunk/partial/FFT-work scratch) by the `binned` event chain.
+  // Allocated lazily (pool-backed) on the first pipelined batch.
+  std::vector<StreamId> home_streams;
+  DeviceBuffer<cplx> d_signal_alt, d_buckets_alt, d_z_alt;
+  DeviceBuffer<u32> d_score_alt, d_num_hits_alt, d_comb_approved_alt;
+
+  // Active per-signal buffer bindings: kernels address mutable per-signal
+  // state through these so the pipelined path can flip whole sets by
+  // signal parity. bind_buffers(0) selects the primaries (the serialized
+  // and single-execute paths).
+  DeviceBuffer<cplx>* sig_ = nullptr;
+  DeviceBuffer<cplx>* buck_ = nullptr;
+  DeviceBuffer<cplx>* zb_ = nullptr;
+  DeviceBuffer<u32>* score_ = nullptr;
+  DeviceBuffer<u32>* num_hits_ = nullptr;
+  DeviceBuffer<u32>* comb_approved_ = nullptr;
+
+  void bind_buffers(std::size_t parity) {
+    const bool alt = parity != 0;
+    sig_ = alt ? &d_signal_alt : &d_signal;
+    buck_ = alt ? &d_buckets_alt : &d_buckets;
+    zb_ = alt ? &d_z_alt : &d_z;
+    score_ = alt ? &d_score_alt : &d_score;
+    num_hits_ = alt ? &d_num_hits_alt : &d_num_hits;
+    comb_approved_ = alt ? &d_comb_approved_alt : &d_comb_approved;
+  }
+
+  void ensure_pipeline_state() {
+    if (home_streams.empty()) {
+      home_streams.push_back(dev->create_stream());
+      home_streams.push_back(dev->create_stream());
+    }
+    if (d_signal_alt.size() == 0) {
+      d_signal_alt = DeviceBuffer<cplx>(n);
+      d_buckets_alt = DeviceBuffer<cplx>(L * B);
+      d_z_alt = DeviceBuffer<cplx>(B);
+      d_score_alt = DeviceBuffer<u32>(n);
+      d_num_hits_alt = DeviceBuffer<u32>(1);
+      if (comb_W != 0) d_comb_approved_alt = DeviceBuffer<u32>(comb_W);
+    }
+  }
+
   // ---------------- kernels ----------------
 
   /// Steps 1-2, Algorithm 2: loop partition, one thread per bucket.
@@ -82,7 +133,7 @@ struct GpuPlan::Impl {
                     const u64 off = tid + B * j;
                     // Index mapping (Fig. 3): no loop-carried dependence.
                     const u64 index = (tau + off * ai) & mask;
-                    my_bucket += d_signal.load(t, index) *
+                    my_bucket += sig_->load(t, index) *
                                  d_filter_time.load(t, off);
                     t.add_flops(10);
                   }
@@ -99,7 +150,7 @@ struct GpuPlan::Impl {
                   if (i >= B) return;
                   const u64 off = c * B + i;
                   const u64 index = (tau + off * ai) & mask;
-                  d_chunks.store(t, off, d_signal.load(t, index));
+                  d_chunks.store(t, off, sig_->load(t, index));
                 });
   }
 
@@ -152,7 +203,7 @@ struct GpuPlan::Impl {
                   const u64 i = t.global_id();
                   if (i >= w_pad) return;
                   const u64 index = (tau + i * ai) & mask;
-                  const cplx v = d_signal.load(t, index) *
+                  const cplx v = sig_->load(t, index) *
                                  d_filter_time.load(t, i);
                   t.add_flops(8);
                   dst.atomic_add(t, dst_off + (i % B), v);
@@ -198,7 +249,7 @@ struct GpuPlan::Impl {
                   const u64 i = t.global_id();
                   if (i >= w_pad) return;
                   const u64 index = (tau + i * ai) & mask;
-                  const cplx v = d_signal.load(t, index) *
+                  const cplx v = sig_->load(t, index) *
                                  d_filter_time.load(t, i);
                   t.add_flops(8);
                   t.record_shared(2);  // shared-memory atomic update
@@ -235,7 +286,7 @@ struct GpuPlan::Impl {
       u64 index = tau & mask;
       for (std::size_t i = 0; i < w_pad; ++i) {
         const cplx v =
-            d_signal.load(t, index) * d_filter_time.load(t, i);
+            sig_->load(t, index) * d_filter_time.load(t, i);
         const std::size_t b = dst_off + (i % B);
         dst.store(t, b, dst.load(t, b) + v);
         t.add_flops(10);
@@ -252,7 +303,7 @@ struct GpuPlan::Impl {
                   const u64 i = t.global_id();
                   if (i >= B) return;
                   t.add_flops(3);
-                  d_keys.store(t, i, std::norm(d_buckets.load(t, r * B + i)));
+                  d_keys.store(t, i, std::norm(buck_->load(t, r * B + i)));
                   d_vals.store(t, i, static_cast<u32>(i));
                 });
     custhrust::sort_pairs_desc(*dev, d_keys, d_vals, opts.sort_algo, s);
@@ -271,9 +322,9 @@ struct GpuPlan::Impl {
       dev->launch(LaunchCfg::for_elements("cutoff_stage", B, 256, s),
                   [&, r](ThreadCtx& t) {
                     const u64 i = t.global_id();
-                    if (i < B) d_z.store(t, i, d_buckets.load(t, r * B + i));
+                    if (i < B) zb_->store(t, i, buck_->load(t, r * B + i));
                   });
-      norm2 = custhrust::reduce_norm2(*dev, d_z, s);
+      norm2 = custhrust::reduce_norm2(*dev, *zb_, s);
     }
     const double thresh2 =
         opts.select_beta * opts.select_beta * norm2 / static_cast<double>(B);
@@ -290,7 +341,7 @@ struct GpuPlan::Impl {
                   const u64 i = t.global_id();
                   if (i >= B) return;
                   t.add_flops(3);
-                  if (std::norm(d_buckets.load(t, r * B + i)) >= thresh2) {
+                  if (std::norm(buck_->load(t, r * B + i)) >= thresh2) {
                     const u32 slot = d_sel_count.atomic_add(t, 0, u32{1});
                     if (slot < d_selected.size())
                       d_selected.store(t, slot, static_cast<u32>(i));
@@ -310,7 +361,7 @@ struct GpuPlan::Impl {
     dev->launch(LaunchCfg::for_elements("comb_clear", W, 256, s),
                 [&](ThreadCtx& t) {
                   const u64 i = t.global_id();
-                  if (i < W) d_comb_approved.store(t, i, 0);
+                  if (i < W) comb_approved_->store(t, i, 0);
                 });
     for (const u64 tau : comb_taus) {
       dev->launch(LaunchCfg::for_elements("comb_subsample", W, 256, s),
@@ -318,7 +369,7 @@ struct GpuPlan::Impl {
                     const u64 i = t.global_id();
                     if (i >= W) return;
                     d_comb_y.store(t, i,
-                                   d_signal.load(t, (i * stride + tau) &
+                                   sig_->load(t, (i * stride + tau) &
                                                         mask));
                   });
       comb_fft->execute(d_comb_y, cufftsim::Direction::kForward, s);
@@ -336,7 +387,7 @@ struct GpuPlan::Impl {
                   [&, keep](ThreadCtx& t) {
                     const u64 i = t.global_id();
                     if (i >= keep) return;
-                    d_comb_approved.store(t, d_comb_vals.load(t, i), 1);
+                    comb_approved_->store(t, d_comb_vals.load(t, i), 1);
                   });
     }
   }
@@ -367,11 +418,11 @@ struct GpuPlan::Impl {
           for (u64 step = 0; step < width; ++step) {
             const bool approved =
                 !has_comb ||
-                d_comb_approved.load(t, loc & comb_mask) != 0;
+                comb_approved_->load(t, loc & comb_mask) != 0;
             if (approved) {
-              const u32 old = d_score.atomic_add(t, loc, u32{1});
+              const u32 old = score_->atomic_add(t, loc, u32{1});
               if (old + 1 == threshold) {
-                const u32 slot = d_num_hits.atomic_add(t, 0, u32{1});
+                const u32 slot = num_hits_->atomic_add(t, 0, u32{1});
                 if (slot < d_hits.size())
                   d_hits.store(t, slot, static_cast<u32>(loc));
               }
@@ -406,7 +457,7 @@ struct GpuPlan::Impl {
             const u64 fi = static_cast<u64>(
                 (static_cast<i64>(n) - dist) & static_cast<i64>(mask));
             const cplx g = d_filter_freq.load(t, fi);
-            const cplx bucket = d_buckets.load(t, r * B + hashed);
+            const cplx bucket = buck_->load(t, r * B + hashed);
             const double ang = -kTwoPi *
                                static_cast<double>((f * tau) & mask) /
                                static_cast<double>(n);
@@ -427,10 +478,26 @@ struct GpuPlan::Impl {
   }
 
   /// Timeline markers of one signal's phase boundaries (for the per-phase
-  /// spans of GpuExecStats). Recorded via Device::annotate_phase so a
-  /// collected CaptureProfile carries the same named spans.
+  /// spans of GpuExecStats/GpuSignalStats). Recorded via
+  /// Device::annotate_phase so a collected CaptureProfile carries the same
+  /// named spans. In pipelined batches these are stream-scoped events on
+  /// the signal's home stream, so each signal's spans come from its own
+  /// work even when signals overlap.
   struct PhaseEvents {
-    std::size_t start = 0, setup = 0, binned = 0, voted = 0;
+    std::size_t start = 0, setup = 0, binned = 0, voted = 0, done = 0;
+  };
+
+  /// Scheduling context for one signal of a batch. The default is the
+  /// serialized path: device-wide annotations and sync points, stream 0,
+  /// primary buffers.
+  struct SignalCtx {
+    StreamId s = 0;          // home stream for this signal's kernels
+    bool pipelined = false;  // stream events instead of device-wide syncs
+    std::size_t parity = 0;  // which per-signal buffer set (bind_buffers)
+    // Previous signal's `done` event: the back stage (cutoff/vote/
+    // estimate) shares single-buffered state with the previous signal's
+    // back stage and may not start before it drains. -1 = none.
+    std::ptrdiff_t back_dep = -1;
   };
 
   /// Phase labels — shared by GpuExecStats::phase_span_ms keys and the
@@ -442,113 +509,158 @@ struct GpuPlan::Impl {
 
   /// The full kernel sequence for one signal, inside an open capture.
   /// execute() wraps it with stats; execute_many() calls it per signal,
-  /// reusing every piece of device state.
-  SparseSpectrum exec_signal(std::span<const cplx> x, PhaseEvents& ev) {
+  /// reusing every piece of device state. Under ctx.pipelined the whole
+  /// sequence issues on home stream ctx.s with stream events replacing the
+  /// device-wide sync points, so two signals on alternating streams (and
+  /// alternating buffer parities) can overlap on the modeled timeline;
+  /// functional execution is eager and host-sequential, so outputs are
+  /// bit-identical regardless of ctx.
+  SparseSpectrum exec_signal(std::span<const cplx> x, PhaseEvents& ev,
+                             const SignalCtx& ctx) {
     cusim::Device& dev = *this->dev;
     if (x.size() != n)
       throw std::invalid_argument("GpuPlan::execute: signal size mismatch");
-    ev.start = dev.annotate_phase(kPhaseTransfer);
+    bind_buffers(ctx.parity);
+    const StreamId hs = ctx.s;
+    auto annotate = [&](const char* name) {
+      return ctx.pipelined ? dev.annotate_phase(name, hs)
+                           : dev.annotate_phase(name);
+    };
+    ev.start = annotate(kPhaseTransfer);
 
     // Input transfer (H2D). When excluded from the modeled time
     // (GPU-resident comparisons, Fig. 5a-d) the data still lands in device
     // memory.
     if (opts.include_transfer) {
-      dev.upload(d_signal, x);
-      dev.sync_point();  // no kernel may consume the signal mid-transfer
+      dev.upload(*sig_, x, hs);
+      // No kernel may consume the signal mid-transfer. On a pipelined home
+      // stream FIFO order already guarantees that; serialized keeps the
+      // device-wide sync.
+      if (!ctx.pipelined) dev.sync_point();
     } else {
-      std::copy(x.begin(), x.end(), d_signal.host().begin());
+      std::copy(x.begin(), x.end(), sig_->host().begin());
     }
 
     // Reset per-signal state.
-    dev.launch(LaunchCfg::for_elements("score_clear", n, 256),
+    dev.launch(LaunchCfg::for_elements("score_clear", n, 256, hs),
                [&](ThreadCtx& t) {
                  const u64 i = t.global_id();
-                 if (i < n) d_score.store(t, i, 0);
+                 if (i < n) score_->store(t, i, 0);
                });
-    dev.launch(LaunchCfg::for_elements("hits_reset", 1, 1),
-               [&](ThreadCtx& t) { d_num_hits.store(t, 0, 0); });
+    dev.launch(LaunchCfg::for_elements("hits_reset", 1, 1, hs),
+               [&](ThreadCtx& t) { num_hits_->store(t, 0, 0); });
 
-    ev.setup = dev.annotate_phase(kPhaseBin);
+    ev.setup = annotate(kPhaseBin);
 
     // ---- sFFT 2.0 Comb prefilter (optional) ----
     if (comb_W != 0) {
-      run_comb(0);
-      dev.sync_point();  // the voting kernels read the approved flags
+      run_comb(hs);
+      if (!ctx.pipelined) dev.sync_point();
     }
 
     // ---- Steps 1-3: binning + subsampled FFT for all L loops ----
+    // Pipelined: `gate` is the event each fan-out onto a chunk stream must
+    // wait behind — initially everything this signal has issued so far,
+    // advanced past each loop's combine so loop r+1's remaps cannot start
+    // before loop r's chunks are consumed (the barrier gave that for free).
+    std::size_t gate = ev.setup;
     for (std::size_t r = 0; r < L; ++r) {
-      DeviceBuffer<cplx>& dst = opts.batched_fft ? d_buckets : d_z;
+      DeviceBuffer<cplx>& dst = opts.batched_fft ? *buck_ : *zb_;
       const std::size_t dst_off = opts.batched_fft ? r * B : 0;
 
       switch (opts.binning) {
         case Binning::kSerialChain:
-          k_serial_chain(r, dst, dst_off, 0);
+          k_serial_chain(r, dst, dst_off, hs);
           break;
-        case Binning::kAsyncTransform:
+        case Binning::kAsyncTransform: {
           // Fig. 4: remap(c) -> execute(c) on stream c%32; chunks pipeline.
+          const std::size_t nstreams = std::min(rounds, streams.size());
           for (std::size_t c = 0; c < rounds; ++c) {
             const StreamId s = streams[c % streams.size()];
+            if (ctx.pipelined && c < nstreams) dev.wait_event(s, gate);
             k_remap(r, c, s);
             k_execute_chunk(c, s);
           }
-          dev.sync_point();
-          k_combine(dst, dst_off, 0);
+          if (ctx.pipelined) {
+            // Join the fan-out back onto the home stream (stream events
+            // instead of a device-wide sync) before combining.
+            for (std::size_t c = 0; c < nstreams; ++c)
+              dev.wait_event(hs, dev.record_event(streams[c]));
+          } else {
+            dev.sync_point();
+          }
+          k_combine(dst, dst_off, hs);
+          if (ctx.pipelined) gate = dev.record_event(hs);
           break;
+        }
         case Binning::kLoopPartition:
-          k_perm_filter_partition(r, dst, dst_off, 0);
+          k_perm_filter_partition(r, dst, dst_off, hs);
           break;
         case Binning::kGlobalAtomicHist:
-          k_atomic_histogram(r, dst, dst_off, 0);
+          k_atomic_histogram(r, dst, dst_off, hs);
           break;
         case Binning::kSharedHist:
-          k_shared_histogram(r, dst, dst_off, 0);
+          k_shared_histogram(r, dst, dst_off, hs);
           break;
       }
 
       if (!opts.batched_fft) {
-        fft_single->execute(d_z, cufftsim::Direction::kForward, 0);
-        dev.launch(LaunchCfg::for_elements("bucket_copy", B, 256),
+        fft_single->execute(*zb_, cufftsim::Direction::kForward, hs);
+        dev.launch(LaunchCfg::for_elements("bucket_copy", B, 256, hs),
                    [&, r](ThreadCtx& t) {
                      const u64 i = t.global_id();
                      if (i < B)
-                       d_buckets.store(t, r * B + i, d_z.load(t, i));
+                       buck_->store(t, r * B + i, zb_->load(t, i));
                    });
       }
     }
     if (opts.batched_fft) {
-      dev.sync_point();  // all loops binned before the single batched FFT
-      fft_batched->execute(d_buckets, cufftsim::Direction::kForward, 0);
+      // All loops binned before the single batched FFT: home-stream FIFO
+      // covers it when pipelined.
+      if (!ctx.pipelined) dev.sync_point();
+      fft_batched->execute(*buck_, cufftsim::Direction::kForward, hs);
     }
-    dev.sync_point();
-    ev.binned = dev.annotate_phase(kPhaseVote);
+    if (!ctx.pipelined) dev.sync_point();
+    ev.binned = annotate(kPhaseVote);
+
+    // The back stage (cutoff/vote/estimate) reuses single-buffered state
+    // (d_hits, sort/select scratch) that the previous signal's back stage
+    // may still be draining — chain behind its `done` event.
+    if (ctx.pipelined && ctx.back_dep >= 0)
+      dev.wait_event(hs, static_cast<std::size_t>(ctx.back_dep));
 
     // ---- Steps 4-5 per location loop: cutoff + reverse hash voting ----
     for (std::size_t r = 0; r < p.loops_loc; ++r) {
       if (opts.fast_selection) {
-        const std::size_t count = cutoff_fast_select(r, 0);
-        k_loc_recover(r, d_selected, count, 0);
+        const std::size_t count = cutoff_fast_select(r, hs);
+        k_loc_recover(r, d_selected, count, hs);
       } else {
-        const std::size_t count = cutoff_sort_select(r, 0);
-        k_loc_recover(r, d_vals, count, 0);
+        const std::size_t count = cutoff_sort_select(r, hs);
+        k_loc_recover(r, d_vals, count, hs);
       }
     }
-    dev.sync_point();
-    ev.voted = dev.annotate_phase(kPhaseEstimate);
+    if (!ctx.pipelined) dev.sync_point();
+    ev.voted = annotate(kPhaseEstimate);
 
     // ---- Step 6: estimation ----
     const std::size_t num_hits =
-        std::min<std::size_t>(d_num_hits.host()[0], d_hits.size());
+        std::min<std::size_t>(num_hits_->host()[0], d_hits.size());
     // Canonicalize candidate order: hits arrive in vote-completion order,
     // which under the block-parallel host path is a nondeterministic
     // permutation of the same set. Sorting (host-side, untraced) makes the
     // estimation kernel's functional state and traced access pattern
     // identical whichever launch path ran.
     std::sort(d_hits.host().begin(), d_hits.host().begin() + num_hits);
-    if (num_hits > 0) k_estimate(num_hits, 0);
+    if (num_hits > 0) k_estimate(num_hits, hs);
 
     // ---- D2H of the sparse result ----
-    dev.note_transfer("d2h", static_cast<double>(num_hits) * (4 + 16));
+    dev.note_transfer("d2h", static_cast<double>(num_hits) * (4 + 16), hs);
+    if (ctx.pipelined) {
+      ev.done = dev.record_event(hs);
+      dev.close_phase(hs, ev.done);
+    } else {
+      ev.done = dev.record_event();
+    }
     SparseSpectrum out;
     out.reserve(num_hits);
     for (std::size_t i = 0; i < num_hits; ++i)
@@ -672,6 +784,7 @@ GpuPlan::GpuPlan(cusim::Device& dev, sfft::Params params, Options opts)
     im.d_comb_vals = DeviceBuffer<u32>(im.comb_W);
     im.comb_fft = std::make_unique<cufftsim::Plan>(dev, im.comb_W, 1);
   }
+  im.bind_buffers(0);
 }
 
 GpuPlan::~GpuPlan() = default;
@@ -690,7 +803,7 @@ SparseSpectrum GpuPlan::execute(std::span<const cplx> x,
   WallTimer wall;
   dev.begin_capture();
   Impl::PhaseEvents ev;
-  SparseSpectrum out = im.exec_signal(x, ev);
+  SparseSpectrum out = im.exec_signal(x, ev, Impl::SignalCtx{});
 
   if (stats) {
     stats->model_ms = dev.elapsed_model_ms();
@@ -713,12 +826,36 @@ SparseSpectrum GpuPlan::execute(std::span<const cplx> x,
   return out;
 }
 
+namespace {
+
+/// kAuto resolution: pipelined for real batches unless the environment
+/// forces serialization (CUSFFT_PIPELINE=0 — CI's determinism matrix and
+/// A/B baselines use it).
+BatchMode resolve_batch_mode(BatchMode mode, std::size_t batch) {
+  if (mode != BatchMode::kAuto) return mode;
+  static const bool env_off = [] {
+    const char* e = std::getenv("CUSFFT_PIPELINE");
+    return e != nullptr && e[0] == '0' && e[1] == '\0';
+  }();
+  return (batch >= 2 && !env_off) ? BatchMode::kPipelined
+                                  : BatchMode::kSerialized;
+}
+
+}  // namespace
+
 std::vector<SparseSpectrum> GpuPlan::execute_many(
-    std::span<const std::span<const cplx>> xs, GpuBatchStats* stats) {
+    std::span<const std::span<const cplx>> xs, GpuBatchStats* stats,
+    BatchMode mode) {
   Impl& im = *impl_;
   cusim::Device& dev = *im.dev;
+  const bool pipelined =
+      resolve_batch_mode(mode, xs.size()) == BatchMode::kPipelined;
 
   WallTimer wall;
+  // Alt-parity buffers and home streams are plan state: allocate them
+  // before the capture opens so a warm plan's capture still shows a zero
+  // pool delta.
+  if (pipelined) im.ensure_pipeline_state();
   // One capture for the whole batch: every device buffer, the uploaded
   // filter, the cuFFT-sim plans and the stream pool are reused across
   // signals, so per-signal cost is purely the kernel sequence.
@@ -726,14 +863,37 @@ std::vector<SparseSpectrum> GpuPlan::execute_many(
   std::vector<SparseSpectrum> out;
   out.reserve(xs.size());
   std::size_t candidates = 0;
-  for (const std::span<const cplx>& x : xs) {
-    Impl::PhaseEvents ev;
-    out.push_back(im.exec_signal(x, ev));
-    candidates += out.back().size();
-    // Signals are serialized on the device timeline; overlapping signal
-    // i+1's binning with signal i's estimation is a planned refinement
-    // (see ROADMAP).
-    dev.sync_point();
+  std::vector<Impl::PhaseEvents> evs(xs.size());
+  if (pipelined) {
+    // Two-stage software pipeline over two home streams: signal i+1's
+    // transfer + reset + binning (the front stage, on the other stream and
+    // buffer parity) overlaps signal i's cutoff/vote/estimate (the back
+    // stage). Fronts chain on the previous front's `binned` event (they
+    // share the chunk/FFT scratch); backs chain on the previous back's
+    // `done` event (they share the hits/sort scratch). See DESIGN.md for
+    // the dependency graph.
+    std::ptrdiff_t front_done = -1, prev_done = -1;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      Impl::SignalCtx ctx;
+      ctx.pipelined = true;
+      ctx.parity = i & 1;
+      ctx.s = im.home_streams[i & 1];
+      ctx.back_dep = prev_done;
+      if (front_done >= 0)
+        dev.wait_event(ctx.s, static_cast<std::size_t>(front_done));
+      out.push_back(im.exec_signal(xs[i], evs[i], ctx));
+      candidates += out.back().size();
+      front_done = static_cast<std::ptrdiff_t>(evs[i].binned);
+      prev_done = static_cast<std::ptrdiff_t>(evs[i].done);
+    }
+    im.bind_buffers(0);  // leave the plan on the primary (serialized) set
+  } else {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      out.push_back(im.exec_signal(xs[i], evs[i], Impl::SignalCtx{}));
+      candidates += out.back().size();
+      // Signals are serialized on the device timeline.
+      dev.sync_point();
+    }
   }
 
   if (stats) {
@@ -741,6 +901,26 @@ std::vector<SparseSpectrum> GpuPlan::execute_many(
     stats->host_ms = wall.ms();
     stats->signals = xs.size();
     stats->candidates = candidates;
+    stats->pipelined = pipelined;
+    stats->per_signal.clear();
+    stats->per_signal.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      // Each signal's window from its own events — coherent under overlap.
+      const double t0 = dev.event_time_ms(evs[i].start);
+      const double t1 = dev.event_time_ms(evs[i].setup);
+      const double t2 = dev.event_time_ms(evs[i].binned);
+      const double t3 = dev.event_time_ms(evs[i].voted);
+      const double t4 = dev.event_time_ms(evs[i].done);
+      GpuSignalStats sig;
+      sig.start_ms = t0;
+      sig.end_ms = t4;
+      sig.candidates = out[i].size();
+      sig.phase_span_ms[Impl::kPhaseTransfer] = t1 - t0;
+      sig.phase_span_ms[Impl::kPhaseBin] = t2 - t1;
+      sig.phase_span_ms[Impl::kPhaseVote] = t3 - t2;
+      sig.phase_span_ms[Impl::kPhaseEstimate] = t4 - t3;
+      stats->per_signal.push_back(std::move(sig));
+    }
   }
   return out;
 }

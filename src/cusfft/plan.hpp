@@ -23,12 +23,37 @@
 
 namespace cusfft::gpu {
 
+/// How execute_many() schedules the batch on the modeled device.
+enum class BatchMode {
+  kAuto,        ///< pipelined for batches of >= 2 signals, unless the
+                ///< CUSFFT_PIPELINE=0 environment override forces the
+                ///< serialized schedule
+  kSerialized,  ///< one signal at a time (device-wide sync between signals)
+  kPipelined,   ///< stream-pipelined: signal i+1's transfer and binning
+                ///< kernels overlap signal i's cutoff/vote/estimate on the
+                ///< modeled timeline (double-buffered per-signal state,
+                ///< stream events instead of device-wide syncs). Outputs
+                ///< are bit-identical to the serialized schedule.
+};
+
+/// One signal's window of a batch, computed from that signal's own stream
+/// events — the numbers stay coherent when signals overlap.
+struct GpuSignalStats {
+  double start_ms = 0;  // capture-relative [start, end) of this signal
+  double end_ms = 0;
+  std::map<std::string, double> phase_span_ms;  // same keys as GpuExecStats;
+                                                // spans tile [start, end)
+  std::size_t candidates = 0;
+};
+
 /// Modeled timing and wall time for one execute_many() batch.
 struct GpuBatchStats {
   double model_ms = 0;  // modeled makespan of the whole batch
   double host_ms = 0;   // wall time of the functional simulation
   std::size_t signals = 0;
   std::size_t candidates = 0;  // summed over the batch
+  bool pipelined = false;      // schedule the batch actually ran under
+  std::vector<GpuSignalStats> per_signal;
 };
 
 /// Modeled timing and counters for one execute().
@@ -65,12 +90,17 @@ class GpuPlan {
 
   /// Throughput path: runs the algorithm on every signal of the batch in
   /// one capture, reusing all of the plan's device state (no per-signal
-  /// setup, pooled buffers stay warm). Modeled time is the sum of the
-  /// per-signal device timelines — cross-signal stream overlap is a
-  /// planned refinement (see ROADMAP). Each signal must have length n.
+  /// setup, pooled buffers stay warm). Under BatchMode::kPipelined (the
+  /// kAuto default for >= 2 signals) signals alternate between two home
+  /// streams with double-buffered per-signal device state, so signal
+  /// i+1's H2D transfer and binning kernels overlap signal i's
+  /// cutoff/vote/estimate kernels on the modeled timeline; outputs are
+  /// bit-identical to the serialized schedule either way (functional
+  /// execution is eager and host-sequential). Each signal must have
+  /// length n.
   std::vector<SparseSpectrum> execute_many(
       std::span<const std::span<const cplx>> xs,
-      GpuBatchStats* stats = nullptr);
+      GpuBatchStats* stats = nullptr, BatchMode mode = BatchMode::kAuto);
 
  private:
   struct Impl;

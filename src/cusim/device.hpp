@@ -33,11 +33,17 @@ namespace cusfft::cusim {
 
 struct CaptureProfile;  // profiler.hpp
 
-/// A named phase boundary inside a capture (cudaEvent + label). The phase
-/// spans from its event time to the next annotation's (or the makespan).
+/// A named phase boundary inside a capture (cudaEvent + label). A
+/// device-wide annotation's phase spans from its event time to the next
+/// device-wide annotation's (or the makespan). A stream-scoped annotation
+/// (pipelined batches) spans to the next annotation on the same stream, or
+/// to its explicit end event when one was set via Device::close_phase.
 struct PhaseAnnotation {
   std::string name;
   std::size_t event_id = 0;
+  StreamId stream = 0;
+  bool scoped = false;
+  std::ptrdiff_t end_event = -1;  // explicit close; -1 = next in scope
 };
 
 /// Kernel launch shape, CUDA-style <<<blocks, threads, stream>>>.
@@ -192,6 +198,18 @@ class Device {
   /// cudaEvent-style marker in the modeled timeline. Query with
   /// event_time_ms() after elapsed_model_ms().
   std::size_t record_event() { return timeline_.record_event(); }
+
+  /// Stream-scoped event (cudaEventRecord on a stream): completes when
+  /// every item submitted to `s` so far has finished. Same id space as
+  /// record_event().
+  std::size_t record_event(StreamId s) { return timeline_.record_event(s); }
+
+  /// cudaStreamWaitEvent: later submissions on `s` wait for `event_id` —
+  /// the cross-stream dependency edge the pipelined batch path is built on.
+  void wait_event(StreamId s, std::size_t event_id) {
+    timeline_.wait_event(s, event_id);
+  }
+
   double event_time_ms(std::size_t event_id) {
     timeline_.simulate();
     return timeline_.event_time_s(event_id) * 1e3;
@@ -202,8 +220,37 @@ class Device {
   /// id (usable with event_time_ms like a plain record_event()).
   std::size_t annotate_phase(std::string name) {
     const std::size_t ev = timeline_.record_event();
-    phases_.push_back({std::move(name), ev});
+    PhaseAnnotation a;
+    a.name = std::move(name);
+    a.event_id = ev;
+    phases_.push_back(std::move(a));
     return ev;
+  }
+
+  /// Stream-scoped phase boundary: the phase tracks one stream's work, so
+  /// overlapping signals of a pipelined batch keep separate, coherent
+  /// phase spans (one phase track per home stream in the trace).
+  std::size_t annotate_phase(std::string name, StreamId s) {
+    const std::size_t ev = timeline_.record_event(s);
+    PhaseAnnotation a;
+    a.name = std::move(name);
+    a.event_id = ev;
+    a.stream = s;
+    a.scoped = true;
+    phases_.push_back(std::move(a));
+    return ev;
+  }
+
+  /// Closes the most recent scoped phase on `s` at `end_event` instead of
+  /// at the next same-stream annotation — used after a signal's last item
+  /// so its final phase does not absorb the idle gap before the stream's
+  /// next signal.
+  void close_phase(StreamId s, std::size_t end_event) {
+    for (auto it = phases_.rbegin(); it != phases_.rend(); ++it)
+      if (it->scoped && it->stream == s) {
+        it->end_event = static_cast<std::ptrdiff_t>(end_event);
+        return;
+      }
   }
   const std::vector<PhaseAnnotation>& phase_annotations() const {
     return phases_;

@@ -48,12 +48,18 @@ void append_pool_stats(std::ostringstream& os, const BufferPool::Stats& s) {
      << ",\"bytes_pooled\":" << s.bytes_pooled << "}";
 }
 
-/// The trace's thread ids: one per stream, then one synthetic PCIe track.
+/// The trace's thread ids: one per stream, then one synthetic PCIe track,
+/// the device-wide phase track, and one phase track per stream carrying
+/// scoped annotations (pipelined batches).
 constexpr int kPcieTid = 1000000;
 constexpr int kPhaseTid = 1000001;
 
 int tid_of(const TraceSpan& s) {
   return s.pcie ? kPcieTid : static_cast<int>(s.stream);
+}
+
+int tid_of(const PhaseSpan& ph) {
+  return ph.scoped ? kPhaseTid + 1 + static_cast<int>(ph.stream) : kPhaseTid;
 }
 
 }  // namespace
@@ -95,17 +101,30 @@ CaptureProfile collect_profile(Device& dev) {
     p.occupancy_frac =
         device_busy_ms / p.model_ms / p.max_concurrent_kernels;
 
-  // Phase spans: each annotation opens a phase that the next one (or the
-  // makespan) closes — exactly GpuExecStats::phase_span_ms's arithmetic.
+  // Phase spans: each annotation opens a phase that its explicit close
+  // event, the next annotation in the same scope (device-wide, or the same
+  // stream for scoped annotations), or the makespan closes — exactly
+  // GpuExecStats/GpuSignalStats::phase_span_ms's arithmetic.
   const auto& anns = dev.phase_annotations();
   p.phases.reserve(anns.size());
   for (std::size_t i = 0; i < anns.size(); ++i) {
     PhaseSpan ph;
     ph.name = anns[i].name;
+    ph.stream = anns[i].stream;
+    ph.scoped = anns[i].scoped;
     ph.start_ms = tl.event_time_s(anns[i].event_id) * 1e3;
-    ph.end_ms = i + 1 < anns.size()
-                    ? tl.event_time_s(anns[i + 1].event_id) * 1e3
-                    : p.model_ms;
+    ph.end_ms = p.model_ms;
+    if (anns[i].end_event >= 0) {
+      ph.end_ms =
+          tl.event_time_s(static_cast<std::size_t>(anns[i].end_event)) * 1e3;
+    } else {
+      for (std::size_t j = i + 1; j < anns.size(); ++j)
+        if (anns[j].scoped == anns[i].scoped &&
+            (!anns[i].scoped || anns[j].stream == anns[i].stream)) {
+          ph.end_ms = tl.event_time_s(anns[j].event_id) * 1e3;
+          break;
+        }
+    }
     p.phases.push_back(std::move(ph));
   }
 
@@ -207,10 +226,28 @@ std::string CaptureProfile::chrome_trace_json() const {
   sep();
   os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
      << kPcieTid << ",\"args\":{\"name\":\"PCIe\"}}";
-  if (!phases.empty()) {
+  bool any_plain_phase = false;
+  std::vector<int> scoped_phase_tids;
+  for (const PhaseSpan& ph : phases) {
+    if (ph.scoped)
+      scoped_phase_tids.push_back(tid_of(ph));
+    else
+      any_plain_phase = true;
+  }
+  std::sort(scoped_phase_tids.begin(), scoped_phase_tids.end());
+  scoped_phase_tids.erase(
+      std::unique(scoped_phase_tids.begin(), scoped_phase_tids.end()),
+      scoped_phase_tids.end());
+  if (any_plain_phase) {
     sep();
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
        << kPhaseTid << ",\"args\":{\"name\":\"phases\"}}";
+  }
+  for (const int t : scoped_phase_tids) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+       << ",\"args\":{\"name\":"
+       << jstr("phases s" + std::to_string(t - kPhaseTid - 1)) << "}}";
   }
 
   // Duration events, microsecond timestamps (the trace format's unit).
@@ -231,9 +268,10 @@ std::string CaptureProfile::chrome_trace_json() const {
   for (const PhaseSpan& ph : phases) {
     sep();
     os << "{\"name\":" << jstr(ph.name)
-       << ",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":0,\"tid\":" << kPhaseTid
+       << ",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":0,\"tid\":" << tid_of(ph)
        << ",\"ts\":" << jnum(ph.start_ms * 1e3)
-       << ",\"dur\":" << jnum(ph.span_ms() * 1e3) << ",\"args\":{}}";
+       << ",\"dur\":" << jnum(ph.span_ms() * 1e3)
+       << ",\"args\":{\"stream\":" << ph.stream << "}}";
   }
   os << "],\"profile\":" << to_json() << "}";
   return os.str();

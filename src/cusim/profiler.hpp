@@ -31,10 +31,16 @@
 
 namespace cusfft::cusim {
 
-/// One named phase of the capture (from Device::annotate_phase): spans from
-/// its annotation's event time to the next annotation (or the makespan).
+/// One named phase of the capture (from Device::annotate_phase): spans
+/// from its annotation's event time to the next annotation in the same
+/// scope — device-wide, or the same stream for scoped annotations — or to
+/// its explicit close event / the makespan. Scoped phases (pipelined
+/// batches) render on one trace track per stream so overlapping signals
+/// stay readable.
 struct PhaseSpan {
   std::string name;
+  StreamId stream = 0;
+  bool scoped = false;
   double start_ms = 0;
   double end_ms = 0;
   double span_ms() const { return end_ms - start_ms; }

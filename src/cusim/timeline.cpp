@@ -10,29 +10,77 @@ void Timeline::clear() {
   items_.clear();
   schedule_.clear();
   events_.clear();
+  last_on_stream_.clear();
+  pending_deps_.clear();
+  pending_after_.clear();
   barrier_ = 0;
+  dirty_ = true;
+}
+
+std::size_t Timeline::record_event(StreamId s) {
+  EventMark m;
+  m.scoped = true;
+  if (const auto it = last_on_stream_.find(s); it != last_on_stream_.end())
+    m.item = static_cast<std::ptrdiff_t>(it->second);
+  events_.push_back(m);
+  return events_.size() - 1;
+}
+
+void Timeline::wait_event(StreamId s, std::size_t event_id) {
+  if (event_id >= events_.size())
+    throw std::out_of_range("Timeline::wait_event: unknown event");
+  const EventMark& e = events_[event_id];
+  if (e.scoped) {
+    if (e.item >= 0)
+      pending_deps_[s].push_back(static_cast<std::size_t>(e.item));
+  } else {
+    std::size_t& upto = pending_after_[s];
+    upto = std::max(upto, e.upto);
+  }
 }
 
 double Timeline::event_time_s(std::size_t event_id) const {
   if (event_id >= events_.size())
     throw std::out_of_range("Timeline::event_time_s: unknown event");
-  const std::size_t upto = events_[event_id];
+  const EventMark& e = events_[event_id];
+  if (e.scoped) {
+    if (e.item < 0 || static_cast<std::size_t>(e.item) >= schedule_.size())
+      return 0.0;
+    return schedule_[static_cast<std::size_t>(e.item)].finish_s;
+  }
   double t = 0.0;
-  for (std::size_t i = 0; i < upto && i < schedule_.size(); ++i)
+  for (std::size_t i = 0; i < e.upto && i < schedule_.size(); ++i)
     t = std::max(t, schedule_[i].finish_s);
   return t;
 }
 
 std::size_t Timeline::submit(TimelineItem item) {
   item.after = barrier_;
+  if (const auto it = pending_after_.find(item.stream);
+      it != pending_after_.end()) {
+    item.after = std::max(item.after, it->second);
+    pending_after_.erase(it);
+  }
+  if (const auto it = pending_deps_.find(item.stream);
+      it != pending_deps_.end()) {
+    item.deps.insert(item.deps.end(), it->second.begin(), it->second.end());
+    pending_deps_.erase(it);
+  }
   items_.push_back(std::move(item));
+  last_on_stream_[items_.back().stream] = items_.size() - 1;
+  dirty_ = true;
   return items_.size() - 1;
 }
 
 double Timeline::simulate() {
+  if (!dirty_) return makespan_s_;
   const std::size_t n = items_.size();
   schedule_.assign(n, ItemSchedule{});
-  if (n == 0) return 0.0;
+  if (n == 0) {
+    dirty_ = false;
+    makespan_s_ = 0.0;
+    return 0.0;
+  }
 
   constexpr double kEps = 1e-15;
   struct State {
@@ -78,6 +126,13 @@ double Timeline::simulate() {
       for (std::size_t b = 0; b < items_[i].after && barrier_clear; ++b)
         barrier_clear = st[b].done;
       if (!barrier_clear) continue;
+      bool deps_clear = true;
+      for (const std::size_t d : items_[i].deps)
+        if (d < n && !st[d].done) {
+          deps_clear = false;
+          break;
+        }
+      if (!deps_clear) continue;
       if (items_[i].resource == Resource::kDeviceMemory) {
         if (dev_running >= max_kernels_) continue;
         ++dev_running;
@@ -130,6 +185,8 @@ double Timeline::simulate() {
     }
     t += dt;
   }
+  dirty_ = false;
+  makespan_s_ = t;
   return t;
 }
 

@@ -4,6 +4,8 @@
 // 32 kernels in flight on GK110 — simulatable.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,11 @@ struct TimelineItem {
   double useful_bytes = 0;     // bytes the program asked for
   double transactions = 0;     // 128B segments (coalesced + random)
   double atomic_conflict = 0;  // deepest same-address atomic chain
+
+  // Explicit cross-stream dependencies (cudaStreamWaitEvent): indices of
+  // items that must finish before this one may start. Attached by submit()
+  // from the stream's pending wait_event() calls.
+  std::vector<std::size_t> deps;
 };
 
 /// Result for one item after simulation.
@@ -55,19 +62,29 @@ class Timeline {
   /// cudaEvent-style marker: the event's time is when every item submitted
   /// before it has completed. Returns an id for event_time_s().
   std::size_t record_event() {
-    events_.push_back(items_.size());
+    events_.push_back(EventMark{items_.size(), -1, false});
     return events_.size() - 1;
   }
+
+  /// Stream-scoped cudaEvent: completes when every item submitted to `s`
+  /// so far has finished (reads as time 0 on an empty stream). Shares the
+  /// id space of record_event().
+  std::size_t record_event(StreamId s);
+
+  /// cudaStreamWaitEvent: the next item submitted to `s` (and, by stream
+  /// FIFO, everything after it) may not start before `event_id` completes.
+  void wait_event(StreamId s, std::size_t event_id);
 
   /// Time of a recorded event in the last simulate() run (0 if nothing
   /// preceded it).
   double event_time_s(std::size_t event_id) const;
 
   /// Simulates the whole submission list. Items on the same stream run in
-  /// FIFO order; across streams up to `max_concurrent_kernels` device
-  /// kernels run concurrently and share memory bandwidth equally (an item's
-  /// memory phase dilates by the number of co-running items on its
-  /// resource). Returns the makespan in seconds.
+  /// FIFO order; an item additionally waits for its barrier window and its
+  /// explicit deps (wait_event). Across streams up to
+  /// `max_concurrent_kernels` device kernels run concurrently and share
+  /// memory bandwidth equally (an item's memory phase dilates by the number
+  /// of co-running items on its resource). Returns the makespan in seconds.
   double simulate();
 
   /// Per-item schedule from the last simulate() call.
@@ -75,11 +92,25 @@ class Timeline {
   const std::vector<TimelineItem>& items() const { return items_; }
 
  private:
+  /// One recorded event: device-wide (all items [0, upto)) or stream-scoped
+  /// (the single item that was last on the stream when recorded).
+  struct EventMark {
+    std::size_t upto = 0;
+    std::ptrdiff_t item = -1;
+    bool scoped = false;
+  };
+
   unsigned max_kernels_;
   std::size_t barrier_ = 0;
+  bool dirty_ = true;        // submissions since the last simulate()
+  double makespan_s_ = 0;    // cached simulate() result while !dirty_
   std::vector<TimelineItem> items_;
   std::vector<ItemSchedule> schedule_;
-  std::vector<std::size_t> events_;  // item counts at record_event() calls
+  std::vector<EventMark> events_;
+  std::map<StreamId, std::size_t> last_on_stream_;
+  // wait_event() state consumed by the next submit() on the stream.
+  std::map<StreamId, std::vector<std::size_t>> pending_deps_;
+  std::map<StreamId, std::size_t> pending_after_;
 };
 
 }  // namespace cusfft::cusim

@@ -117,6 +117,55 @@ TEST(CApi, ExecuteManyMatchesExecutePerSignal) {
   EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
 }
 
+TEST(CApi, BatchPipelineToggleKeepsResultsIdentical) {
+  constexpr std::size_t kBatch = 4;
+  constexpr std::size_t kCap = 64;
+  const std::size_t n = 1 << 12, k = 8;
+  std::vector<double> inputs;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const CWorkload w = make_workload(n, k, 700 + i);
+    const double* d = reinterpret_cast<const double*>(w.x.data());
+    inputs.insert(inputs.end(), d, d + 2 * n);
+  }
+
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, n, k, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_set_batch_pipeline(nullptr, 1), CUSFFT_INVALID_ARGUMENT);
+
+  auto run = [&](int pipeline, std::vector<uint64_t>& locs,
+                 std::vector<double>& vals, std::size_t* counts) {
+    ASSERT_EQ(cusfft_set_batch_pipeline(h, pipeline), CUSFFT_SUCCESS);
+    ASSERT_EQ(cusfft_execute_many(h, inputs.data(), kBatch, kCap, locs.data(),
+                                  vals.data(), counts),
+              CUSFFT_SUCCESS);
+  };
+
+  std::vector<uint64_t> locs_on(kBatch * kCap), locs_off(kBatch * kCap);
+  std::vector<double> vals_on(2 * kBatch * kCap), vals_off(2 * kBatch * kCap);
+  std::size_t counts_on[kBatch] = {}, counts_off[kBatch] = {};
+  run(1, locs_on, vals_on, counts_on);
+  run(0, locs_off, vals_off, counts_off);
+
+  // The toggle only changes the modeled batch schedule; recovered spectra
+  // are bit-identical.
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    ASSERT_EQ(counts_on[i], counts_off[i]) << "signal " << i;
+    for (std::size_t j = 0; j < counts_on[i]; ++j) {
+      EXPECT_EQ(locs_on[i * kCap + j], locs_off[i * kCap + j]);
+      EXPECT_EQ(vals_on[2 * (i * kCap + j)], vals_off[2 * (i * kCap + j)]);
+      EXPECT_EQ(vals_on[2 * (i * kCap + j) + 1],
+                vals_off[2 * (i * kCap + j) + 1]);
+    }
+  }
+  // CPU backends accept and ignore the call.
+  cusfft_handle hs = nullptr;
+  ASSERT_EQ(cusfft_plan(&hs, n, k, CUSFFT_BACKEND_SERIAL), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_set_batch_pipeline(hs, 0), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_destroy(hs), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
+}
+
 TEST(CApi, ExecuteManyErrorPaths) {
   cusfft_handle h = nullptr;
   ASSERT_EQ(cusfft_plan(&h, 1 << 10, 4, CUSFFT_BACKEND_SERIAL),

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -26,6 +27,8 @@ namespace {
 
 using cusim::CaptureProfile;
 using cusim::Device;
+using cusim::PhaseSpan;
+using cusim::StreamId;
 
 sfft::Params small_params() {
   sfft::Params p;
@@ -271,12 +274,52 @@ TEST(CaptureProfile, ExecuteManyRepeatsPhasesPerSignal) {
 
   Device dev;
   gpu::GpuPlan plan(dev, p, gpu::Options::optimized());
-  plan.execute_many(views);
+  plan.execute_many(views, nullptr, gpu::BatchMode::kSerialized);
   const CaptureProfile prof = dev.end_capture();
   EXPECT_EQ(prof.phases.size(), 4u * kBatch);
   // Phase list remains contiguous and ordered.
   for (std::size_t i = 1; i < prof.phases.size(); ++i)
     EXPECT_NEAR(prof.phases[i].start_ms, prof.phases[i - 1].end_ms, 1e-9);
+}
+
+TEST(CaptureProfile, PipelinedBatchScopesPhasesPerStream) {
+  const auto p = small_params();
+  constexpr std::size_t kBatch = 3;
+  std::vector<cvec> signals;
+  std::vector<std::span<const cplx>> views;
+  for (std::size_t i = 0; i < kBatch; ++i)
+    signals.push_back(test_signal(p.n, p.k, 23 + i));
+  for (const cvec& s : signals) views.emplace_back(s);
+
+  Device dev;
+  gpu::GpuPlan plan(dev, p, gpu::Options::optimized());
+  plan.execute_many(views, nullptr, gpu::BatchMode::kPipelined);
+  const CaptureProfile prof = dev.end_capture();
+  ASSERT_EQ(prof.phases.size(), 4u * kBatch);
+
+  // Every phase is stream-scoped, and exactly two home streams are used
+  // (signals alternate parity).
+  std::set<StreamId> streams;
+  for (const PhaseSpan& ph : prof.phases) {
+    EXPECT_TRUE(ph.scoped);
+    streams.insert(ph.stream);
+  }
+  EXPECT_EQ(streams.size(), 2u);
+
+  // Within one stream, that stream's phases are contiguous and ordered —
+  // the per-stream analogue of the serialized contiguity invariant.
+  for (const StreamId s : streams) {
+    const PhaseSpan* prev = nullptr;
+    for (const PhaseSpan& ph : prof.phases) {
+      if (ph.stream != s) continue;
+      if (prev != nullptr) EXPECT_GE(ph.start_ms, prev->end_ms - 1e-9);
+      prev = &ph;
+    }
+  }
+
+  // The chrome trace names one phase track per home stream.
+  const std::string trace = prof.chrome_trace_json();
+  EXPECT_NE(trace.find("\"phases s"), std::string::npos);
 }
 
 }  // namespace

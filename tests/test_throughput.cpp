@@ -170,10 +170,12 @@ TEST(GpuPlanBatch, ExecuteManyMatchesRepeatedExecute) {
   }
 
   gpu::GpuBatchStats bst;
-  const auto batched = plan.execute_many(views, &bst);
+  const auto batched =
+      plan.execute_many(views, &bst, gpu::BatchMode::kSerialized);
 
   ASSERT_EQ(batched.size(), kBatch);
   EXPECT_EQ(bst.signals, kBatch);
+  EXPECT_FALSE(bst.pipelined);
   for (std::size_t i = 0; i < kBatch; ++i) {
     ASSERT_EQ(batched[i].size(), one_by_one[i].size()) << "signal " << i;
     for (std::size_t j = 0; j < batched[i].size(); ++j) {

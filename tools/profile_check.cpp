@@ -3,33 +3,14 @@
 // trace-event invariants (required fields, per-track FIFO non-overlap,
 // device concurrency within the modeled 32-kernel window), and prints a
 // one-line summary. Exit 0 on a valid profile, 1 otherwise — CI runs this
-// on the smoke artifact.
-#include <algorithm>
-#include <cmath>
+// on the smoke artifact. The checks live in profile_check_lib so tests can
+// run the same sweep in-process on a freshly captured trace.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <sstream>
-#include <string>
-#include <vector>
 
-#include "core/json_lite.hpp"
-
-namespace {
-
-struct Event {
-  double ts = 0, dur = 0;
-  double tid = 0;
-  std::string name, cat;
-};
-
-int fail(const std::string& msg) {
-  std::cerr << "profile_check: FAIL: " << msg << "\n";
-  return 1;
-}
-
-}  // namespace
+#include "profile_check_lib.hpp"
 
 int main(int argc, char** argv) {
   if (argc != 2) {
@@ -37,106 +18,23 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::ifstream f(argv[1]);
-  if (!f) return fail(std::string("cannot open ") + argv[1]);
+  if (!f) {
+    std::cerr << "profile_check: FAIL: cannot open " << argv[1] << "\n";
+    return 1;
+  }
   std::stringstream ss;
   ss << f.rdbuf();
 
-  cusfft::json::Value doc;
-  std::string err;
-  if (!cusfft::json::parse(ss.str(), doc, &err))
-    return fail("invalid JSON: " + err);
-  if (!doc.is_object()) return fail("document is not an object");
-
-  const cusfft::json::Value* events = doc.find("traceEvents");
-  if (events == nullptr || !events->is_array())
-    return fail("missing traceEvents array");
-
-  std::vector<Event> durations;
-  std::size_t meta = 0;
-  for (const cusfft::json::Value& e : events->array) {
-    if (!e.is_object()) return fail("traceEvents entry is not an object");
-    const std::string ph = e.string_or("ph", "");
-    const cusfft::json::Value* name = e.find("name");
-    if (name == nullptr || !name->is_string())
-      return fail("event without a string name");
-    if (ph == "M") {
-      ++meta;
-      continue;
-    }
-    if (ph != "X") return fail("unexpected event phase '" + ph + "'");
-    Event ev;
-    ev.name = name->string;
-    ev.cat = e.string_or("cat", "");
-    const cusfft::json::Value* ts = e.find("ts");
-    const cusfft::json::Value* dur = e.find("dur");
-    const cusfft::json::Value* tid = e.find("tid");
-    if (ts == nullptr || !ts->is_number() || dur == nullptr ||
-        !dur->is_number() || tid == nullptr || !tid->is_number())
-      return fail("duration event missing numeric ts/dur/tid: " + ev.name);
-    ev.ts = ts->number;
-    ev.dur = dur->number;
-    ev.tid = tid->number;
-    if (ev.dur < 0) return fail("negative duration on " + ev.name);
-    durations.push_back(std::move(ev));
+  const cusfft::tools::ProfileCheckResult r =
+      cusfft::tools::check_profile_json(ss.str());
+  if (!r.ok) {
+    std::cerr << "profile_check: FAIL: " << r.error << "\n";
+    return 1;
   }
-  if (durations.empty()) return fail("no duration events");
-
-  // Per-stream FIFO: kernel events on one tid (one stream) must not
-  // overlap. Phase spans cover many kernels and concurrent PCIe copies
-  // share the wire (bandwidth split, not serialized), so only kernel
-  // tracks carry the invariant.
-  constexpr double kEpsUs = 1e-3;  // 1 ns; covers %.12g round-trip error
-  std::map<double, std::vector<const Event*>> by_tid;
-  for (const Event& e : durations)
-    if (e.cat == "kernel") by_tid[e.tid].push_back(&e);
-  for (auto& [tid, evs] : by_tid) {
-    std::sort(evs.begin(), evs.end(), [](const Event* a, const Event* b) {
-      return a->ts < b->ts;
-    });
-    for (std::size_t i = 1; i < evs.size(); ++i) {
-      const double prev_end = evs[i - 1]->ts + evs[i - 1]->dur;
-      if (evs[i]->ts < prev_end - kEpsUs)
-        return fail("track " + std::to_string(tid) + ": '" +
-                    evs[i]->name + "' overlaps '" + evs[i - 1]->name + "'");
-    }
-  }
-
-  // Device concurrency stays within the modeled Hyper-Q window.
-  double max_kernels = 32;
-  std::size_t kernels = 0, copies = 0;
-  const cusfft::json::Value* profile = doc.find("profile");
-  if (profile != nullptr && profile->is_object())
-    max_kernels = profile->number_or("max_concurrent_kernels", 32);
-  // ts and dur are serialized separately at 12 significant digits, so at a
-  // kernel-window handoff the reconstructed end (ts+dur) of a finishing
-  // kernel can exceed its successor's start by ~1e-5 us. Snap edges to a
-  // 1 ns grid so boundary edges coincide; the (time, delta) sort then
-  // processes the end edge first (-1 < +1) — real kernels last >= 5 us, so
-  // the grid cannot merge distinct events.
-  const auto quantize = [](double t) { return std::round(t * 1e3) / 1e3; };
-  std::vector<std::pair<double, int>> edges;
-  for (const Event& e : durations) {
-    if (e.cat == "copy") ++copies;
-    if (e.cat != "kernel") continue;
-    ++kernels;
-    edges.emplace_back(quantize(e.ts), +1);
-    edges.emplace_back(quantize(e.ts + e.dur), -1);
-  }
-  std::sort(edges.begin(), edges.end());
-  int running = 0, peak = 0;
-  for (const auto& [t, d] : edges) {
-    running += d;
-    peak = std::max(peak, running);
-  }
-  if (peak > static_cast<int>(max_kernels))
-    return fail("concurrency " + std::to_string(peak) +
-                " exceeds the modeled window of " +
-                std::to_string(static_cast<int>(max_kernels)));
-
   std::printf(
       "profile_check: OK: %zu kernel events, %zu copies, %zu tracks, "
       "%zu metadata, peak concurrency %d/%d\n",
-      kernels, copies, by_tid.size(), meta, peak,
-      static_cast<int>(max_kernels));
+      r.kernel_events, r.copy_events, r.kernel_tracks, r.metadata_events,
+      r.peak_concurrency, r.max_kernels);
   return 0;
 }

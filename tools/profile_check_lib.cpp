@@ -1,0 +1,127 @@
+#include "profile_check_lib.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/json_lite.hpp"
+
+namespace cusfft::tools {
+namespace {
+
+struct Event {
+  double ts = 0, dur = 0;
+  double tid = 0;
+  std::string name, cat;
+};
+
+ProfileCheckResult fail(ProfileCheckResult r, std::string msg) {
+  r.ok = false;
+  r.error = std::move(msg);
+  return r;
+}
+
+}  // namespace
+
+ProfileCheckResult check_profile_json(const std::string& text) {
+  ProfileCheckResult r;
+
+  json::Value doc;
+  std::string err;
+  if (!json::parse(text, doc, &err)) return fail(r, "invalid JSON: " + err);
+  if (!doc.is_object()) return fail(r, "document is not an object");
+
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    return fail(r, "missing traceEvents array");
+
+  std::vector<Event> durations;
+  for (const json::Value& e : events->array) {
+    if (!e.is_object()) return fail(r, "traceEvents entry is not an object");
+    const std::string ph = e.string_or("ph", "");
+    const json::Value* name = e.find("name");
+    if (name == nullptr || !name->is_string())
+      return fail(r, "event without a string name");
+    if (ph == "M") {
+      ++r.metadata_events;
+      continue;
+    }
+    if (ph != "X") return fail(r, "unexpected event phase '" + ph + "'");
+    Event ev;
+    ev.name = name->string;
+    ev.cat = e.string_or("cat", "");
+    const json::Value* ts = e.find("ts");
+    const json::Value* dur = e.find("dur");
+    const json::Value* tid = e.find("tid");
+    if (ts == nullptr || !ts->is_number() || dur == nullptr ||
+        !dur->is_number() || tid == nullptr || !tid->is_number())
+      return fail(r, "duration event missing numeric ts/dur/tid: " + ev.name);
+    ev.ts = ts->number;
+    ev.dur = dur->number;
+    ev.tid = tid->number;
+    if (ev.dur < 0) return fail(r, "negative duration on " + ev.name);
+    durations.push_back(std::move(ev));
+  }
+  if (durations.empty()) return fail(r, "no duration events");
+
+  // Per-stream FIFO: kernel events on one tid (one stream) must not
+  // overlap. Phase spans cover many kernels and concurrent PCIe copies
+  // share the wire (bandwidth split, not serialized), so only kernel
+  // tracks carry the invariant.
+  constexpr double kEpsUs = 1e-3;  // 1 ns; covers %.12g round-trip error
+  std::map<double, std::vector<const Event*>> by_tid;
+  for (const Event& e : durations)
+    if (e.cat == "kernel") by_tid[e.tid].push_back(&e);
+  for (auto& [tid, evs] : by_tid) {
+    std::sort(evs.begin(), evs.end(), [](const Event* a, const Event* b) {
+      return a->ts < b->ts;
+    });
+    for (std::size_t i = 1; i < evs.size(); ++i) {
+      const double prev_end = evs[i - 1]->ts + evs[i - 1]->dur;
+      if (evs[i]->ts < prev_end - kEpsUs)
+        return fail(r, "track " + std::to_string(tid) + ": '" +
+                           evs[i]->name + "' overlaps '" + evs[i - 1]->name +
+                           "'");
+    }
+  }
+  r.kernel_tracks = by_tid.size();
+
+  // Device concurrency stays within the modeled Hyper-Q window.
+  double max_kernels = 32;
+  const json::Value* profile = doc.find("profile");
+  if (profile != nullptr && profile->is_object())
+    max_kernels = profile->number_or("max_concurrent_kernels", 32);
+  r.max_kernels = static_cast<int>(max_kernels);
+  // ts and dur are serialized separately at 12 significant digits, so at a
+  // kernel-window handoff the reconstructed end (ts+dur) of a finishing
+  // kernel can exceed its successor's start by ~1e-5 us. Snap edges to a
+  // 1 ns grid so boundary edges coincide; the (time, delta) sort then
+  // processes the end edge first (-1 < +1) — real kernels last >= 5 us, so
+  // the grid cannot merge distinct events.
+  const auto quantize = [](double t) { return std::round(t * 1e3) / 1e3; };
+  std::vector<std::pair<double, int>> edges;
+  for (const Event& e : durations) {
+    if (e.cat == "copy") ++r.copy_events;
+    if (e.cat != "kernel") continue;
+    ++r.kernel_events;
+    edges.emplace_back(quantize(e.ts), +1);
+    edges.emplace_back(quantize(e.ts + e.dur), -1);
+  }
+  std::sort(edges.begin(), edges.end());
+  int running = 0;
+  for (const auto& [t, d] : edges) {
+    running += d;
+    r.peak_concurrency = std::max(r.peak_concurrency, running);
+  }
+  if (r.peak_concurrency > r.max_kernels)
+    return fail(r, "concurrency " + std::to_string(r.peak_concurrency) +
+                       " exceeds the modeled window of " +
+                       std::to_string(r.max_kernels));
+
+  r.ok = true;
+  return r;
+}
+
+}  // namespace cusfft::tools

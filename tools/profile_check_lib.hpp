@@ -1,0 +1,35 @@
+// Profiler-artifact validation as a library: the invariants the
+// profile_check CLI enforces on a chrome-trace JSON document (emitted by
+// --profile / CUSFFT_PROFILE / cusfft_profile_write), callable in-process
+// so tests can sweep a freshly captured trace through the exact checks CI
+// runs on the smoke artifact.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace cusfft::tools {
+
+/// Outcome of one document sweep. `ok` is the CLI's exit-0 condition;
+/// `error` holds the first violated invariant (empty when ok). The
+/// counters feed the CLI summary line and test assertions.
+struct ProfileCheckResult {
+  bool ok = false;
+  std::string error;
+  std::size_t kernel_events = 0;
+  std::size_t copy_events = 0;
+  std::size_t kernel_tracks = 0;
+  std::size_t metadata_events = 0;
+  int peak_concurrency = 0;
+  int max_kernels = 32;  // modeled Hyper-Q window from the profile block
+};
+
+/// Parses `doc` (a full chrome-trace JSON document) and checks:
+///   - traceEvents entries are M (metadata) or X (duration) with a string
+///     name; X events carry numeric ts/dur/tid and dur >= 0;
+///   - per-kernel-track FIFO: events on one tid never overlap (1 ns eps);
+///   - device concurrency stays within profile.max_concurrent_kernels
+///     (edge sweep on a 1 ns grid).
+ProfileCheckResult check_profile_json(const std::string& doc);
+
+}  // namespace cusfft::tools
