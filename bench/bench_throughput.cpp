@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "common.hpp"
+#include "cusfft/multi_plan.hpp"
 #include "cusfft/plan.hpp"
 #include "cusim/device.hpp"
+#include "cusim/device_group.hpp"
 #include "cusim/pool.hpp"
 #include "signal/filter.hpp"
 
@@ -32,7 +34,8 @@ int main(int argc, char** argv) {
   const std::size_t n = 1ULL << o.min_logn;
   const std::size_t k = std::min(o.k, n / 8);
   std::cout << "Throughput: optimized GPU backend, n=2^" << o.min_logn
-            << " k=" << k << " batch=" << batch << "\n\n";
+            << " k=" << k << " batch=" << batch << " devices=" << o.devices
+            << "\n\n";
 
   std::vector<cvec> signals;
   std::vector<std::span<const cplx>> views;
@@ -111,18 +114,53 @@ int main(int argc, char** argv) {
     add("many_pipelined", wall.ms(), st.model_ms);
     pipe_ms = st.model_ms;
     // The overlapped capture is the interesting timeline (per-stream phase
-    // tracks, warm pool): emit it as the bench's profile artifact.
-    if (!o.profile.empty())
+    // tracks, warm pool): emit it as the bench's profile artifact. With a
+    // fleet the merged multi-device trace below supersedes it.
+    if (!o.profile.empty() && o.devices <= 1)
       write_profile_artifact(dev.end_capture(), o.profile);
   }
 
-  bool identical = out_serial.size() == out_pipe.size();
-  for (std::size_t i = 0; identical && i < out_serial.size(); ++i) {
-    identical = out_serial[i].size() == out_pipe[i].size();
-    for (std::size_t j = 0; identical && j < out_serial[i].size(); ++j)
-      identical = out_serial[i][j].loc == out_pipe[i][j].loc &&
-                  out_serial[i][j].val == out_pipe[i][j].val;
+  std::vector<SparseSpectrum> out_shard;
+  double shard_ms = 0;
+  if (o.devices > 1) {
+    // many_sharded: the batch split across the fleet, the pipeline live
+    // inside each shard, per-device timelines merged on one clock with
+    // PCIe root-complex contention.
+    cusim::DeviceGroup group(o.devices);
+    gpu::MultiGpuPlan mplan(group, params, opts);
+    WallTimer wall;
+    gpu::GpuFleetStats fs;
+    out_shard = mplan.execute_many(views, &fs, gpu::BatchMode::kPipelined);
+    add("many_sharded", wall.ms(), fs.model_ms);
+    shard_ms = fs.model_ms;
+
+    std::printf("fleet: %zu devices, makespan %.3f ms, imbalance %.3f, "
+                "pcie stalls %.3f ms\n",
+                fs.devices, fs.model_ms, fs.imbalance, fs.pcie_stall_ms);
+    for (const auto& d : fs.per_device)
+      std::printf("  dev%zu %-8s %3zu signals  finish %8.3f ms  "
+                  "util %5.1f%%  stall %.3f ms\n",
+                  &d - fs.per_device.data(), d.device.c_str(), d.signals,
+                  d.model_ms, 100.0 * d.utilization, d.pcie_stall_ms);
+    std::printf("sharded vs pipelined: %.3f ms vs %.3f ms modeled (%.2fx)\n",
+                shard_ms, pipe_ms, shard_ms > 0 ? pipe_ms / shard_ms : 0.0);
+
+    if (!o.profile.empty())
+      write_profile_artifact(group.end_capture(), o.profile);
   }
+
+  auto same = [](const std::vector<SparseSpectrum>& a,
+                 const std::vector<SparseSpectrum>& b) {
+    bool eq = a.size() == b.size();
+    for (std::size_t i = 0; eq && i < a.size(); ++i) {
+      eq = a[i].size() == b[i].size();
+      for (std::size_t j = 0; eq && j < a[i].size(); ++j)
+        eq = a[i][j].loc == b[i][j].loc && a[i][j].val == b[i][j].val;
+    }
+    return eq;
+  };
+  bool identical = same(out_serial, out_pipe) &&
+                   (o.devices <= 1 || same(out_serial, out_shard));
   std::printf(
       "\npipelined vs serialized: %.3f ms vs %.3f ms modeled "
       "(%.2fx), spectra %s\n",

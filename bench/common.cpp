@@ -61,6 +61,7 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
   o.k = env_or("CUSFFT_K", o.k);
   o.fixed_logn = env_or("CUSFFT_FIXED_LOGN", o.fixed_logn);
   o.seed = env_or("CUSFFT_SEED", o.seed);
+  o.devices = env_or("CUSFFT_DEVICES", o.devices);
   if (const char* d = std::getenv("CUSFFT_OUT_DIR")) o.out_dir = d;
   if (const char* p = std::getenv("CUSFFT_PROFILE")) o.profile = p;
   for (int i = 1; i + 1 < argc; i += 2) {
@@ -71,10 +72,12 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
     else if (key == "--k") o.k = std::stoull(val);
     else if (key == "--fixed-logn") o.fixed_logn = std::stoull(val);
     else if (key == "--seed") o.seed = std::stoull(val);
+    else if (key == "--devices") o.devices = std::stoull(val);
     else if (key == "--out-dir") o.out_dir = val;
     else if (key == "--profile") o.profile = val;
   }
   if (o.max_logn < o.min_logn) o.max_logn = o.min_logn;
+  if (o.devices == 0) o.devices = 1;
   g_profile_path = o.profile;
   return o;
 }

@@ -29,6 +29,10 @@ struct BenchOpts {
   std::size_t k = 1000;       // the paper's fixed sparsity for Fig. 5(a)
   std::size_t fixed_logn = 22;  // paper uses 2^27 for Fig. 5(b)/(f)
   u64 seed = 20160523;          // IPDPS'16 vintage
+  /// Simulated device count for fleet-aware benches (bench_throughput adds
+  /// a sharded row and emits the merged multi-device trace when > 1). Env
+  /// CUSFFT_DEVICES / --devices.
+  std::size_t devices = 1;
   std::string out_dir = "bench_results";
   /// When non-empty, the bench writes a chrome-trace profile artifact of
   /// its last cusFFT capture to this path (plus the profile's CSV next to
@@ -37,8 +41,9 @@ struct BenchOpts {
   std::string profile;
 
   /// Reads CUSFFT_MIN_LOGN / CUSFFT_MAX_LOGN / CUSFFT_K / CUSFFT_FIXED_LOGN
-  /// / CUSFFT_SEED / CUSFFT_OUT_DIR / CUSFFT_PROFILE, then applies simple
-  /// --key value args (--profile <path> included).
+  /// / CUSFFT_SEED / CUSFFT_DEVICES / CUSFFT_OUT_DIR / CUSFFT_PROFILE, then
+  /// applies simple --key value args (--profile <path> and --devices <N>
+  /// included).
   static BenchOpts parse(int argc, char** argv);
 };
 

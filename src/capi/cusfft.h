@@ -74,6 +74,38 @@ cusfft_status cusfft_set_batch_pipeline(cusfft_handle h, int enable);
 /* Plan introspection. */
 cusfft_status cusfft_get_size(cusfft_handle h, size_t* n, size_t* k);
 
+/* ---- Multi-device fleet (GPU backends) ----
+ * Shards each cusfft_execute_many batch across `devices` simulated GPUs
+ * (one host thread team per device, the stream pipeline live inside each
+ * shard, PCIe copies contending for the shared host link). Results stay
+ * in input order and bit-identical to the single-device path; only the
+ * modeled batch time changes. devices == 1 (the default) restores the
+ * single-device plan. Rebuilds the internal state, so call before the
+ * first execute. CPU backends accept and ignore the setting. */
+cusfft_status cusfft_set_device_count(cusfft_handle h, size_t devices);
+
+/* Fleet-level modeled timing of the most recent execute/execute_many on
+ * a GPU backend (whatever the device count — a single device reports
+ * imbalance 1.0 and zero PCIe stalls). */
+typedef struct {
+  double model_ms;      /* merged fleet makespan (shared time origin) */
+  double imbalance;     /* max/mean busy-device finish; 1.0 = balanced */
+  double pcie_stall_ms; /* summed host-link contention dilation */
+  size_t devices;
+  size_t signals;
+} cusfft_fleet_stats;
+
+/* CUSFFT_INVALID_ARGUMENT when no GPU batch has run yet (or on a CPU
+ * backend). */
+cusfft_status cusfft_get_fleet_stats(cusfft_handle h,
+                                     cusfft_fleet_stats* out);
+
+/* Per-device utilization of the last run: device `device`'s finish time
+ * over the fleet makespan (0 for a device that received no signals).
+ * CUSFFT_INVALID_ARGUMENT when out of range or no run yet. */
+cusfft_status cusfft_get_device_utilization(cusfft_handle h, size_t device,
+                                            double* utilization);
+
 /* ---- Profiling (GPU backends) ----
  * After an execute/execute_many on a GPU backend the plan retains a
  * capture profile of the run: a chrome://tracing JSON document (loadable

@@ -11,32 +11,60 @@
 #include "core/spectrum.hpp"
 #include "core/thread_pool.hpp"
 #include "core/types.hpp"
+#include "cusfft/multi_plan.hpp"
 #include "cusfft/plan.hpp"
 #include "cusim/device.hpp"
+#include "cusim/device_group.hpp"
 #include "cusim/profiler.hpp"
 #include "psfft/psfft.hpp"
 #include "sfft/serial.hpp"
 
 /// Owns whichever backend the plan was created for. The GPU backends own
-/// their simulated device; PsFFT shares the process-wide thread pool.
+/// their simulated device (or device fleet, cusfft_set_device_count);
+/// PsFFT shares the process-wide thread pool.
 struct cusfft_plan_t {
   cusfft::sfft::Params params;
   cusfft_backend backend = CUSFFT_BACKEND_SERIAL;
   int batch_pipeline = 1;  // cusfft_set_batch_pipeline; GPU batches only
+  size_t device_count = 1;  // cusfft_set_device_count; GPU backends only
 
   std::unique_ptr<cusfft::sfft::SerialPlan> serial;
   std::unique_ptr<cusfft::psfft::PsfftPlan> psfft;
   std::unique_ptr<cusfft::cusim::Device> device;
   std::unique_ptr<cusfft::gpu::GpuPlan> gpu;
+  std::unique_ptr<cusfft::cusim::DeviceGroup> group;  // device_count > 1
+  std::unique_ptr<cusfft::gpu::MultiGpuPlan> multi;   // device_count > 1
 
   /// Capture profile of the most recent GPU execute/execute_many (null
   /// until then, and for CPU backends).
   std::unique_ptr<cusfft::cusim::CaptureProfile> profile;
 
-  /// Retains the open capture's profile after a GPU run.
+  /// Fleet stats of the most recent GPU execute/execute_many (a single
+  /// device reports devices == 1, imbalance 1.0, zero stalls).
+  std::unique_ptr<cusfft::gpu::GpuFleetStats> fleet;
+
+  /// Retains the open capture's profile after a GPU run — the merged
+  /// fleet profile (one trace track group per device) under sharding.
   void collect_profile() {
     profile = std::make_unique<cusfft::cusim::CaptureProfile>(
-        device->end_capture());
+        multi != nullptr ? group->end_capture() : device->end_capture());
+  }
+
+  /// Degrades a single-device batch's stats to the fleet shape so
+  /// cusfft_get_fleet_stats works for any device count.
+  void fleet_from_single(double model_ms, size_t signals) {
+    auto st = std::make_unique<cusfft::gpu::GpuFleetStats>();
+    st->model_ms = model_ms;
+    st->signals = signals;
+    st->devices = 1;
+    cusfft::gpu::GpuDeviceShardStats ds;
+    ds.device = device->spec().name;
+    ds.signals = signals;
+    ds.model_ms = model_ms;
+    ds.solo_ms = model_ms;
+    ds.utilization = 1.0;
+    st->per_device.push_back(std::move(ds));
+    fleet = std::move(st);
   }
 
   cusfft_status rebuild() {
@@ -44,8 +72,11 @@ struct cusfft_plan_t {
       serial.reset();
       psfft.reset();
       gpu.reset();
+      multi.reset();
+      group.reset();
       device.reset();
       profile.reset();
+      fleet.reset();
       switch (backend) {
         case CUSFFT_BACKEND_SERIAL:
           serial = std::make_unique<cusfft::sfft::SerialPlan>(params);
@@ -56,12 +87,19 @@ struct cusfft_plan_t {
           break;
         case CUSFFT_BACKEND_GPU_BASELINE:
         case CUSFFT_BACKEND_GPU_OPTIMIZED: {
-          device = std::make_unique<cusfft::cusim::Device>();
           const auto opts = backend == CUSFFT_BACKEND_GPU_OPTIMIZED
                                 ? cusfft::gpu::Options::optimized()
                                 : cusfft::gpu::Options::baseline();
-          gpu = std::make_unique<cusfft::gpu::GpuPlan>(*device, params,
-                                                       opts);
+          if (device_count > 1) {
+            group =
+                std::make_unique<cusfft::cusim::DeviceGroup>(device_count);
+            multi = std::make_unique<cusfft::gpu::MultiGpuPlan>(
+                *group, params, opts);
+          } else {
+            device = std::make_unique<cusfft::cusim::Device>();
+            gpu = std::make_unique<cusfft::gpu::GpuPlan>(*device, params,
+                                                         opts);
+          }
           break;
         }
         default:
@@ -126,7 +164,21 @@ cusfft_status cusfft_execute(cusfft_handle h, const double* input,
         s = h->psfft->execute(x);
         break;
       default:
-        s = h->gpu->execute(x);
+        if (h->multi != nullptr) {
+          // Route the single signal through the fleet (it lands on the
+          // cheapest device; the others idle in the merged timeline).
+          const std::span<const cusfft::cplx> one[] = {x};
+          h->fleet = std::make_unique<cusfft::gpu::GpuFleetStats>();
+          auto results = h->multi->execute_many(
+              one, h->fleet.get(),
+              h->batch_pipeline != 0 ? cusfft::gpu::BatchMode::kAuto
+                                     : cusfft::gpu::BatchMode::kSerialized);
+          s = std::move(results[0]);
+        } else {
+          cusfft::gpu::GpuExecStats est;
+          s = h->gpu->execute(x, &est);
+          h->fleet_from_single(est.model_ms, 1);
+        }
         h->collect_profile();
         break;
     }
@@ -169,13 +221,21 @@ cusfft_status cusfft_execute_many(cusfft_handle h, const double* inputs,
         results.reserve(batch);
         for (const auto& x : xs) results.push_back(h->psfft->execute(x));
         break;
-      default:
-        results = h->gpu->execute_many(
-            xs, nullptr,
-            h->batch_pipeline != 0 ? cusfft::gpu::BatchMode::kAuto
-                                   : cusfft::gpu::BatchMode::kSerialized);
+      default: {
+        const auto mode = h->batch_pipeline != 0
+                              ? cusfft::gpu::BatchMode::kAuto
+                              : cusfft::gpu::BatchMode::kSerialized;
+        if (h->multi != nullptr) {
+          h->fleet = std::make_unique<cusfft::gpu::GpuFleetStats>();
+          results = h->multi->execute_many(xs, h->fleet.get(), mode);
+        } else {
+          cusfft::gpu::GpuBatchStats bst;
+          results = h->gpu->execute_many(xs, &bst, mode);
+          h->fleet_from_single(bst.model_ms, batch);
+        }
         h->collect_profile();
         break;
+      }
     }
 
     for (size_t i = 0; i < batch; ++i) {
@@ -203,6 +263,34 @@ cusfft_status cusfft_get_size(cusfft_handle h, size_t* n, size_t* k) {
     return CUSFFT_INVALID_ARGUMENT;
   *n = h->params.n;
   *k = h->params.k;
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_set_device_count(cusfft_handle h, size_t devices) {
+  if (h == nullptr || devices == 0) return CUSFFT_INVALID_ARGUMENT;
+  h->device_count = devices;
+  return h->rebuild();
+}
+
+cusfft_status cusfft_get_fleet_stats(cusfft_handle h,
+                                     cusfft_fleet_stats* out) {
+  if (h == nullptr || out == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  if (h->fleet == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  out->model_ms = h->fleet->model_ms;
+  out->imbalance = h->fleet->imbalance;
+  out->pcie_stall_ms = h->fleet->pcie_stall_ms;
+  out->devices = h->fleet->devices;
+  out->signals = h->fleet->signals;
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_get_device_utilization(cusfft_handle h, size_t device,
+                                            double* utilization) {
+  if (h == nullptr || utilization == nullptr)
+    return CUSFFT_INVALID_ARGUMENT;
+  if (h->fleet == nullptr || device >= h->fleet->per_device.size())
+    return CUSFFT_INVALID_ARGUMENT;
+  *utilization = h->fleet->per_device[device].utilization;
   return CUSFFT_SUCCESS;
 }
 

@@ -1,0 +1,156 @@
+#include "cusfft/multi_plan.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/timer.hpp"
+
+namespace cusfft::gpu {
+
+struct MultiGpuPlan::Impl {
+  cusim::DeviceGroup* group = nullptr;
+  sfft::Params params;
+  Options opts;
+  std::vector<std::unique_ptr<GpuPlan>> plans;  // one per device
+  std::vector<double> weight;  // per-device per-signal cost (relative)
+};
+
+MultiGpuPlan::MultiGpuPlan(cusim::DeviceGroup& group, sfft::Params params,
+                           Options opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->group = &group;
+  impl_->params = params;
+  impl_->opts = opts;
+  for (std::size_t d = 0; d < group.size(); ++d) {
+    impl_->plans.push_back(
+        std::make_unique<GpuPlan>(group.device(d), params, opts));
+    // Bandwidth-bound cost model: a device's per-signal time scales with
+    // 1/mem_bandwidth. Good enough for assignment; the merged timeline is
+    // the ground truth the stats report.
+    const double bw = group.device(d).spec().mem_bandwidth_Bps;
+    impl_->weight.push_back(bw > 0 ? 1.0 / bw : 1.0);
+  }
+}
+
+MultiGpuPlan::~MultiGpuPlan() = default;
+MultiGpuPlan::MultiGpuPlan(MultiGpuPlan&&) noexcept = default;
+MultiGpuPlan& MultiGpuPlan::operator=(MultiGpuPlan&&) noexcept = default;
+
+std::size_t MultiGpuPlan::devices() const { return impl_->plans.size(); }
+const sfft::Params& MultiGpuPlan::params() const { return impl_->params; }
+cusim::DeviceGroup& MultiGpuPlan::group() { return *impl_->group; }
+
+std::vector<std::size_t> MultiGpuPlan::shard_assignment(
+    std::size_t batch) const {
+  const std::size_t ndev = impl_->plans.size();
+  std::vector<std::size_t> out(batch, 0);
+  std::vector<double> load(ndev, 0.0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < ndev; ++d)
+      if (load[d] + impl_->weight[d] <
+          load[best] + impl_->weight[best])  // strict: ties -> lowest index
+        best = d;
+    out[i] = best;
+    load[best] += impl_->weight[best];
+  }
+  return out;
+}
+
+std::vector<SparseSpectrum> MultiGpuPlan::execute_many(
+    std::span<const std::span<const cplx>> xs, GpuFleetStats* stats,
+    BatchMode mode) {
+  const std::size_t ndev = impl_->plans.size();
+  const std::size_t batch = xs.size();
+  cusim::DeviceGroup& group = *impl_->group;
+
+  const std::vector<std::size_t> assign = shard_assignment(batch);
+  std::vector<std::vector<std::size_t>> shard(ndev);  // input indices
+  for (std::size_t i = 0; i < batch; ++i) shard[assign[i]].push_back(i);
+  std::vector<std::vector<std::span<const cplx>>> views(ndev);
+  for (std::size_t d = 0; d < ndev; ++d)
+    for (const std::size_t i : shard[d]) views[d].push_back(xs[i]);
+
+  // Shared t=0 for every device + the fleet-level pool snapshot. Each
+  // shard's GpuPlan::execute_many re-opens its own device capture, which
+  // is a harmless re-clear of an already-cleared timeline.
+  group.begin_capture();
+
+  std::vector<std::vector<SparseSpectrum>> douts(ndev);
+  std::vector<GpuBatchStats> dstats(ndev);
+  std::vector<std::exception_ptr> errors(ndev);
+  WallTimer wall;
+  auto run_shard = [&](std::size_t d) {
+    try {
+      douts[d] = impl_->plans[d]->execute_many(
+          std::span<const std::span<const cplx>>(views[d]), &dstats[d],
+          mode);
+    } catch (...) {
+      errors[d] = std::current_exception();
+    }
+  };
+  std::vector<std::size_t> active;
+  for (std::size_t d = 0; d < ndev; ++d)
+    if (!shard[d].empty()) active.push_back(d);
+  if (active.size() <= 1) {
+    for (const std::size_t d : active) run_shard(d);
+  } else {
+    // One host thread per non-empty shard; each device's block-parallel
+    // launches stay on its private ThreadPool (DeviceGroup wiring).
+    std::vector<std::thread> threads;
+    threads.reserve(active.size());
+    for (const std::size_t d : active)
+      threads.emplace_back([&run_shard, d] { run_shard(d); });
+    for (auto& t : threads) t.join();
+  }
+  const double host_ms = wall.ms();
+  for (const std::size_t d : active)
+    if (errors[d]) std::rethrow_exception(errors[d]);
+
+  // Merge the device timelines on the shared clock and reorder results
+  // back to input order.
+  cusim::FleetSchedule fs = group.simulate();
+  std::vector<SparseSpectrum> out(batch);
+  for (std::size_t d = 0; d < ndev; ++d)
+    for (std::size_t j = 0; j < shard[d].size(); ++j)
+      out[shard[d][j]] = std::move(douts[d][j]);
+
+  if (stats != nullptr) {
+    GpuFleetStats st;
+    st.model_ms = fs.makespan_s * 1e3;
+    st.host_ms = host_ms;
+    st.signals = batch;
+    st.devices = ndev;
+    st.device_of = assign;
+    st.per_signal.resize(batch);
+    double finish_sum = 0, finish_max = 0;
+    for (std::size_t d = 0; d < ndev; ++d) {
+      GpuDeviceShardStats ds;
+      ds.device = group.device(d).spec().name;
+      ds.signals = shard[d].size();
+      ds.model_ms = fs.finish_s[d] * 1e3;
+      ds.solo_ms = dstats[d].model_ms;
+      ds.pcie_stall_ms = fs.pcie_stall_s[d] * 1e3;
+      if (st.model_ms > 0) ds.utilization = ds.model_ms / st.model_ms;
+      st.pcie_stall_ms += ds.pcie_stall_ms;
+      st.candidates += dstats[d].candidates;
+      st.pipelined = st.pipelined || dstats[d].pipelined;
+      if (!shard[d].empty()) {
+        finish_sum += ds.model_ms;
+        finish_max = std::max(finish_max, ds.model_ms);
+      }
+      for (std::size_t j = 0; j < shard[d].size(); ++j)
+        st.per_signal[shard[d][j]] = std::move(dstats[d].per_signal[j]);
+      st.per_device.push_back(std::move(ds));
+    }
+    if (!active.empty() && finish_sum > 0)
+      st.imbalance = finish_max / (finish_sum / active.size());
+    *stats = std::move(st);
+  }
+  return out;
+}
+
+}  // namespace cusfft::gpu

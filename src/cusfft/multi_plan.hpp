@@ -1,0 +1,99 @@
+// Fleet execution: one execute_many() batch sharded across a
+// cusim::DeviceGroup. Each device owns a full GpuPlan (its own buffers,
+// filter upload, stream pool) and runs its shard on a dedicated host
+// thread with PR 1's block-parallel functional execution confined to the
+// device's private ThreadPool; the two-stream pipeline stays live inside
+// every shard. The per-device timelines are then merged on one clock
+// (shared t=0 at the group capture) with PCIe root-complex contention —
+// see cusim/device_group.hpp.
+//
+// Shard assignment is cost-weighted greedy: signals are homogeneous (same
+// n/k/filter), so a device's per-signal cost is proportional to
+// 1/mem_bandwidth_Bps (the algorithm is bandwidth-bound on the modeled
+// device); each signal goes to the device with the smallest projected
+// finish, ties to the lowest index. Homogeneous fleets degrade to
+// round-robin; a half-rate device in a heterogeneous fleet receives
+// proportionally fewer signals instead of straggling the makespan. The
+// assignment is a pure function of (batch size, specs) — deterministic.
+//
+// Ordering contract: the returned spectra and GpuFleetStats::per_signal
+// are ALWAYS in input order, whatever the shard assignment (tests pin
+// bit-identical equality with the single-device path).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cusfft/plan.hpp"
+#include "cusim/device_group.hpp"
+
+namespace cusfft::gpu {
+
+/// One device's share of a fleet batch.
+struct GpuDeviceShardStats {
+  std::string device;      // GpuSpec name
+  std::size_t signals = 0;
+  double model_ms = 0;     // device finish on the merged fleet clock
+  double solo_ms = 0;      // the same shard free of PCIe contention
+  double pcie_stall_ms = 0;  // host-link contention dilation
+  double utilization = 0;    // model_ms / fleet makespan (0 for idle)
+};
+
+/// GpuBatchStats analogue for a sharded batch: fleet makespan plus the
+/// imbalance/contention story across devices.
+struct GpuFleetStats {
+  double model_ms = 0;  // merged fleet makespan (shared t=0)
+  double host_ms = 0;   // wall time of the functional simulation
+  std::size_t signals = 0;
+  std::size_t candidates = 0;  // summed over the batch
+  std::size_t devices = 0;
+  bool pipelined = false;  // any shard ran the two-stream pipeline
+  /// max/mean device finish over devices that received signals: 1.0 is a
+  /// perfectly balanced fleet, 2.0 means the slowest device ran twice as
+  /// long as the average.
+  double imbalance = 1.0;
+  double pcie_stall_ms = 0;  // summed over devices
+  std::vector<GpuDeviceShardStats> per_device;  // device order
+  /// Input order (per_signal[i] describes xs[i]); each signal's window is
+  /// on its own device's contention-free clock — cross-device spans are
+  /// not directly comparable, use per_device/model_ms for fleet timing.
+  std::vector<GpuSignalStats> per_signal;
+  std::vector<std::size_t> device_of;  // input order: shard assignment
+};
+
+class MultiGpuPlan {
+ public:
+  /// One GpuPlan per group device (plans build serially — the flat-filter
+  /// cache and BufferPool warm up exactly once per shape).
+  MultiGpuPlan(cusim::DeviceGroup& group, sfft::Params params, Options opts);
+  ~MultiGpuPlan();
+  MultiGpuPlan(MultiGpuPlan&&) noexcept;
+  MultiGpuPlan& operator=(MultiGpuPlan&&) noexcept;
+  MultiGpuPlan(const MultiGpuPlan&) = delete;
+  MultiGpuPlan& operator=(const MultiGpuPlan&) = delete;
+
+  std::size_t devices() const;
+  const sfft::Params& params() const;
+  cusim::DeviceGroup& group();
+
+  /// Cost-weighted greedy shard assignment (see file comment): element i
+  /// is the device index signal i would run on. Pure and deterministic.
+  std::vector<std::size_t> shard_assignment(std::size_t batch) const;
+
+  /// Shards the batch across the fleet and executes every shard
+  /// concurrently (one host thread per non-empty shard), then merges the
+  /// device timelines into one fleet schedule. Results and per-signal
+  /// stats come back in input order, bit-identical to single-device
+  /// execute_many. `mode` applies inside each shard.
+  std::vector<SparseSpectrum> execute_many(
+      std::span<const std::span<const cplx>> xs,
+      GpuFleetStats* stats = nullptr, BatchMode mode = BatchMode::kAuto);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cusfft::gpu

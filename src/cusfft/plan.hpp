@@ -53,6 +53,11 @@ struct GpuBatchStats {
   std::size_t signals = 0;
   std::size_t candidates = 0;  // summed over the batch
   bool pipelined = false;      // schedule the batch actually ran under
+  /// Always index-aligned with the input batch: per_signal[i] (like the
+  /// returned spectra vector) describes xs[i] regardless of the schedule
+  /// — serialized, pipelined, or sharded across a device fleet
+  /// (MultiGpuPlan reorders shard results back to input order; tests pin
+  /// this).
   std::vector<GpuSignalStats> per_signal;
 };
 

@@ -24,8 +24,8 @@ ThreadPool* Device::launch_pool(const LaunchCfg& cfg) const {
   if (!parallel_ || cfg.sequential || cfg.blocks < 2) return nullptr;
   if (cfg.blocks * cfg.threads_per_block < min_parallel_threads_)
     return nullptr;
-  ThreadPool& pool = ThreadPool::global();
-  return pool.size() > 1 ? &pool : nullptr;
+  ThreadPool* pool = own_pool_only_ ? pool_ : &ThreadPool::global();
+  return pool != nullptr && pool->size() > 1 ? pool : nullptr;
 }
 
 void Device::begin_capture() {

@@ -101,6 +101,16 @@ class Device {
   /// (pool dispatch would cost more than it saves).
   void set_min_parallel_threads(std::size_t v) { min_parallel_threads_ = v; }
 
+  /// Pins block-parallel launches to a private ThreadPool instead of
+  /// ThreadPool::global(). Required whenever several Devices execute from
+  /// different host threads (DeviceGroup): the global pool's task slots are
+  /// single-submitter. nullptr (with the flag set) forces the sequential
+  /// sweep. The caller keeps ownership; results are bit-identical either way.
+  void set_pool(ThreadPool* pool) {
+    pool_ = pool;
+    own_pool_only_ = true;
+  }
+
   /// Launches `body(ThreadCtx&)` for every thread in the grid. Functional
   /// execution is immediate — sequential or block-parallel on the host
   /// ThreadPool (see the header comment); the modeled duration is queued on
@@ -301,6 +311,8 @@ class Device {
   u64 max_traced_warps_ = 4096;
   bool parallel_ = true;
   std::size_t min_parallel_threads_ = 1024;
+  ThreadPool* pool_ = nullptr;   // set_pool override (not owned)
+  bool own_pool_only_ = false;   // true once set_pool was called
 };
 
 }  // namespace cusfft::cusim

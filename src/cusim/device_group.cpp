@@ -1,0 +1,201 @@
+#include "cusim/device_group.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "cusim/profiler.hpp"
+
+namespace cusfft::cusim {
+
+DeviceGroup::DeviceGroup(std::vector<perfmodel::GpuSpec> specs) {
+  if (specs.empty())
+    throw std::invalid_argument("DeviceGroup: need at least one GpuSpec");
+  const std::size_t n = specs.size();
+  const std::size_t team =
+      std::max<std::size_t>(1, ThreadPool::global().size() / n);
+  for (auto& spec : specs) {
+    PerDevice pd;
+    pd.dev = std::make_unique<Device>(spec);
+    if (n > 1) {
+      // Private team per device: the global pool's task slots assume a
+      // single submitting thread, and shards submit from N host threads.
+      pd.pool = std::make_unique<ThreadPool>(team);
+      pd.dev->set_pool(pd.pool.get());
+    }
+    devices_.push_back(std::move(pd));
+  }
+  pool_at_capture_ = BufferPool::global().stats();
+}
+
+DeviceGroup::DeviceGroup(std::size_t count, perfmodel::GpuSpec spec)
+    : DeviceGroup(std::vector<perfmodel::GpuSpec>(
+          count > 0 ? count : 1, std::move(spec))) {
+  if (count == 0)
+    throw std::invalid_argument("DeviceGroup: need at least one device");
+}
+
+void DeviceGroup::begin_capture() {
+  for (auto& pd : devices_) pd.dev->begin_capture();
+  pool_at_capture_ = BufferPool::global().stats();
+}
+
+// Merged replay of every device's timeline. The loop is
+// Timeline::simulate() generalized: stream FIFO / barriers / deps stay
+// within their device (resolved via per-device index bases), the
+// concurrent-kernel cap and device-memory bandwidth sharing are
+// per-device, and PCIe bandwidth is shared across ALL devices' in-flight
+// copies (the host root complex). For one device every arithmetic step
+// matches Timeline::simulate() exactly.
+FleetSchedule DeviceGroup::simulate() {
+  const std::size_t ndev = devices_.size();
+  FleetSchedule fs;
+  fs.items.resize(ndev);
+  fs.finish_s.assign(ndev, 0.0);
+  fs.busy_s.assign(ndev, 0.0);
+  fs.pcie_stall_s.assign(ndev, 0.0);
+
+  struct Node {
+    const TimelineItem* it = nullptr;
+    unsigned dev = 0;
+    std::size_t base = 0;  // global index of this device's item 0
+    double mem_left = 0, comp_left = 0;
+    std::ptrdiff_t prev = -1;  // global index of stream predecessor
+    bool running = false, done = false;
+  };
+  std::vector<Node> nodes;
+  for (std::size_t d = 0; d < ndev; ++d) {
+    const auto& items = devices_[d].dev->timeline().items();
+    const std::size_t base = nodes.size();
+    fs.items[d].assign(items.size(), ItemSchedule{});
+    std::vector<std::pair<StreamId, std::size_t>> last;  // local indices
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Node nd;
+      nd.it = &items[i];
+      nd.dev = static_cast<unsigned>(d);
+      nd.base = base;
+      nd.mem_left = items[i].mem_s;
+      nd.comp_left = items[i].compute_s;
+      for (auto& [sid, idx] : last)
+        if (sid == items[i].stream) {
+          nd.prev = static_cast<std::ptrdiff_t>(base + idx);
+          idx = i;
+          goto linked;
+        }
+      last.emplace_back(items[i].stream, i);
+    linked:
+      nodes.push_back(std::move(nd));
+    }
+  }
+
+  const std::size_t n = nodes.size();
+  constexpr double kEps = 1e-15;
+  std::vector<unsigned> cap(ndev, 0);
+  for (std::size_t d = 0; d < ndev; ++d)
+    cap[d] = devices_[d].dev->spec().max_concurrent_kernels;
+
+  double t = 0.0;
+  std::size_t done_count = 0;
+  std::vector<unsigned> dev_running(ndev, 0), dev_mem(ndev, 0);
+  while (done_count < n) {
+    // Start every eligible item, respecting each device's kernel window.
+    std::fill(dev_running.begin(), dev_running.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i)
+      if (nodes[i].running &&
+          nodes[i].it->resource == Resource::kDeviceMemory)
+        ++dev_running[nodes[i].dev];
+    for (std::size_t i = 0; i < n; ++i) {
+      Node& nd = nodes[i];
+      if (nd.running || nd.done) continue;
+      if (nd.prev >= 0 && !nodes[static_cast<std::size_t>(nd.prev)].done)
+        continue;
+      bool barrier_clear = true;
+      for (std::size_t b = 0; b < nd.it->after && barrier_clear; ++b)
+        barrier_clear = nodes[nd.base + b].done;
+      if (!barrier_clear) continue;
+      bool deps_clear = true;
+      for (const std::size_t dep : nd.it->deps)
+        if (nd.base + dep < n && !nodes[nd.base + dep].done) {
+          deps_clear = false;
+          break;
+        }
+      if (!deps_clear) continue;
+      if (nd.it->resource == Resource::kDeviceMemory) {
+        if (dev_running[nd.dev] >= cap[nd.dev]) continue;
+        ++dev_running[nd.dev];
+      }
+      nd.running = true;
+      fs.items[nd.dev][i - nd.base].start_s = t;
+    }
+
+    // Bandwidth shares: per-device memory, fleet-wide PCIe.
+    std::fill(dev_mem.begin(), dev_mem.end(), 0u);
+    unsigned pcie_mem = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (nodes[i].running && nodes[i].mem_left > kEps) {
+        if (nodes[i].it->resource == Resource::kDeviceMemory)
+          ++dev_mem[nodes[i].dev];
+        else
+          ++pcie_mem;
+      }
+    auto share_of = [&](const Node& nd) {
+      return nd.it->resource == Resource::kDeviceMemory
+                 ? static_cast<double>(std::max(1u, dev_mem[nd.dev]))
+                 : static_cast<double>(std::max(1u, pcie_mem));
+    };
+
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!nodes[i].running) continue;
+      const double share = share_of(nodes[i]);
+      const double fin =
+          std::max(nodes[i].comp_left, nodes[i].mem_left * share);
+      dt = std::min(dt, fin);
+      if (nodes[i].mem_left > kEps)
+        dt = std::min(dt, nodes[i].mem_left * share);
+    }
+    if (!std::isfinite(dt)) break;  // nothing runnable: defensive stop
+    dt = std::max(dt, 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!nodes[i].running) continue;
+      const double share = share_of(nodes[i]);
+      nodes[i].comp_left -= dt;
+      nodes[i].mem_left -= dt / share;
+      if (nodes[i].comp_left <= kEps && nodes[i].mem_left <= kEps) {
+        nodes[i].running = false;
+        nodes[i].done = true;
+        fs.items[nodes[i].dev][i - nodes[i].base].finish_s = t + dt;
+        ++done_count;
+      }
+    }
+    t += dt;
+  }
+  fs.makespan_s = t;
+
+  for (std::size_t d = 0; d < ndev; ++d) {
+    Device& dev = *devices_[d].dev;
+    const auto& items = dev.timeline().items();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      fs.finish_s[d] = std::max(fs.finish_s[d], fs.items[d][i].finish_s);
+      if (items[i].resource == Resource::kDeviceMemory)
+        fs.busy_s[d] += fs.items[d][i].finish_s - fs.items[d][i].start_s;
+    }
+    // Contention stall: merged copy durations vs the device's own
+    // (contention-free) schedule of the same items.
+    dev.elapsed_model_ms();  // ensures the solo schedule is computed
+    const auto& solo = dev.timeline().schedule();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i].resource != Resource::kPcie) continue;
+      const double merged =
+          fs.items[d][i].finish_s - fs.items[d][i].start_s;
+      const double alone = solo[i].finish_s - solo[i].start_s;
+      fs.pcie_stall_s[d] += std::max(0.0, merged - alone);
+    }
+  }
+  return fs;
+}
+
+CaptureProfile DeviceGroup::end_capture() { return collect_profile(*this); }
+
+}  // namespace cusfft::cusim

@@ -1,0 +1,86 @@
+// A fleet of simulated GPUs behind one host. Each Device keeps its own
+// timeline, buffers, and (for N > 1) a private host ThreadPool sized
+// global_threads/N, so N shards execute functionally in parallel from N
+// host threads without sharing the single-submitter global pool.
+//
+// The merged simulation replays every device's captured timeline on one
+// clock: device-side resources (the Hyper-Q concurrent-kernel window,
+// device memory bandwidth) stay per-device, but all PCIe copies contend
+// for the shared host root complex — H2D/D2H transfers to different
+// devices split host link bandwidth instead of overlapping for free.
+// For a single device the merged schedule is bit-identical to
+// Timeline::simulate(), so fleet numbers degrade gracefully to the
+// single-device ones.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "cusim/device.hpp"
+#include "cusim/pool.hpp"
+
+namespace cusfft::cusim {
+
+struct CaptureProfile;  // profiler.hpp
+
+/// All device timelines replayed on one shared clock (t=0 at the group's
+/// begin_capture). Index-aligned with the group's devices.
+struct FleetSchedule {
+  double makespan_s = 0;  // fleet-level finish (max over devices)
+  /// Per-device item schedules, index-aligned with that device's
+  /// timeline().items() — same shape Timeline::schedule() has, but with
+  /// cross-device PCIe contention applied.
+  std::vector<std::vector<ItemSchedule>> items;
+  std::vector<double> finish_s;      // per device: last item finish (0 idle)
+  std::vector<double> busy_s;        // per device: summed kernel spans
+  /// Per device: extra time its PCIe copies spent because other devices'
+  /// copies shared the host link (merged duration minus the device's own
+  /// contention-free schedule). Zero for a single-device group.
+  std::vector<double> pcie_stall_s;
+};
+
+class DeviceGroup {
+ public:
+  /// One Device per spec, in order. For size() > 1 each device gets a
+  /// private ThreadPool of max(1, ThreadPool::global().size()/N) workers.
+  explicit DeviceGroup(std::vector<perfmodel::GpuSpec> specs);
+  /// N homogeneous devices (default: the paper's K20x).
+  explicit DeviceGroup(std::size_t count,
+                       perfmodel::GpuSpec spec = perfmodel::GpuSpec::k20x());
+
+  std::size_t size() const { return devices_.size(); }
+  Device& device(std::size_t i) { return *devices_[i].dev; }
+  const Device& device(std::size_t i) const { return *devices_[i].dev; }
+
+  /// Starts a fresh measured region on every device and snapshots the
+  /// global BufferPool for the fleet-level allocation delta. Call before
+  /// fanning shards out; every device shares the capture's t=0.
+  void begin_capture();
+
+  /// Replays all captured timelines on the shared clock (see file
+  /// comment). Safe to call repeatedly; recomputes each time.
+  FleetSchedule simulate();
+
+  /// Merged observability record: one CaptureProfile whose spans/phases
+  /// carry a device index, with one `lanes` entry per device — the
+  /// chrome-trace export renders one track group (pid) per device on the
+  /// shared time origin.
+  CaptureProfile end_capture();
+
+  /// BufferPool::global() stats at the last begin_capture() (group-level;
+  /// per-device snapshots are racy while shards run concurrently).
+  const BufferPool::Stats& pool_stats_at_capture() const {
+    return pool_at_capture_;
+  }
+
+ private:
+  struct PerDevice {
+    std::unique_ptr<Device> dev;
+    std::unique_ptr<ThreadPool> pool;  // private team; null for N == 1
+  };
+  std::vector<PerDevice> devices_;
+  BufferPool::Stats pool_at_capture_;
+};
+
+}  // namespace cusfft::cusim

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "cusim/device_group.hpp"
+
 namespace cusfft::cusim {
 
 namespace {
@@ -62,6 +64,116 @@ int tid_of(const PhaseSpan& ph) {
   return ph.scoped ? kPhaseTid + 1 + static_cast<int>(ph.stream) : kPhaseTid;
 }
 
+/// Appends one device's timeline items as trace spans under the given
+/// schedule (the device's own, or its rows of a merged fleet schedule).
+/// Returns the device's summed kernel-span milliseconds.
+double append_spans(CaptureProfile& p, const Timeline& tl,
+                    const std::vector<ItemSchedule>& sched,
+                    unsigned dev_index, double mem_bw_Bps,
+                    double pcie_bw_Bps) {
+  const auto& items = tl.items();
+  p.spans.reserve(p.spans.size() + items.size());
+  double device_busy_ms = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    TraceSpan s;
+    s.name = items[i].name;
+    s.stream = items[i].stream;
+    s.device = dev_index;
+    s.pcie = items[i].resource == Resource::kPcie;
+    s.start_ms = sched[i].start_s * 1e3;
+    s.end_ms = sched[i].finish_s * 1e3;
+    s.mem_bytes = items[i].mem_bytes;
+    s.useful_bytes = items[i].useful_bytes;
+    s.transactions = items[i].transactions;
+    s.atomic_conflict = items[i].atomic_conflict;
+    const double dur_s = sched[i].finish_s - sched[i].start_s;
+    const double peak = s.pcie ? pcie_bw_Bps : mem_bw_Bps;
+    if (dur_s > 0 && peak > 0)
+      s.achieved_bw_frac = s.mem_bytes / dur_s / peak;
+    if (!s.pcie) device_busy_ms += s.end_ms - s.start_ms;
+    p.spans.push_back(std::move(s));
+  }
+  return device_busy_ms;
+}
+
+/// Appends one device's phase spans: each annotation opens a phase that
+/// its explicit close event, the next annotation in the same scope
+/// (device-wide, or the same stream for scoped annotations), or
+/// `end_default_ms` closes — exactly GpuExecStats/GpuSignalStats::
+/// phase_span_ms's arithmetic.
+void append_phases(CaptureProfile& p, const Device& dev,
+                   const std::vector<ItemSchedule>& sched,
+                   unsigned dev_index, double end_default_ms) {
+  const Timeline& tl = dev.timeline();
+  const auto& anns = dev.phase_annotations();
+  p.phases.reserve(p.phases.size() + anns.size());
+  for (std::size_t i = 0; i < anns.size(); ++i) {
+    PhaseSpan ph;
+    ph.name = anns[i].name;
+    ph.stream = anns[i].stream;
+    ph.device = dev_index;
+    ph.scoped = anns[i].scoped;
+    ph.start_ms = tl.event_time_s(anns[i].event_id, sched) * 1e3;
+    ph.end_ms = end_default_ms;
+    if (anns[i].end_event >= 0) {
+      ph.end_ms = tl.event_time_s(
+                      static_cast<std::size_t>(anns[i].end_event), sched) *
+                  1e3;
+    } else {
+      for (std::size_t j = i + 1; j < anns.size(); ++j)
+        if (anns[j].scoped == anns[i].scoped &&
+            (!anns[i].scoped || anns[j].stream == anns[i].stream)) {
+          ph.end_ms = tl.event_time_s(anns[j].event_id, sched) * 1e3;
+          break;
+        }
+    }
+    p.phases.push_back(std::move(ph));
+  }
+}
+
+/// Folds a device's per-kernel report into a (possibly fleet-wide) merge.
+void merge_report(std::map<std::string, KernelReport>& into,
+                  const Device& dev) {
+  for (const auto& [name, r] : dev.report()) {
+    KernelReport& m = into[name];
+    m.launches += r.launches;
+    m.counters.name = name;
+    m.counters.blocks += r.counters.blocks;
+    m.counters.threads += r.counters.threads;
+    m.counters.warps += r.counters.warps;
+    m.counters.coalesced_transactions += r.counters.coalesced_transactions;
+    m.counters.random_transactions += r.counters.random_transactions;
+    m.counters.bytes_useful += r.counters.bytes_useful;
+    m.counters.flops += r.counters.flops;
+    m.counters.atomic_ops += r.counters.atomic_ops;
+    m.counters.max_atomic_conflict = std::max(
+        m.counters.max_atomic_conflict, r.counters.max_atomic_conflict);
+    m.counters.shared_accesses += r.counters.shared_accesses;
+    m.solo_s += r.solo_s;
+  }
+}
+
+/// Builds the lexicographic kernels[] with derived metrics. Bandwidth
+/// fractions normalize against the given peak (lane-0 spec for fleets).
+void build_kernels(CaptureProfile& p,
+                   const std::map<std::string, KernelReport>& merged,
+                   double mem_transaction_bytes) {
+  for (const auto& [name, r] : merged) {
+    KernelProfile k;
+    k.name = name;
+    k.launches = r.launches;
+    k.counters = r.counters;
+    k.solo_ms = r.solo_s * 1e3;
+    const double tx =
+        r.counters.coalesced_transactions + r.counters.random_transactions;
+    if (tx > 0) k.coalesced_frac = r.counters.coalesced_transactions / tx;
+    if (r.solo_s > 0 && p.mem_bw_Bps > 0)
+      k.achieved_bw_frac =
+          tx * mem_transaction_bytes / r.solo_s / p.mem_bw_Bps;
+    p.kernels.push_back(std::move(k));
+  }
+}
+
 }  // namespace
 
 CaptureProfile collect_profile(Device& dev) {
@@ -73,80 +185,68 @@ CaptureProfile collect_profile(Device& dev) {
   p.pcie_bw_Bps = spec.pcie_bandwidth_Bps;
   p.max_concurrent_kernels = spec.max_concurrent_kernels;
 
-  // Per-item trace spans from the simulated schedule.
   const Timeline& tl = dev.timeline();
-  const auto& items = tl.items();
-  const auto& sched = tl.schedule();
-  p.spans.reserve(items.size());
-  double device_busy_ms = 0;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    TraceSpan s;
-    s.name = items[i].name;
-    s.stream = items[i].stream;
-    s.pcie = items[i].resource == Resource::kPcie;
-    s.start_ms = sched[i].start_s * 1e3;
-    s.end_ms = sched[i].finish_s * 1e3;
-    s.mem_bytes = items[i].mem_bytes;
-    s.useful_bytes = items[i].useful_bytes;
-    s.transactions = items[i].transactions;
-    s.atomic_conflict = items[i].atomic_conflict;
-    const double dur_s = sched[i].finish_s - sched[i].start_s;
-    const double peak = s.pcie ? p.pcie_bw_Bps : p.mem_bw_Bps;
-    if (dur_s > 0 && peak > 0)
-      s.achieved_bw_frac = s.mem_bytes / dur_s / peak;
-    if (!s.pcie) device_busy_ms += s.end_ms - s.start_ms;
-    p.spans.push_back(std::move(s));
-  }
+  const double device_busy_ms = append_spans(
+      p, tl, tl.schedule(), 0, p.mem_bw_Bps, p.pcie_bw_Bps);
   if (p.model_ms > 0 && p.max_concurrent_kernels > 0)
     p.occupancy_frac =
         device_busy_ms / p.model_ms / p.max_concurrent_kernels;
 
-  // Phase spans: each annotation opens a phase that its explicit close
-  // event, the next annotation in the same scope (device-wide, or the same
-  // stream for scoped annotations), or the makespan closes — exactly
-  // GpuExecStats/GpuSignalStats::phase_span_ms's arithmetic.
-  const auto& anns = dev.phase_annotations();
-  p.phases.reserve(anns.size());
-  for (std::size_t i = 0; i < anns.size(); ++i) {
-    PhaseSpan ph;
-    ph.name = anns[i].name;
-    ph.stream = anns[i].stream;
-    ph.scoped = anns[i].scoped;
-    ph.start_ms = tl.event_time_s(anns[i].event_id) * 1e3;
-    ph.end_ms = p.model_ms;
-    if (anns[i].end_event >= 0) {
-      ph.end_ms =
-          tl.event_time_s(static_cast<std::size_t>(anns[i].end_event)) * 1e3;
-    } else {
-      for (std::size_t j = i + 1; j < anns.size(); ++j)
-        if (anns[j].scoped == anns[i].scoped &&
-            (!anns[i].scoped || anns[j].stream == anns[i].stream)) {
-          ph.end_ms = tl.event_time_s(anns[j].event_id) * 1e3;
-          break;
-        }
-    }
-    p.phases.push_back(std::move(ph));
-  }
+  append_phases(p, dev, tl.schedule(), 0, p.model_ms);
 
-  // Per-kernel aggregation with derived metrics (report() is a std::map,
-  // so the order is lexicographic and stable).
-  for (const auto& [name, r] : dev.report()) {
-    KernelProfile k;
-    k.name = name;
-    k.launches = r.launches;
-    k.counters = r.counters;
-    k.solo_ms = r.solo_s * 1e3;
-    const double tx =
-        r.counters.coalesced_transactions + r.counters.random_transactions;
-    if (tx > 0) k.coalesced_frac = r.counters.coalesced_transactions / tx;
-    if (r.solo_s > 0 && p.mem_bw_Bps > 0)
-      k.achieved_bw_frac = tx * static_cast<double>(
-                                    spec.mem_transaction_bytes) /
-                           r.solo_s / p.mem_bw_Bps;
-    p.kernels.push_back(std::move(k));
-  }
+  std::map<std::string, KernelReport> merged;
+  merge_report(merged, dev);
+  build_kernels(p, merged,
+                static_cast<double>(spec.mem_transaction_bytes));
 
   p.pool_begin = dev.pool_stats_at_capture();
+  p.pool_end = BufferPool::global().stats();
+  return p;
+}
+
+CaptureProfile collect_profile(DeviceGroup& group) {
+  CaptureProfile p;
+  const FleetSchedule fs = group.simulate();
+  const perfmodel::GpuSpec& spec0 = group.device(0).spec();
+  p.device = spec0.name;
+  p.model_ms = fs.makespan_s * 1e3;
+  p.mem_bw_Bps = spec0.mem_bandwidth_Bps;
+  p.pcie_bw_Bps = spec0.pcie_bandwidth_Bps;
+  p.max_concurrent_kernels = spec0.max_concurrent_kernels;
+
+  std::map<std::string, KernelReport> merged;
+  double total_busy_ms = 0, total_window = 0;
+  for (std::size_t d = 0; d < group.size(); ++d) {
+    Device& dev = group.device(d);
+    const perfmodel::GpuSpec& spec = dev.spec();
+    const double busy_ms =
+        append_spans(p, dev.timeline(), fs.items[d],
+                     static_cast<unsigned>(d), spec.mem_bandwidth_Bps,
+                     spec.pcie_bandwidth_Bps);
+    append_phases(p, dev, fs.items[d], static_cast<unsigned>(d),
+                  p.model_ms);
+    merge_report(merged, dev);
+
+    DeviceLane lane;
+    lane.name = spec.name;
+    lane.model_ms = fs.finish_s[d] * 1e3;
+    lane.busy_ms = busy_ms;
+    lane.utilization = p.model_ms > 0 ? lane.model_ms / p.model_ms : 0.0;
+    lane.pcie_stall_ms = fs.pcie_stall_s[d] * 1e3;
+    lane.max_concurrent_kernels = spec.max_concurrent_kernels;
+    if (lane.model_ms > 0 && lane.max_concurrent_kernels > 0)
+      lane.occupancy_frac =
+          busy_ms / lane.model_ms / lane.max_concurrent_kernels;
+    p.lanes.push_back(std::move(lane));
+    total_busy_ms += busy_ms;
+    total_window += spec.max_concurrent_kernels;
+  }
+  if (p.model_ms > 0 && total_window > 0)
+    p.occupancy_frac = total_busy_ms / p.model_ms / total_window;
+  build_kernels(p, merged,
+                static_cast<double>(spec0.mem_transaction_bytes));
+
+  p.pool_begin = group.pool_stats_at_capture();
   p.pool_end = BufferPool::global().stats();
   return p;
 }
@@ -159,6 +259,24 @@ std::string CaptureProfile::to_json() const {
      << ",\"pcie_bw_Bps\":" << jnum(pcie_bw_Bps)
      << ",\"max_concurrent_kernels\":" << max_concurrent_kernels
      << ",\"occupancy_frac\":" << jnum(occupancy_frac);
+
+  // Fleet captures only: one entry per device lane (index == trace pid).
+  // Absent for single-device captures so their serialization is unchanged.
+  if (!lanes.empty()) {
+    os << ",\"devices\":[";
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const DeviceLane& l = lanes[i];
+      os << (i ? "," : "") << "{\"name\":" << jstr(l.name)
+         << ",\"model_ms\":" << jnum(l.model_ms)
+         << ",\"busy_ms\":" << jnum(l.busy_ms)
+         << ",\"utilization\":" << jnum(l.utilization)
+         << ",\"occupancy_frac\":" << jnum(l.occupancy_frac)
+         << ",\"pcie_stall_ms\":" << jnum(l.pcie_stall_ms)
+         << ",\"max_concurrent_kernels\":" << l.max_concurrent_kernels
+         << "}";
+    }
+    os << "]";
+  }
 
   os << ",\"phases\":[";
   for (std::size_t i = 0; i < phases.size(); ++i) {
@@ -206,56 +324,69 @@ std::string CaptureProfile::chrome_trace_json() const {
     first = false;
   };
 
-  // Track metadata: process name, then one thread per stream seen, plus
-  // the PCIe and phase tracks. Streams sorted for determinism.
-  sep();
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-        "\"args\":{\"name\":"
-     << jstr("cusim " + device) << "}}";
-  std::vector<int> tids;
-  for (const TraceSpan& s : spans)
-    if (!s.pcie) tids.push_back(static_cast<int>(s.stream));
-  std::sort(tids.begin(), tids.end());
-  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
-  for (const int t : tids) {
+  // Track metadata, one process (pid) per device lane — a single-device
+  // capture has no lanes and emits exactly the historical pid-0 layout.
+  // Per pid: process name, one thread per stream seen, the PCIe track,
+  // then the phase tracks. Streams sorted for determinism.
+  const std::size_t npids = lanes.empty() ? 1 : lanes.size();
+  for (std::size_t pid = 0; pid < npids; ++pid) {
     sep();
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << t
-       << ",\"args\":{\"name\":" << jstr("stream " + std::to_string(t))
-       << "}}";
-  }
-  sep();
-  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
-     << kPcieTid << ",\"args\":{\"name\":\"PCIe\"}}";
-  bool any_plain_phase = false;
-  std::vector<int> scoped_phase_tids;
-  for (const PhaseSpan& ph : phases) {
-    if (ph.scoped)
-      scoped_phase_tids.push_back(tid_of(ph));
-    else
-      any_plain_phase = true;
-  }
-  std::sort(scoped_phase_tids.begin(), scoped_phase_tids.end());
-  scoped_phase_tids.erase(
-      std::unique(scoped_phase_tids.begin(), scoped_phase_tids.end()),
-      scoped_phase_tids.end());
-  if (any_plain_phase) {
+    const std::string pname =
+        lanes.empty() ? "cusim " + device
+                      : "cusim dev" + std::to_string(pid) + " " +
+                            lanes[pid].name;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":" << jstr(pname) << "}}";
+    std::vector<int> tids;
+    for (const TraceSpan& s : spans)
+      if (!s.pcie && s.device == pid)
+        tids.push_back(static_cast<int>(s.stream));
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    for (const int t : tids) {
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << t
+         << ",\"args\":{\"name\":" << jstr("stream " + std::to_string(t))
+         << "}}";
+    }
     sep();
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
-       << kPhaseTid << ",\"args\":{\"name\":\"phases\"}}";
-  }
-  for (const int t : scoped_phase_tids) {
-    sep();
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << t
-       << ",\"args\":{\"name\":"
-       << jstr("phases s" + std::to_string(t - kPhaseTid - 1)) << "}}";
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << kPcieTid << ",\"args\":{\"name\":\"PCIe\"}}";
+    bool any_plain_phase = false;
+    std::vector<int> scoped_phase_tids;
+    for (const PhaseSpan& ph : phases) {
+      if (ph.device != pid) continue;
+      if (ph.scoped)
+        scoped_phase_tids.push_back(tid_of(ph));
+      else
+        any_plain_phase = true;
+    }
+    std::sort(scoped_phase_tids.begin(), scoped_phase_tids.end());
+    scoped_phase_tids.erase(
+        std::unique(scoped_phase_tids.begin(), scoped_phase_tids.end()),
+        scoped_phase_tids.end());
+    if (any_plain_phase) {
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << kPhaseTid << ",\"args\":{\"name\":\"phases\"}}";
+    }
+    for (const int t : scoped_phase_tids) {
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << t << ",\"args\":{\"name\":"
+         << jstr("phases s" + std::to_string(t - kPhaseTid - 1)) << "}}";
+    }
   }
 
-  // Duration events, microsecond timestamps (the trace format's unit).
+  // Duration events, microsecond timestamps (the trace format's unit);
+  // pid is the owning device lane (0 single-device).
   for (const TraceSpan& s : spans) {
     sep();
     os << "{\"name\":" << jstr(s.name) << ",\"cat\":"
        << (s.pcie ? "\"copy\"" : "\"kernel\"")
-       << ",\"ph\":\"X\",\"pid\":0,\"tid\":" << tid_of(s)
+       << ",\"ph\":\"X\",\"pid\":" << s.device
+       << ",\"tid\":" << tid_of(s)
        << ",\"ts\":" << jnum(s.start_ms * 1e3)
        << ",\"dur\":" << jnum((s.end_ms - s.start_ms) * 1e3)
        << ",\"args\":{\"stream\":" << s.stream
@@ -268,7 +399,8 @@ std::string CaptureProfile::chrome_trace_json() const {
   for (const PhaseSpan& ph : phases) {
     sep();
     os << "{\"name\":" << jstr(ph.name)
-       << ",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":0,\"tid\":" << tid_of(ph)
+       << ",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":" << ph.device
+       << ",\"tid\":" << tid_of(ph)
        << ",\"ts\":" << jnum(ph.start_ms * 1e3)
        << ",\"dur\":" << jnum(ph.span_ms() * 1e3)
        << ",\"args\":{\"stream\":" << ph.stream << "}}";
@@ -285,6 +417,13 @@ ResultTable CaptureProfile::to_table() const {
   t.add_row({"capture", device, ResultTable::num(model_ms), na, na, na, na,
              na, na, na, na,
              ResultTable::num(occupancy_frac)});
+  // Fleet captures: one row per device lane; the trailing column carries
+  // the lane's utilization (finish / fleet makespan), mirroring the
+  // capture row's occupancy placement.
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    t.add_row({"device", "dev" + std::to_string(i) + " " + lanes[i].name,
+               ResultTable::num(lanes[i].model_ms), na, na, na, na, na, na,
+               na, na, ResultTable::num(lanes[i].utilization)});
   for (const PhaseSpan& ph : phases)
     t.add_row({"phase", ph.name, ResultTable::num(ph.span_ms()), na, na, na,
                na, na, na, na, na, na});

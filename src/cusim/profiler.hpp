@@ -40,6 +40,7 @@ namespace cusfft::cusim {
 struct PhaseSpan {
   std::string name;
   StreamId stream = 0;
+  unsigned device = 0;  // lane index for fleet captures (0 single-device)
   bool scoped = false;
   double start_ms = 0;
   double end_ms = 0;
@@ -51,6 +52,7 @@ struct PhaseSpan {
 struct TraceSpan {
   std::string name;
   StreamId stream = 0;
+  unsigned device = 0;  // lane index for fleet captures (0 single-device)
   bool pcie = false;  // PCIe copy (its own track) vs device kernel
   double start_ms = 0;
   double end_ms = 0;
@@ -71,6 +73,18 @@ struct KernelProfile {
   double achieved_bw_frac = 0;  // transaction bytes / solo time / peak BW
 };
 
+/// One device of a fleet capture (DeviceGroup::end_capture). Lane index
+/// == chrome-trace pid == TraceSpan/PhaseSpan::device.
+struct DeviceLane {
+  std::string name;        // GpuSpec name
+  double model_ms = 0;     // this device's finish on the shared clock
+  double busy_ms = 0;      // summed kernel spans (merged schedule)
+  double utilization = 0;  // model_ms / fleet makespan
+  double occupancy_frac = 0;   // busy / model_ms / kernel window
+  double pcie_stall_ms = 0;    // host-link contention dilation
+  unsigned max_concurrent_kernels = 0;
+};
+
 /// Everything observable about one capture region.
 struct CaptureProfile {
   std::string device;  // GpuSpec name
@@ -83,9 +97,16 @@ struct CaptureProfile {
   /// occupancy of the Hyper-Q window.
   double occupancy_frac = 0;
 
-  std::vector<TraceSpan> spans;       // submission order
-  std::vector<PhaseSpan> phases;      // annotation order
-  std::vector<KernelProfile> kernels; // lexicographic by name
+  std::vector<TraceSpan> spans;       // submission order (grouped by device)
+  std::vector<PhaseSpan> phases;      // annotation order (grouped by device)
+  std::vector<KernelProfile> kernels; // lexicographic by name (fleet-summed)
+
+  /// Fleet captures only: one lane per device, in device order. Empty for
+  /// a single-Device capture — every serialization stays byte-identical
+  /// to the pre-fleet format when this is empty. When non-empty the
+  /// chrome trace renders one track group (pid) per lane on a shared
+  /// time origin, and to_json() gains a "devices" array.
+  std::vector<DeviceLane> lanes;
 
   /// BufferPool::global() stats at begin_capture() and at collection;
   /// pool_delta() is what "no allocations after warm-up" asserts on.
@@ -106,5 +127,12 @@ struct CaptureProfile {
 /// Simulates the device's current capture region and assembles its profile
 /// (also available as Device::end_capture()).
 CaptureProfile collect_profile(Device& dev);
+
+class DeviceGroup;  // device_group.hpp
+
+/// Merged fleet profile: replays all device timelines on the shared clock
+/// (DeviceGroup::simulate) and assembles one profile with a lane per
+/// device (also available as DeviceGroup::end_capture()).
+CaptureProfile collect_profile(DeviceGroup& group);
 
 }  // namespace cusfft::cusim

@@ -40,17 +40,22 @@ void Timeline::wait_event(StreamId s, std::size_t event_id) {
 }
 
 double Timeline::event_time_s(std::size_t event_id) const {
+  return event_time_s(event_id, schedule_);
+}
+
+double Timeline::event_time_s(std::size_t event_id,
+                              const std::vector<ItemSchedule>& sched) const {
   if (event_id >= events_.size())
     throw std::out_of_range("Timeline::event_time_s: unknown event");
   const EventMark& e = events_[event_id];
   if (e.scoped) {
-    if (e.item < 0 || static_cast<std::size_t>(e.item) >= schedule_.size())
+    if (e.item < 0 || static_cast<std::size_t>(e.item) >= sched.size())
       return 0.0;
-    return schedule_[static_cast<std::size_t>(e.item)].finish_s;
+    return sched[static_cast<std::size_t>(e.item)].finish_s;
   }
   double t = 0.0;
-  for (std::size_t i = 0; i < e.upto && i < schedule_.size(); ++i)
-    t = std::max(t, schedule_[i].finish_s);
+  for (std::size_t i = 0; i < e.upto && i < sched.size(); ++i)
+    t = std::max(t, sched[i].finish_s);
   return t;
 }
 

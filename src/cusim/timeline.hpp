@@ -79,6 +79,12 @@ class Timeline {
   /// preceded it).
   double event_time_s(std::size_t event_id) const;
 
+  /// Same lookup against an external schedule (index-aligned with items()).
+  /// Used by DeviceGroup to read event times off a merged fleet schedule,
+  /// where contention with other devices shifts this timeline's items.
+  double event_time_s(std::size_t event_id,
+                      const std::vector<ItemSchedule>& sched) const;
+
   /// Simulates the whole submission list. Items on the same stream run in
   /// FIFO order; an item additionally waits for its barrier window and its
   /// explicit deps (wait_event). Across streams up to

@@ -22,6 +22,29 @@ TEST(BenchOpts, DefaultsAndCliOverrides) {
   EXPECT_EQ(o.fixed_logn, 20u);
 }
 
+TEST(BenchOpts, DevicesFlagEnvAndClamp) {
+  ::unsetenv("CUSFFT_DEVICES");
+  const char* none[] = {"bench"};
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).devices, 1u);
+
+  const char* argv[] = {"bench", "--devices", "4"};
+  EXPECT_EQ(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                             const_cast<char**>(argv))
+                .devices,
+            4u);
+
+  ::setenv("CUSFFT_DEVICES", "2", 1);
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).devices, 2u);
+  ::unsetenv("CUSFFT_DEVICES");
+
+  // 0 devices is meaningless: clamp back to one.
+  const char* zero[] = {"bench", "--devices", "0"};
+  EXPECT_EQ(BenchOpts::parse(static_cast<int>(std::size(zero)),
+                             const_cast<char**>(zero))
+                .devices,
+            1u);
+}
+
 TEST(BenchOpts, MaxClampedToMin) {
   const char* argv[] = {"bench", "--min-logn", "22", "--max-logn", "18"};
   const auto o = BenchOpts::parse(static_cast<int>(std::size(argv)),

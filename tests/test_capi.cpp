@@ -166,6 +166,95 @@ TEST(CApi, BatchPipelineToggleKeepsResultsIdentical) {
   EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
 }
 
+TEST(CApi, MultiDeviceShardingMatchesSingleDevice) {
+  constexpr std::size_t kBatch = 6;
+  constexpr std::size_t kCap = 64;
+  const std::size_t n = 1 << 12, k = 8;
+  std::vector<double> inputs;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const CWorkload w = make_workload(n, k, 800 + i);
+    const double* d = reinterpret_cast<const double*>(w.x.data());
+    inputs.insert(inputs.end(), d, d + 2 * n);
+  }
+
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, n, k, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_set_device_count(nullptr, 2), CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_set_device_count(h, 0), CUSFFT_INVALID_ARGUMENT);
+
+  // No batch has run yet: no fleet stats.
+  cusfft_fleet_stats fs;
+  EXPECT_EQ(cusfft_get_fleet_stats(h, &fs), CUSFFT_INVALID_ARGUMENT);
+
+  auto run = [&](std::vector<uint64_t>& locs, std::vector<double>& vals,
+                 std::size_t* counts) {
+    ASSERT_EQ(cusfft_execute_many(h, inputs.data(), kBatch, kCap,
+                                  locs.data(), vals.data(), counts),
+              CUSFFT_SUCCESS);
+  };
+  std::vector<uint64_t> locs1(kBatch * kCap), locs2(kBatch * kCap);
+  std::vector<double> vals1(2 * kBatch * kCap), vals2(2 * kBatch * kCap);
+  std::size_t counts1[kBatch] = {}, counts2[kBatch] = {};
+  run(locs1, vals1, counts1);
+
+  ASSERT_EQ(cusfft_set_device_count(h, 2), CUSFFT_SUCCESS);
+  run(locs2, vals2, counts2);
+
+  // Sharding only changes the modeled timeline: recovered spectra stay
+  // bit-identical and in input order.
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    ASSERT_EQ(counts1[i], counts2[i]) << "signal " << i;
+    for (std::size_t j = 0; j < counts1[i]; ++j) {
+      EXPECT_EQ(locs1[i * kCap + j], locs2[i * kCap + j]);
+      EXPECT_EQ(vals1[2 * (i * kCap + j)], vals2[2 * (i * kCap + j)]);
+      EXPECT_EQ(vals1[2 * (i * kCap + j) + 1],
+                vals2[2 * (i * kCap + j) + 1]);
+    }
+  }
+
+  ASSERT_EQ(cusfft_get_fleet_stats(h, &fs), CUSFFT_SUCCESS);
+  EXPECT_EQ(fs.devices, 2u);
+  EXPECT_EQ(fs.signals, kBatch);
+  EXPECT_GT(fs.model_ms, 0);
+  EXPECT_GE(fs.imbalance, 1.0);
+
+  double util = -1;
+  ASSERT_EQ(cusfft_get_device_utilization(h, 0, &util), CUSFFT_SUCCESS);
+  EXPECT_GT(util, 0);
+  EXPECT_LE(util, 1.0);
+  EXPECT_EQ(cusfft_get_device_utilization(h, 2, &util),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_get_device_utilization(h, 0, nullptr),
+            CUSFFT_INVALID_ARGUMENT);
+
+  // The retained capture is the merged fleet profile.
+  std::size_t len = 0;
+  ASSERT_EQ(cusfft_profile_json(h, nullptr, 0, &len), CUSFFT_SUCCESS);
+  std::vector<char> buf(len);
+  ASSERT_EQ(cusfft_profile_json(h, buf.data(), buf.size(), &len),
+            CUSFFT_SUCCESS);
+  cusfft::json::Value doc;
+  std::string err;
+  ASSERT_TRUE(cusfft::json::parse(buf.data(), doc, &err)) << err;
+  const cusfft::json::Value* profile = doc.find("profile");
+  ASSERT_NE(profile, nullptr);
+  const cusfft::json::Value* devices = profile->find("devices");
+  ASSERT_NE(devices, nullptr);
+  EXPECT_EQ(devices->array.size(), 2u);
+
+  // Back to one device: fleet stats reset until the next run.
+  ASSERT_EQ(cusfft_set_device_count(h, 1), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_get_fleet_stats(h, &fs), CUSFFT_INVALID_ARGUMENT);
+
+  // CPU backends accept and ignore the setting.
+  cusfft_handle cpu = nullptr;
+  ASSERT_EQ(cusfft_plan(&cpu, n, k, CUSFFT_BACKEND_SERIAL), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_set_device_count(cpu, 4), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_destroy(cpu), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
+}
+
 TEST(CApi, ExecuteManyErrorPaths) {
   cusfft_handle h = nullptr;
   ASSERT_EQ(cusfft_plan(&h, 1 << 10, 4, CUSFFT_BACKEND_SERIAL),

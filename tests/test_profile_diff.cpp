@@ -1,0 +1,127 @@
+// profile_diff's library surface: summarize_profile_json aggregates a
+// profiler artifact's embedded structured block per kernel/phase name, and
+// diff_profiles turns two summaries into gated regression fractions (the
+// contract tools/profile_diff and the CI smoke job rely on).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "profile_check_lib.hpp"
+
+namespace cusfft::tools {
+namespace {
+
+std::string bare_profile(double model_ms, const std::string& kernels,
+                         const std::string& phases = "") {
+  return "{\"model_ms\":" + std::to_string(model_ms) +
+         ",\"kernels\":[" + kernels + "],\"phases\":[" + phases + "]}";
+}
+
+std::string kernel(const char* name, double launches, double solo_ms) {
+  return std::string("{\"name\":\"") + name +
+         "\",\"launches\":" + std::to_string(launches) +
+         ",\"solo_ms\":" + std::to_string(solo_ms) + "}";
+}
+
+TEST(ProfileSummary, ParsesBareProfileAndEmbeddedBlock) {
+  const std::string bare =
+      bare_profile(10.0, kernel("binning", 4, 2.5) + "," +
+                             kernel("binning", 4, 1.5) + "," +
+                             kernel("estimate", 2, 3.0),
+                   "{\"name\":\"a transfer\",\"span_ms\":1.25},"
+                   "{\"name\":\"a transfer\",\"span_ms\":0.75}");
+  const ProfileSummary s = summarize_profile_json(bare);
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_DOUBLE_EQ(s.model_ms, 10.0);
+  // Same-name kernels (per-device lanes, repeated phases) aggregate.
+  EXPECT_DOUBLE_EQ(s.kernels.at("binning").solo_ms, 4.0);
+  EXPECT_DOUBLE_EQ(s.kernels.at("binning").launches, 8.0);
+  EXPECT_DOUBLE_EQ(s.kernels.at("estimate").solo_ms, 3.0);
+  EXPECT_DOUBLE_EQ(s.phase_ms.at("a transfer"), 2.0);
+
+  // Chrome-trace artifact shape: the block lives under "profile".
+  const std::string trace =
+      "{\"traceEvents\":[],\"profile\":" + bare + "}";
+  const ProfileSummary s2 = summarize_profile_json(trace);
+  ASSERT_TRUE(s2.ok) << s2.error;
+  EXPECT_DOUBLE_EQ(s2.model_ms, 10.0);
+  EXPECT_DOUBLE_EQ(s2.kernels.at("binning").solo_ms, 4.0);
+}
+
+TEST(ProfileSummary, RejectsDocumentsWithoutProfileBlock) {
+  EXPECT_FALSE(summarize_profile_json("{\"traceEvents\":[]}").ok);
+  EXPECT_FALSE(summarize_profile_json("not json").ok);
+}
+
+TEST(ProfileDiff, ImprovementNeverFails) {
+  const ProfileSummary base = summarize_profile_json(
+      bare_profile(10.0, kernel("binning", 4, 6.0)));
+  const ProfileSummary next = summarize_profile_json(
+      bare_profile(5.0, kernel("binning", 4, 3.0)));
+  const ProfileDiff d = diff_profiles(base, next);
+  EXPECT_LT(d.makespan_frac, 0);
+  EXPECT_DOUBLE_EQ(d.worst_regression_frac, 0.0);
+}
+
+TEST(ProfileDiff, MakespanRegressionGates) {
+  const ProfileSummary base = summarize_profile_json(
+      bare_profile(10.0, kernel("binning", 4, 6.0)));
+  const ProfileSummary next = summarize_profile_json(
+      bare_profile(12.0, kernel("binning", 4, 6.0)));
+  const ProfileDiff d = diff_profiles(base, next);
+  EXPECT_NEAR(d.worst_regression_frac, 0.2, 1e-12);
+}
+
+TEST(ProfileDiff, KernelRegressionAboveFloorGates) {
+  const ProfileSummary base = summarize_profile_json(bare_profile(
+      10.0, kernel("binning", 4, 4.0) + "," + kernel("tiny", 1, 0.001)));
+  const ProfileSummary next = summarize_profile_json(bare_profile(
+      10.0, kernel("binning", 4, 6.0) + "," + kernel("tiny", 1, 0.002)));
+  const ProfileDiff d = diff_profiles(base, next);
+  // binning +50% gates; tiny doubled but sits under the 0.5% noise floor
+  // (0.05 ms of the 10 ms makespan) so it never counts.
+  EXPECT_NEAR(d.worst_regression_frac, 0.5, 1e-12);
+  EXPECT_NEAR(d.noise_floor_ms, 0.05, 1e-12);
+  ASSERT_FALSE(d.kernels.empty());
+  EXPECT_EQ(d.kernels[0].name, "binning");  // sorted by |delta|
+}
+
+TEST(ProfileDiff, NewExpensiveKernelIsARegression) {
+  const ProfileSummary base = summarize_profile_json(
+      bare_profile(10.0, kernel("binning", 4, 6.0)));
+  const ProfileSummary next = summarize_profile_json(bare_profile(
+      10.0, kernel("binning", 4, 6.0) + "," + kernel("extra", 2, 1.0)));
+  const ProfileDiff d = diff_profiles(base, next);
+  // A kernel appearing from nothing has no base to scale by: sentinel frac
+  // far above any threshold.
+  EXPECT_GE(d.worst_regression_frac, 1e9);
+}
+
+TEST(ProfileDiff, ExplicitNoiseFloorOverrides) {
+  const ProfileSummary base = summarize_profile_json(
+      bare_profile(10.0, kernel("tiny", 1, 0.001)));
+  const ProfileSummary next = summarize_profile_json(
+      bare_profile(10.0, kernel("tiny", 1, 0.002)));
+  // Floor 0: even the sub-floor kernel gates now.
+  const ProfileDiff strict = diff_profiles(base, next, 0.0);
+  EXPECT_NEAR(strict.worst_regression_frac, 1.0, 1e-9);
+  const ProfileDiff lax = diff_profiles(base, next, 1.0);
+  EXPECT_DOUBLE_EQ(lax.worst_regression_frac, 0.0);
+}
+
+TEST(ProfileDiff, PhasesReportedNotGated) {
+  const ProfileSummary base = summarize_profile_json(bare_profile(
+      10.0, kernel("binning", 4, 6.0),
+      "{\"name\":\"a transfer\",\"span_ms\":1.0}"));
+  const ProfileSummary next = summarize_profile_json(bare_profile(
+      10.0, kernel("binning", 4, 6.0),
+      "{\"name\":\"a transfer\",\"span_ms\":5.0}"));
+  const ProfileDiff d = diff_profiles(base, next);
+  ASSERT_EQ(d.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.phases[0].delta_ms, 4.0);
+  // The phase quadrupled but phases re-slice time kernels already cover.
+  EXPECT_DOUBLE_EQ(d.worst_regression_frac, 0.0);
+}
+
+}  // namespace
+}  // namespace cusfft::tools

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,7 @@ namespace {
 struct Event {
   double ts = 0, dur = 0;
   double tid = 0;
+  double pid = 0;  // device track group (0 for single-device traces)
   std::string name, cat;
 };
 
@@ -61,39 +63,65 @@ ProfileCheckResult check_profile_json(const std::string& text) {
     ev.ts = ts->number;
     ev.dur = dur->number;
     ev.tid = tid->number;
+    ev.pid = e.number_or("pid", 0);
     if (ev.dur < 0) return fail(r, "negative duration on " + ev.name);
     durations.push_back(std::move(ev));
   }
   if (durations.empty()) return fail(r, "no duration events");
 
-  // Per-stream FIFO: kernel events on one tid (one stream) must not
-  // overlap. Phase spans cover many kernels and concurrent PCIe copies
-  // share the wire (bandwidth split, not serialized), so only kernel
-  // tracks carry the invariant.
+  // Per-stream FIFO: kernel events on one (pid, tid) — one device's one
+  // stream — must not overlap. Fleet traces reuse tids across pids, so
+  // the track key must include the device. Phase spans cover many kernels
+  // and concurrent PCIe copies share the wire (bandwidth split, not
+  // serialized), so only kernel tracks carry the invariant.
   constexpr double kEpsUs = 1e-3;  // 1 ns; covers %.12g round-trip error
-  std::map<double, std::vector<const Event*>> by_tid;
+  std::map<std::pair<double, double>, std::vector<const Event*>> by_track;
   for (const Event& e : durations)
-    if (e.cat == "kernel") by_tid[e.tid].push_back(&e);
-  for (auto& [tid, evs] : by_tid) {
+    if (e.cat == "kernel") by_track[{e.pid, e.tid}].push_back(&e);
+  for (auto& [track, evs] : by_track) {
     std::sort(evs.begin(), evs.end(), [](const Event* a, const Event* b) {
       return a->ts < b->ts;
     });
     for (std::size_t i = 1; i < evs.size(); ++i) {
       const double prev_end = evs[i - 1]->ts + evs[i - 1]->dur;
       if (evs[i]->ts < prev_end - kEpsUs)
-        return fail(r, "track " + std::to_string(tid) + ": '" +
+        return fail(r, "track pid " + std::to_string(track.first) + " tid " +
+                           std::to_string(track.second) + ": '" +
                            evs[i]->name + "' overlaps '" + evs[i - 1]->name +
                            "'");
     }
   }
-  r.kernel_tracks = by_tid.size();
+  r.kernel_tracks = by_track.size();
 
-  // Device concurrency stays within the modeled Hyper-Q window.
+  // Device concurrency stays within the modeled Hyper-Q window — per
+  // device: a fleet trace's kernels may exceed one device's window in
+  // aggregate, but never within a pid. Per-device windows come from the
+  // embedded profile's "devices" array when present.
   double max_kernels = 32;
   const json::Value* profile = doc.find("profile");
-  if (profile != nullptr && profile->is_object())
+  const json::Value* devices = nullptr;
+  if (profile != nullptr && profile->is_object()) {
     max_kernels = profile->number_or("max_concurrent_kernels", 32);
+    devices = profile->find("devices");
+    if (devices != nullptr && !devices->is_array()) devices = nullptr;
+  }
   r.max_kernels = static_cast<int>(max_kernels);
+  auto window_of = [&](double pid) {
+    if (devices != nullptr) {
+      const std::size_t i = static_cast<std::size_t>(pid);
+      if (pid >= 0 && i < devices->array.size() &&
+          devices->array[i].is_object())
+        return static_cast<int>(devices->array[i].number_or(
+            "max_concurrent_kernels", max_kernels));
+    }
+    return static_cast<int>(max_kernels);
+  };
+
+  std::set<double> pids;
+  for (const Event& e : durations) pids.insert(e.pid);
+  r.device_groups =
+      devices != nullptr ? devices->array.size() : pids.size();
+
   // ts and dur are serialized separately at 12 significant digits, so at a
   // kernel-window handoff the reconstructed end (ts+dur) of a finishing
   // kernel can exceed its successor's start by ~1e-5 us. Snap edges to a
@@ -101,27 +129,157 @@ ProfileCheckResult check_profile_json(const std::string& text) {
   // processes the end edge first (-1 < +1) — real kernels last >= 5 us, so
   // the grid cannot merge distinct events.
   const auto quantize = [](double t) { return std::round(t * 1e3) / 1e3; };
-  std::vector<std::pair<double, int>> edges;
+  std::map<double, std::vector<std::pair<double, int>>> edges_by_pid;
   for (const Event& e : durations) {
     if (e.cat == "copy") ++r.copy_events;
     if (e.cat != "kernel") continue;
     ++r.kernel_events;
+    auto& edges = edges_by_pid[e.pid];
     edges.emplace_back(quantize(e.ts), +1);
     edges.emplace_back(quantize(e.ts + e.dur), -1);
   }
-  std::sort(edges.begin(), edges.end());
-  int running = 0;
-  for (const auto& [t, d] : edges) {
-    running += d;
-    r.peak_concurrency = std::max(r.peak_concurrency, running);
+  for (auto& [pid, edges] : edges_by_pid) {
+    std::sort(edges.begin(), edges.end());
+    int running = 0, peak = 0;
+    for (const auto& [t, d] : edges) {
+      running += d;
+      peak = std::max(peak, running);
+    }
+    r.peak_concurrency = std::max(r.peak_concurrency, peak);
+    const int window = window_of(pid);
+    if (peak > window)
+      return fail(r, "device " + std::to_string(static_cast<long>(pid)) +
+                         ": concurrency " + std::to_string(peak) +
+                         " exceeds the modeled window of " +
+                         std::to_string(window));
   }
-  if (r.peak_concurrency > r.max_kernels)
-    return fail(r, "concurrency " + std::to_string(r.peak_concurrency) +
-                       " exceeds the modeled window of " +
-                       std::to_string(r.max_kernels));
 
   r.ok = true;
   return r;
+}
+
+ProfileSummary summarize_profile_json(const std::string& text) {
+  ProfileSummary s;
+  json::Value doc;
+  std::string err;
+  if (!json::parse(text, doc, &err)) {
+    s.error = "invalid JSON: " + err;
+    return s;
+  }
+  const json::Value* profile =
+      doc.is_object() ? doc.find("profile") : nullptr;
+  // Accept a bare structured profile too (to_json() output).
+  if (profile == nullptr && doc.is_object() && doc.find("kernels") != nullptr)
+    profile = &doc;
+  if (profile == nullptr || !profile->is_object()) {
+    s.error = "no embedded \"profile\" block";
+    return s;
+  }
+  s.model_ms = profile->number_or("model_ms", 0);
+  if (const json::Value* kernels = profile->find("kernels");
+      kernels != nullptr && kernels->is_array()) {
+    for (const json::Value& k : kernels->array) {
+      if (!k.is_object()) continue;
+      const std::string name = k.string_or("name", "");
+      if (name.empty()) continue;
+      KernelAgg& agg = s.kernels[name];
+      agg.launches += k.number_or("launches", 0);
+      agg.solo_ms += k.number_or("solo_ms", 0);
+    }
+  }
+  if (const json::Value* phases = profile->find("phases");
+      phases != nullptr && phases->is_array()) {
+    for (const json::Value& ph : phases->array) {
+      if (!ph.is_object()) continue;
+      const std::string name = ph.string_or("name", "");
+      if (name.empty()) continue;
+      // Phase names repeat per signal under execute_many; summing by name
+      // gives the per-phase total the diff compares.
+      s.phase_ms[name] += ph.number_or("span_ms", 0);
+    }
+  }
+  s.ok = true;
+  return s;
+}
+
+namespace {
+
+constexpr double kHugeFrac = 1e9;  // "appeared from nothing" sentinel
+
+double rel_frac(double base_ms, double delta_ms) {
+  if (base_ms > 0) return delta_ms / base_ms;
+  return delta_ms > 0 ? kHugeFrac : 0.0;
+}
+
+void sort_rows(std::vector<ProfileDiffRow>& rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfileDiffRow& a, const ProfileDiffRow& b) {
+              const double da = std::abs(a.delta_ms),
+                           db = std::abs(b.delta_ms);
+              if (da != db) return da > db;
+              return a.name < b.name;
+            });
+}
+
+}  // namespace
+
+ProfileDiff diff_profiles(const ProfileSummary& base,
+                          const ProfileSummary& next,
+                          double noise_floor_ms) {
+  ProfileDiff d;
+  d.base_model_ms = base.model_ms;
+  d.new_model_ms = next.model_ms;
+  d.makespan_frac = rel_frac(base.model_ms, next.model_ms - base.model_ms);
+  d.noise_floor_ms =
+      noise_floor_ms >= 0 ? noise_floor_ms : 0.005 * base.model_ms;
+
+  std::set<std::string> kernel_names;
+  for (const auto& [name, agg] : base.kernels) kernel_names.insert(name);
+  for (const auto& [name, agg] : next.kernels) kernel_names.insert(name);
+  for (const std::string& name : kernel_names) {
+    ProfileDiffRow row;
+    row.name = name;
+    if (const auto it = base.kernels.find(name); it != base.kernels.end()) {
+      row.base_ms = it->second.solo_ms;
+      row.base_launches = it->second.launches;
+    }
+    if (const auto it = next.kernels.find(name); it != next.kernels.end()) {
+      row.new_ms = it->second.solo_ms;
+      row.new_launches = it->second.launches;
+    }
+    row.delta_ms = row.new_ms - row.base_ms;
+    row.frac = rel_frac(row.base_ms, row.delta_ms);
+    d.kernels.push_back(std::move(row));
+  }
+  sort_rows(d.kernels);
+
+  std::set<std::string> phase_names;
+  for (const auto& [name, ms] : base.phase_ms) phase_names.insert(name);
+  for (const auto& [name, ms] : next.phase_ms) phase_names.insert(name);
+  for (const std::string& name : phase_names) {
+    ProfileDiffRow row;
+    row.name = name;
+    if (const auto it = base.phase_ms.find(name); it != base.phase_ms.end())
+      row.base_ms = it->second;
+    if (const auto it = next.phase_ms.find(name); it != next.phase_ms.end())
+      row.new_ms = it->second;
+    row.delta_ms = row.new_ms - row.base_ms;
+    row.frac = rel_frac(row.base_ms, row.delta_ms);
+    d.phases.push_back(std::move(row));
+  }
+  sort_rows(d.phases);
+
+  // The gate: the makespan always counts; kernels count when either side
+  // clears the noise floor (so a new expensive kernel is a regression but
+  // sub-floor jitter is not). Phases are reported, not gated — they
+  // re-slice the same time the kernels already cover.
+  d.worst_regression_frac = std::max(0.0, d.makespan_frac);
+  for (const ProfileDiffRow& row : d.kernels) {
+    if (row.base_ms < d.noise_floor_ms && row.new_ms < d.noise_floor_ms)
+      continue;
+    d.worst_regression_frac = std::max(d.worst_regression_frac, row.frac);
+  }
+  return d;
 }
 
 }  // namespace cusfft::tools

@@ -2,11 +2,14 @@
 // profile_check CLI enforces on a chrome-trace JSON document (emitted by
 // --profile / CUSFFT_PROFILE / cusfft_profile_write), callable in-process
 // so tests can sweep a freshly captured trace through the exact checks CI
-// runs on the smoke artifact.
+// runs on the smoke artifact. Also hosts the artifact-diff support behind
+// tools/profile_diff (kernel-by-kernel deltas between two profiles).
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
+#include <vector>
 
 namespace cusfft::tools {
 
@@ -18,18 +21,71 @@ struct ProfileCheckResult {
   std::string error;
   std::size_t kernel_events = 0;
   std::size_t copy_events = 0;
-  std::size_t kernel_tracks = 0;
+  std::size_t kernel_tracks = 0;  // distinct (pid, tid) kernel tracks
   std::size_t metadata_events = 0;
-  int peak_concurrency = 0;
+  std::size_t device_groups = 1;  // track groups (fleet traces: one/device)
+  int peak_concurrency = 0;  // worst per-device in-flight kernel count
   int max_kernels = 32;  // modeled Hyper-Q window from the profile block
 };
 
 /// Parses `doc` (a full chrome-trace JSON document) and checks:
 ///   - traceEvents entries are M (metadata) or X (duration) with a string
 ///     name; X events carry numeric ts/dur/tid and dur >= 0;
-///   - per-kernel-track FIFO: events on one tid never overlap (1 ns eps);
-///   - device concurrency stays within profile.max_concurrent_kernels
-///     (edge sweep on a 1 ns grid).
+///   - per-kernel-track FIFO: events on one (pid, tid) never overlap
+///     (1 ns eps) — fleet traces put each device on its own pid;
+///   - concurrency stays within the modeled kernel window PER DEVICE
+///     (edge sweep on a 1 ns grid); a fleet trace's per-device windows
+///     come from profile.devices[pid].max_concurrent_kernels, falling
+///     back to the top-level profile.max_concurrent_kernels.
 ProfileCheckResult check_profile_json(const std::string& doc);
+
+/// Per-kernel-name aggregate read from the structured profile embedded
+/// in a trace document (the top-level "profile" key).
+struct KernelAgg {
+  double launches = 0;
+  double solo_ms = 0;
+};
+
+/// The comparable essence of one profile artifact, for profile_diff.
+struct ProfileSummary {
+  bool ok = false;
+  std::string error;  // parse failure when !ok
+  double model_ms = 0;
+  std::map<std::string, KernelAgg> kernels;   // by kernel name
+  std::map<std::string, double> phase_ms;     // span summed by phase name
+};
+
+/// Extracts the summary from a chrome-trace document with an embedded
+/// "profile" block (every --profile artifact has one).
+ProfileSummary summarize_profile_json(const std::string& doc);
+
+/// One compared entity (kernel name or phase name).
+struct ProfileDiffRow {
+  std::string name;
+  double base_ms = 0, new_ms = 0;
+  double base_launches = 0, new_launches = 0;  // kernels only
+  double delta_ms = 0;  // new_ms - base_ms
+  double frac = 0;      // delta_ms / base_ms (huge when base is 0)
+};
+
+/// Kernel-by-kernel comparison of two profiles. Rows are sorted by
+/// |delta_ms| descending (ties by name) so "top-N regressions" is a
+/// prefix. `worst_regression_frac` is the largest relative slowdown over
+/// the makespan and every kernel above the noise floor — the CLI's
+/// threshold gate; improvements never contribute.
+struct ProfileDiff {
+  double base_model_ms = 0, new_model_ms = 0;
+  double makespan_frac = 0;  // (new - base) / base
+  double noise_floor_ms = 0;
+  std::vector<ProfileDiffRow> kernels;
+  std::vector<ProfileDiffRow> phases;
+  double worst_regression_frac = 0;
+};
+
+/// noise_floor_ms < 0 picks the default: 0.5% of the base makespan —
+/// sub-floor kernels are listed but cannot trip the regression gate.
+ProfileDiff diff_profiles(const ProfileSummary& base,
+                          const ProfileSummary& next,
+                          double noise_floor_ms = -1.0);
 
 }  // namespace cusfft::tools

@@ -1,0 +1,123 @@
+// Trace-driven model debugging: compares two profiler artifacts
+// (chrome-trace JSON with the embedded structured "profile" block, as
+// written by --profile / CUSFFT_PROFILE / cusfft_profile_write) kernel by
+// kernel — per-kernel-name launch-count and total-solo-time deltas,
+// per-phase-name span deltas, and the makespan — and prints the top-N
+// movers. Exits nonzero when any regression (makespan, or a kernel above
+// the noise floor) exceeds the threshold, so CI can gate on it.
+//
+//   profile_diff <base.json> <new.json> [--threshold 0.10] [--top 10]
+//
+// Exit codes: 0 within threshold, 1 regression above threshold,
+// 2 usage/parse failure. Improvements (negative deltas) never fail.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "profile_check_lib.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+void print_rows(const char* kind,
+                const std::vector<cusfft::tools::ProfileDiffRow>& rows,
+                std::size_t top, bool launches) {
+  std::size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= top) break;
+    std::printf("  %-8s %-24s %10.4f -> %10.4f ms  %+9.4f ms ", kind,
+                row.name.c_str(), row.base_ms, row.new_ms, row.delta_ms);
+    if (row.frac >= 1e9)
+      std::printf("(new)");
+    else
+      std::printf("(%+7.2f%%)", row.frac * 100.0);
+    if (launches && row.base_launches != row.new_launches)
+      std::printf("  launches %g -> %g", row.base_launches,
+                  row.new_launches);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  std::size_t top = 10;
+  const char* paths[2] = {nullptr, nullptr};
+  int npaths = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--top" && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (npaths < 2) {
+      paths[npaths++] = argv[i];
+    } else {
+      npaths = 3;  // too many positionals
+      break;
+    }
+  }
+  if (npaths != 2) {
+    std::cerr << "usage: profile_diff <base.json> <new.json>"
+                 " [--threshold frac] [--top N]\n";
+    return 2;
+  }
+
+  std::string base_text, new_text;
+  if (!read_file(paths[0], &base_text)) {
+    std::cerr << "profile_diff: cannot open " << paths[0] << "\n";
+    return 2;
+  }
+  if (!read_file(paths[1], &new_text)) {
+    std::cerr << "profile_diff: cannot open " << paths[1] << "\n";
+    return 2;
+  }
+
+  const cusfft::tools::ProfileSummary base =
+      cusfft::tools::summarize_profile_json(base_text);
+  if (!base.ok) {
+    std::cerr << "profile_diff: " << paths[0] << ": " << base.error << "\n";
+    return 2;
+  }
+  const cusfft::tools::ProfileSummary next =
+      cusfft::tools::summarize_profile_json(new_text);
+  if (!next.ok) {
+    std::cerr << "profile_diff: " << paths[1] << ": " << next.error << "\n";
+    return 2;
+  }
+
+  const cusfft::tools::ProfileDiff d =
+      cusfft::tools::diff_profiles(base, next);
+  std::printf("profile_diff: %s -> %s\n", paths[0], paths[1]);
+  std::printf("  makespan %.4f -> %.4f ms  %+9.4f ms (%+7.2f%%)\n",
+              d.base_model_ms, d.new_model_ms,
+              d.new_model_ms - d.base_model_ms, d.makespan_frac * 100.0);
+  std::printf("  top kernel deltas (noise floor %.4f ms):\n",
+              d.noise_floor_ms);
+  print_rows("kernel", d.kernels, top, /*launches=*/true);
+  std::printf("  phase deltas:\n");
+  print_rows("phase", d.phases, top, /*launches=*/false);
+
+  if (d.worst_regression_frac > threshold) {
+    std::printf(
+        "profile_diff: FAIL: worst regression %+0.2f%% exceeds threshold "
+        "%0.2f%%\n",
+        d.worst_regression_frac * 100.0, threshold * 100.0);
+    return 1;
+  }
+  std::printf("profile_diff: OK: worst regression %+0.2f%% within %0.2f%%\n",
+              d.worst_regression_frac * 100.0, threshold * 100.0);
+  return 0;
+}
