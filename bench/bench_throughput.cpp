@@ -28,9 +28,7 @@ using namespace cusfft::bench;
 
 int main(int argc, char** argv) {
   const BenchOpts o = BenchOpts::parse(argc, argv);
-  const char* batch_env = std::getenv("CUSFFT_BATCH");
-  const std::size_t batch =
-      batch_env ? std::strtoull(batch_env, nullptr, 10) : 8;
+  const std::size_t batch = env_or("CUSFFT_BATCH", 8);
   const std::size_t n = 1ULL << o.min_logn;
   const std::size_t k = std::min(o.k, n / 8);
   std::cout << "Throughput: optimized GPU backend, n=2^" << o.min_logn
@@ -167,6 +165,98 @@ int main(int argc, char** argv) {
       pipe_ms, serial_ms, pipe_ms > 0 ? serial_ms / pipe_ms : 0.0,
       identical ? "bit-identical" : "MISMATCH");
 
+  bool mixed_identical = true;
+  if (o.mixed) {
+    // Mixed-shape fleet sweep: a skewed batch (expensive shape on even
+    // indices, cheap shape on odd) A/B'd across {unit-greedy, cost-LPT}
+    // x {unlimited, round-robin staging}. The skew is adversarial for the
+    // legacy scheduler: unit-greedy's round-robin lands every expensive
+    // signal on device 0 while cost-LPT splits them by modeled cost.
+    // Transfers are modeled so the staging policies have copies to stage.
+    gpu::Options mopts = opts;
+    mopts.include_transfer = true;
+    const std::size_t n_big = n, k_big = k;
+    const std::size_t n_small = std::max<std::size_t>(1 << 10, n >> 2);
+    const std::size_t k_small = std::max<std::size_t>(4, k / 4);
+    const sfft::Params p_big = paper_params(n_big, k_big, o.seed);
+    const sfft::Params p_small = paper_params(n_small, k_small, o.seed);
+    std::cout << "\nMixed-shape sweep: " << batch << " signals, big n=2^"
+              << o.min_logn << " k=" << k_big << " (even) / small n="
+              << n_small << " k=" << k_small << " (odd), devices="
+              << o.devices << "\n";
+
+    std::vector<cvec> mix_store;
+    std::vector<gpu::MixedSignal> mix;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const bool big = (i % 2) == 0;
+      mix_store.push_back(make_signal(big ? n_big : n_small,
+                                      big ? k_big : k_small,
+                                      o.seed + 100 + i));
+    }
+    for (std::size_t i = 0; i < batch; ++i)
+      mix.push_back({mix_store[i], (i % 2) == 0 ? p_big : p_small});
+
+    // Per-signal single-device reference: the fleet must reproduce these
+    // spectra bit for bit whatever the assignment or staging policy.
+    std::vector<SparseSpectrum> mix_expected;
+    {
+      cusim::Device dev;
+      gpu::GpuPlan plan_big(dev, p_big, mopts);
+      gpu::GpuPlan plan_small(dev, p_small, mopts);
+      for (std::size_t i = 0; i < batch; ++i)
+        mix_expected.push_back(
+            ((i % 2) == 0 ? plan_big : plan_small).execute(mix[i].x));
+    }
+
+    struct Cfg {
+      const char* name;
+      gpu::ShardPolicy pol;
+      cusim::PcieStaging st;
+    };
+    const Cfg cfgs[] = {
+        {"mixed_greedy_unlimited", gpu::ShardPolicy::kUnitGreedy,
+         cusim::PcieStaging::Unlimited()},
+        {"mixed_greedy_staged", gpu::ShardPolicy::kUnitGreedy,
+         cusim::PcieStaging::RoundRobin()},
+        {"mixed_lpt_unlimited", gpu::ShardPolicy::kCostLpt,
+         cusim::PcieStaging::Unlimited()},
+        {"mixed_lpt_staged", gpu::ShardPolicy::kCostLpt,
+         cusim::PcieStaging::RoundRobin()},
+    };
+    double greedy_unlim_ms = 0, lpt_staged_ms = 0;
+    for (const Cfg& cfg : cfgs) {
+      cusim::DeviceGroup group(o.devices);
+      group.set_staging(cfg.st);
+      gpu::MultiGpuPlan mplan(group, p_big, mopts);
+      mplan.set_shard_policy(cfg.pol);
+      WallTimer wall;
+      gpu::GpuFleetStats fs;
+      const auto got =
+          mplan.execute_mixed(mix, &fs, gpu::BatchMode::kPipelined);
+      add(cfg.name, wall.ms(), fs.model_ms);
+      mixed_identical = mixed_identical && same(mix_expected, got);
+      std::printf("  %-22s makespan %8.3f ms  imbalance %.3f  "
+                  "stall %7.3f ms  queue %7.3f ms  [%s]\n",
+                  cfg.name, fs.model_ms, fs.imbalance, fs.pcie_stall_ms,
+                  fs.pcie_queue_ms, fs.staging.c_str());
+      if (cfg.pol == gpu::ShardPolicy::kUnitGreedy &&
+          cfg.st.kind == cusim::PcieStaging::Kind::kUnlimited)
+        greedy_unlim_ms = fs.model_ms;
+      if (cfg.pol == gpu::ShardPolicy::kCostLpt &&
+          cfg.st.kind == cusim::PcieStaging::Kind::kRoundRobin) {
+        lpt_staged_ms = fs.model_ms;
+        if (!o.profile.empty())
+          write_profile_artifact(group.end_capture(), o.profile);
+      }
+    }
+    std::printf(
+        "mixed fleet: LPT+staging %.3f ms vs unit-greedy+unlimited %.3f ms "
+        "(%.2fx), spectra %s\n",
+        lpt_staged_ms, greedy_unlim_ms,
+        lpt_staged_ms > 0 ? greedy_unlim_ms / lpt_staged_ms : 0.0,
+        mixed_identical ? "bit-identical" : "MISMATCH");
+  }
+
   const auto pool = cusim::BufferPool::global().stats();
   const auto fc = signal::flat_filter_cache_stats();
   std::cout << "\nbuffer pool: " << pool.allocations << " allocations, "
@@ -176,5 +266,6 @@ int main(int argc, char** argv) {
             << " misses\n\n";
 
   emit(o, "throughput", t);
-  return 0;
+  // Spectra equivalence is the bench's correctness gate (CI runs it).
+  return identical && mixed_identical ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -20,14 +21,48 @@ namespace cusfft::bench {
 
 namespace {
 
-std::size_t env_or(const char* name, std::size_t def) {
-  const char* v = std::getenv(name);
-  return v ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) : def;
+[[noreturn]] void usage_exit(const std::string& msg) {
+  std::cerr << "bench: " << msg << "\n"
+            << "usage: bench [--min-logn N] [--max-logn N] [--k N]\n"
+               "             [--fixed-logn N] [--seed N] [--devices N]\n"
+               "             [--mixed] [--out-dir DIR] [--profile PATH]\n"
+               "env: CUSFFT_MIN_LOGN CUSFFT_MAX_LOGN CUSFFT_K "
+               "CUSFFT_FIXED_LOGN CUSFFT_SEED\n"
+               "     CUSFFT_DEVICES CUSFFT_MIXED CUSFFT_OUT_DIR "
+               "CUSFFT_PROFILE\n";
+  std::exit(2);
+}
+
+/// Strict unsigned parse: the whole token must be a decimal number.
+/// strtoull's silent 0-on-failure (CUSFFT_K=abc -> k=0) degenerated whole
+/// bench runs; malformed input is now a usage error instead.
+std::size_t parse_u64(const std::string& what, const char* v) {
+  if (v == nullptr || *v == '\0' || *v == '-')
+    usage_exit(what + ": expected a non-negative integer, got '" +
+               (v ? v : "") + "'");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0')
+    usage_exit(what + ": expected a non-negative integer, got '" +
+               std::string(v) + "'");
+  return static_cast<std::size_t>(x);
+}
+
+double parse_double(const std::string& what, const char* v) {
+  if (v == nullptr || *v == '\0')
+    usage_exit(what + ": expected a number, got ''");
+  char* end = nullptr;
+  errno = 0;
+  const double x = std::strtod(v, &end);
+  if (errno != 0 || end == v || *end != '\0')
+    usage_exit(what + ": expected a number, got '" + std::string(v) + "'");
+  return x;
 }
 
 double env_or_d(const char* name, double def) {
   const char* v = std::getenv(name);
-  return v ? std::strtod(v, nullptr) : def;
+  return v ? parse_double(name, v) : def;
 }
 
 // Profile artifact path registered by BenchOpts::parse (process-wide so
@@ -41,6 +76,11 @@ std::string g_profile_path;
 // recovery at small n in the tests); override via CUSFFT_BCST /
 // CUSFFT_LOOPS_LOC / CUSFFT_LOOPS_EST / CUSFFT_TOL.
 }  // namespace
+
+std::size_t env_or(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  return v ? parse_u64(name, v) : def;
+}
 
 sfft::Params paper_params(std::size_t n, std::size_t k, u64 seed) {
   sfft::Params p;
@@ -62,19 +102,28 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
   o.fixed_logn = env_or("CUSFFT_FIXED_LOGN", o.fixed_logn);
   o.seed = env_or("CUSFFT_SEED", o.seed);
   o.devices = env_or("CUSFFT_DEVICES", o.devices);
+  o.mixed = env_or("CUSFFT_MIXED", o.mixed ? 1 : 0) != 0;
   if (const char* d = std::getenv("CUSFFT_OUT_DIR")) o.out_dir = d;
   if (const char* p = std::getenv("CUSFFT_PROFILE")) o.profile = p;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  // Every argv token must be consumed: a trailing flag with no value or
+  // an unknown flag is a usage error, not a silent no-op (the old
+  // two-at-a-time loop dropped both).
+  for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
-    const std::string val = argv[i + 1];
-    if (key == "--min-logn") o.min_logn = std::stoull(val);
-    else if (key == "--max-logn") o.max_logn = std::stoull(val);
-    else if (key == "--k") o.k = std::stoull(val);
-    else if (key == "--fixed-logn") o.fixed_logn = std::stoull(val);
-    else if (key == "--seed") o.seed = std::stoull(val);
-    else if (key == "--devices") o.devices = std::stoull(val);
-    else if (key == "--out-dir") o.out_dir = val;
-    else if (key == "--profile") o.profile = val;
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_exit(key + ": missing value");
+      return argv[++i];
+    };
+    if (key == "--mixed") o.mixed = true;
+    else if (key == "--min-logn") o.min_logn = parse_u64(key, value());
+    else if (key == "--max-logn") o.max_logn = parse_u64(key, value());
+    else if (key == "--k") o.k = parse_u64(key, value());
+    else if (key == "--fixed-logn") o.fixed_logn = parse_u64(key, value());
+    else if (key == "--seed") o.seed = parse_u64(key, value());
+    else if (key == "--devices") o.devices = parse_u64(key, value());
+    else if (key == "--out-dir") o.out_dir = value();
+    else if (key == "--profile") o.profile = value();
+    else usage_exit("unknown flag '" + key + "'");
   }
   if (o.max_logn < o.min_logn) o.max_logn = o.min_logn;
   if (o.devices == 0) o.devices = 1;

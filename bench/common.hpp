@@ -33,6 +33,10 @@ struct BenchOpts {
   /// a sharded row and emits the merged multi-device trace when > 1). Env
   /// CUSFFT_DEVICES / --devices.
   std::size_t devices = 1;
+  /// bench_throughput: add the mixed-shape fleet sweep (skewed per-signal
+  /// shapes, LPT-vs-unit-greedy and staging A/B). Env CUSFFT_MIXED /
+  /// --mixed.
+  bool mixed = false;
   std::string out_dir = "bench_results";
   /// When non-empty, the bench writes a chrome-trace profile artifact of
   /// its last cusFFT capture to this path (plus the profile's CSV next to
@@ -41,9 +45,12 @@ struct BenchOpts {
   std::string profile;
 
   /// Reads CUSFFT_MIN_LOGN / CUSFFT_MAX_LOGN / CUSFFT_K / CUSFFT_FIXED_LOGN
-  /// / CUSFFT_SEED / CUSFFT_DEVICES / CUSFFT_OUT_DIR / CUSFFT_PROFILE, then
-  /// applies simple --key value args (--profile <path> and --devices <N>
-  /// included).
+  /// / CUSFFT_SEED / CUSFFT_DEVICES / CUSFFT_MIXED / CUSFFT_OUT_DIR /
+  /// CUSFFT_PROFILE, then applies --key value args (--profile <path>,
+  /// --devices <N>) and the boolean --mixed flag. Malformed numbers
+  /// (env or CLI), a flag missing its value, and unknown flags are usage
+  /// errors: the process prints usage to stderr and exits with status 2
+  /// instead of silently running a degenerate configuration.
   static BenchOpts parse(int argc, char** argv);
 };
 
@@ -51,6 +58,11 @@ struct RunResult {
   double model_ms = 0;
   double host_ms = 0;
 };
+
+/// Strict numeric environment read: returns `def` when `name` is unset,
+/// exits with the usage message when the value is malformed (the old
+/// strtoull-based read silently turned CUSFFT_K=abc into 0).
+std::size_t env_or(const char* name, std::size_t def);
 
 /// Deterministic k-sparse benchmark signal (unit magnitudes, the reference
 /// implementations' workload).

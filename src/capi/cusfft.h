@@ -84,6 +84,39 @@ cusfft_status cusfft_get_size(cusfft_handle h, size_t* n, size_t* k);
  * first execute. CPU backends accept and ignore the setting. */
 cusfft_status cusfft_set_device_count(cusfft_handle h, size_t devices);
 
+/* Root-complex admission policy for the fleet's H2D/D2H copies.
+ * UNLIMITED (the default): every in-flight copy splits host-link
+ * bandwidth. ROUND_ROBIN: one copy at a time, devices admitted in
+ * rotation. MAX_INFLIGHT: at most `max_inflight` concurrent copies.
+ * Staged policies stagger the shards' bulk uploads so the first-admitted
+ * device's kernels start sooner; total bytes moved are identical. Takes
+ * effect on the next execute; a single device is unaffected. CPU
+ * backends accept and ignore the call. */
+typedef enum {
+  CUSFFT_STAGING_UNLIMITED = 0,
+  CUSFFT_STAGING_ROUND_ROBIN = 1,
+  CUSFFT_STAGING_MAX_INFLIGHT = 2
+} cusfft_pcie_staging;
+
+/* `max_inflight` is only read for CUSFFT_STAGING_MAX_INFLIGHT (must be
+ * >= 1 there; ignored otherwise). */
+cusfft_status cusfft_set_pcie_staging(cusfft_handle h,
+                                      cusfft_pcie_staging policy,
+                                      size_t max_inflight);
+
+/* How the fleet assigns signals to devices. COST_LPT (the default):
+ * per-signal analytic cost model, longest-processing-time-first.
+ * UNIT_GREEDY: the legacy uniform 1/mem_bandwidth weighting (every
+ * signal costs the same). Takes effect on the next execute. CPU
+ * backends accept and ignore the call. */
+typedef enum {
+  CUSFFT_SHARD_COST_LPT = 0,
+  CUSFFT_SHARD_UNIT_GREEDY = 1
+} cusfft_shard_policy;
+
+cusfft_status cusfft_set_shard_policy(cusfft_handle h,
+                                      cusfft_shard_policy policy);
+
 /* Fleet-level modeled timing of the most recent execute/execute_many on
  * a GPU backend (whatever the device count — a single device reports
  * imbalance 1.0 and zero PCIe stalls). */
@@ -93,6 +126,7 @@ typedef struct {
   double pcie_stall_ms; /* summed host-link contention dilation */
   size_t devices;
   size_t signals;
+  double pcie_queue_ms; /* summed staging admission wait (0 unlimited) */
 } cusfft_fleet_stats;
 
 /* CUSFFT_INVALID_ARGUMENT when no GPU batch has run yet (or on a CPU

@@ -27,6 +27,9 @@ struct cusfft_plan_t {
   cusfft_backend backend = CUSFFT_BACKEND_SERIAL;
   int batch_pipeline = 1;  // cusfft_set_batch_pipeline; GPU batches only
   size_t device_count = 1;  // cusfft_set_device_count; GPU backends only
+  cusfft::cusim::PcieStaging staging;  // cusfft_set_pcie_staging
+  cusfft::gpu::ShardPolicy shard_policy =
+      cusfft::gpu::ShardPolicy::kCostLpt;  // cusfft_set_shard_policy
 
   std::unique_ptr<cusfft::sfft::SerialPlan> serial;
   std::unique_ptr<cusfft::psfft::PsfftPlan> psfft;
@@ -93,8 +96,10 @@ struct cusfft_plan_t {
           if (device_count > 1) {
             group =
                 std::make_unique<cusfft::cusim::DeviceGroup>(device_count);
+            group->set_staging(staging);
             multi = std::make_unique<cusfft::gpu::MultiGpuPlan>(
                 *group, params, opts);
+            multi->set_shard_policy(shard_policy);
           } else {
             device = std::make_unique<cusfft::cusim::Device>();
             gpu = std::make_unique<cusfft::gpu::GpuPlan>(*device, params,
@@ -272,6 +277,48 @@ cusfft_status cusfft_set_device_count(cusfft_handle h, size_t devices) {
   return h->rebuild();
 }
 
+cusfft_status cusfft_set_pcie_staging(cusfft_handle h,
+                                      cusfft_pcie_staging policy,
+                                      size_t max_inflight) {
+  if (h == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  cusfft::cusim::PcieStaging s;
+  switch (policy) {
+    case CUSFFT_STAGING_UNLIMITED:
+      s = cusfft::cusim::PcieStaging::Unlimited();
+      break;
+    case CUSFFT_STAGING_ROUND_ROBIN:
+      s = cusfft::cusim::PcieStaging::RoundRobin();
+      break;
+    case CUSFFT_STAGING_MAX_INFLIGHT:
+      if (max_inflight == 0) return CUSFFT_INVALID_ARGUMENT;
+      s = cusfft::cusim::PcieStaging::MaxInflight(
+          static_cast<unsigned>(max_inflight));
+      break;
+    default:
+      return CUSFFT_INVALID_ARGUMENT;
+  }
+  h->staging = s;
+  if (h->group != nullptr) h->group->set_staging(s);
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_set_shard_policy(cusfft_handle h,
+                                      cusfft_shard_policy policy) {
+  if (h == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  switch (policy) {
+    case CUSFFT_SHARD_COST_LPT:
+      h->shard_policy = cusfft::gpu::ShardPolicy::kCostLpt;
+      break;
+    case CUSFFT_SHARD_UNIT_GREEDY:
+      h->shard_policy = cusfft::gpu::ShardPolicy::kUnitGreedy;
+      break;
+    default:
+      return CUSFFT_INVALID_ARGUMENT;
+  }
+  if (h->multi != nullptr) h->multi->set_shard_policy(h->shard_policy);
+  return CUSFFT_SUCCESS;
+}
+
 cusfft_status cusfft_get_fleet_stats(cusfft_handle h,
                                      cusfft_fleet_stats* out) {
   if (h == nullptr || out == nullptr) return CUSFFT_INVALID_ARGUMENT;
@@ -281,6 +328,7 @@ cusfft_status cusfft_get_fleet_stats(cusfft_handle h,
   out->pcie_stall_ms = h->fleet->pcie_stall_ms;
   out->devices = h->fleet->devices;
   out->signals = h->fleet->signals;
+  out->pcie_queue_ms = h->fleet->pcie_queue_ms;
   return CUSFFT_SUCCESS;
 }
 

@@ -1,21 +1,113 @@
 #include "cusfft/multi_plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
+#include <map>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "core/timer.hpp"
+#include "signal/filter.hpp"
 
 namespace cusfft::gpu {
+
+namespace {
+
+/// Everything that makes two Params produce distinct GpuPlans — the
+/// mixed-shape plan cache key.
+using ShapeKey =
+    std::tuple<std::size_t, std::size_t, double, std::size_t, std::size_t,
+               std::size_t, double, int, double, double, double, bool,
+               double, std::size_t, double, u64>;
+
+ShapeKey shape_key(const sfft::Params& p) {
+  return {p.n,
+          p.k,
+          p.bcst,
+          p.loops_loc,
+          p.loops_est,
+          p.loc_threshold,
+          p.cutoff_mult,
+          static_cast<int>(p.filter.kind),
+          p.filter.tolerance,
+          p.filter.lobefrac_scale,
+          p.filter.boxcar_scale,
+          p.comb,
+          p.comb_cst,
+          p.comb_rounds,
+          p.comb_keep_mult,
+          p.seed};
+}
+
+}  // namespace
+
+double modeled_signal_cost_s(const sfft::Params& p,
+                             const perfmodel::GpuSpec& spec,
+                             const Options& opts) {
+  const double cx = static_cast<double>(sizeof(cplx));
+  const double n = static_cast<double>(p.n);
+  const double B = static_cast<double>(p.buckets());
+  const double L = static_cast<double>(p.total_loops());
+  const double taps = static_cast<double>(
+      signal::flat_filter_sizes(p.n, p.buckets(), p.filter).second);
+  const double fft_passes = std::log2(std::max(2.0, B));
+
+  // Binning streams the permuted signal and the filter taps once per loop
+  // and writes B buckets; the batched subsampled FFT reads + writes L*B
+  // points per pass.
+  double bytes = L * (2.0 * taps * cx + B * cx);
+  bytes += 2.0 * L * B * cx * fft_passes;
+  // Cutoff scans the buckets once per location loop; voting walks
+  // cutoff() residue chains of n/B score updates; estimation re-reads L
+  // buckets and filter responses per candidate.
+  const double cut = static_cast<double>(p.cutoff());
+  const double lloc = static_cast<double>(p.loops_loc);
+  bytes += lloc * (B * cx + cut * (n / std::max(1.0, B)) * 4.0);
+  bytes += lloc * cut * L * 2.0 * cx;
+
+  const double eff_bw =
+      spec.mem_bandwidth_Bps * spec.coalesced_bw_efficiency;
+  double cost = bytes / (eff_bw > 0 ? eff_bw : 1.0);
+
+  // FLOP floor so compute-limited devices price in (~10 flops per binning
+  // tap, ~5 per FFT butterfly point).
+  const double flops = L * taps * 10.0 + 5.0 * L * B * fft_passes;
+  const double peak = spec.dp_peak_flops();
+  cost += flops / (peak > 0 ? peak : 1.0);
+
+  if (opts.include_transfer)
+    cost += n * cx /
+                (spec.pcie_bandwidth_Bps > 0 ? spec.pcie_bandwidth_Bps
+                                             : 1.0) +
+            spec.pcie_latency_s;
+  // Kernel-launch overhead deliberately excluded: identical on every
+  // device, it would only flatten the relative costs (see header).
+  return cost;
+}
 
 struct MultiGpuPlan::Impl {
   cusim::DeviceGroup* group = nullptr;
   sfft::Params params;
   Options opts;
-  std::vector<std::unique_ptr<GpuPlan>> plans;  // one per device
-  std::vector<double> weight;  // per-device per-signal cost (relative)
+  ShardPolicy policy = ShardPolicy::kCostLpt;
+  std::vector<std::unique_ptr<GpuPlan>> plans;  // one per device, ctor shape
+  std::vector<double> weight;  // legacy kUnitGreedy per-device cost
+  /// Mixed-shape plan cache: per device, one GpuPlan per distinct shape
+  /// seen by execute_mixed (the ctor shape reuses `plans`). Built
+  /// serially before shard threads fan out; shard threads only read.
+  std::vector<std::map<ShapeKey, std::unique_ptr<GpuPlan>>> cache;
+
+  GpuPlan& plan_for(std::size_t d, const sfft::Params& p) {
+    if (shape_key(p) == shape_key(params)) return *plans[d];
+    auto& slot = cache[d][shape_key(p)];
+    if (!slot)
+      slot = std::make_unique<GpuPlan>(group->device(d), p, opts);
+    return *slot;
+  }
 };
 
 MultiGpuPlan::MultiGpuPlan(cusim::DeviceGroup& group, sfft::Params params,
@@ -24,12 +116,12 @@ MultiGpuPlan::MultiGpuPlan(cusim::DeviceGroup& group, sfft::Params params,
   impl_->group = &group;
   impl_->params = params;
   impl_->opts = opts;
+  impl_->cache.resize(group.size());
   for (std::size_t d = 0; d < group.size(); ++d) {
     impl_->plans.push_back(
         std::make_unique<GpuPlan>(group.device(d), params, opts));
-    // Bandwidth-bound cost model: a device's per-signal time scales with
-    // 1/mem_bandwidth. Good enough for assignment; the merged timeline is
-    // the ground truth the stats report.
+    // Legacy kUnitGreedy weight: per-signal time scales with
+    // 1/mem_bandwidth, every signal costs the same.
     const double bw = group.device(d).spec().mem_bandwidth_Bps;
     impl_->weight.push_back(bw > 0 ? 1.0 / bw : 1.0);
   }
@@ -43,19 +135,60 @@ std::size_t MultiGpuPlan::devices() const { return impl_->plans.size(); }
 const sfft::Params& MultiGpuPlan::params() const { return impl_->params; }
 cusim::DeviceGroup& MultiGpuPlan::group() { return *impl_->group; }
 
+void MultiGpuPlan::set_shard_policy(ShardPolicy p) { impl_->policy = p; }
+ShardPolicy MultiGpuPlan::shard_policy() const { return impl_->policy; }
+
 std::vector<std::size_t> MultiGpuPlan::shard_assignment(
     std::size_t batch) const {
+  const std::vector<sfft::Params> shapes(batch, impl_->params);
+  return shard_assignment(shapes);
+}
+
+std::vector<std::size_t> MultiGpuPlan::shard_assignment(
+    std::span<const sfft::Params> shapes) const {
   const std::size_t ndev = impl_->plans.size();
+  const std::size_t batch = shapes.size();
   std::vector<std::size_t> out(batch, 0);
   std::vector<double> load(ndev, 0.0);
-  for (std::size_t i = 0; i < batch; ++i) {
+
+  if (impl_->policy == ShardPolicy::kUnitGreedy) {
+    // Legacy: input order, every signal costs the device's uniform
+    // weight whatever its shape.
+    for (std::size_t i = 0; i < batch; ++i) {
+      std::size_t best = 0;
+      for (std::size_t d = 1; d < ndev; ++d)
+        if (load[d] + impl_->weight[d] <
+            load[best] + impl_->weight[best])  // strict: ties -> lowest
+          best = d;
+      out[i] = best;
+      load[best] += impl_->weight[best];
+    }
+    return out;
+  }
+
+  // kCostLpt: price each signal on each device, then place in LPT order
+  // (most expensive first, by the device-0 reference cost; stable, so a
+  // uniform batch keeps input order and degrades to round-robin) onto
+  // the device with the smallest projected finish.
+  std::vector<std::vector<double>> cost(batch, std::vector<double>(ndev));
+  for (std::size_t i = 0; i < batch; ++i)
+    for (std::size_t d = 0; d < ndev; ++d)
+      cost[i][d] = modeled_signal_cost_s(
+          shapes[i], impl_->group->device(d).spec(), impl_->opts);
+  std::vector<std::size_t> order(batch);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cost[a][0] > cost[b][0];
+                   });
+  for (const std::size_t i : order) {
     std::size_t best = 0;
     for (std::size_t d = 1; d < ndev; ++d)
-      if (load[d] + impl_->weight[d] <
-          load[best] + impl_->weight[best])  // strict: ties -> lowest index
+      if (load[d] + cost[i][d] <
+          load[best] + cost[i][best])  // strict: ties -> lowest index
         best = d;
     out[i] = best;
-    load[best] += impl_->weight[best];
+    load[best] += cost[i][best];
   }
   return out;
 }
@@ -63,38 +196,95 @@ std::vector<std::size_t> MultiGpuPlan::shard_assignment(
 std::vector<SparseSpectrum> MultiGpuPlan::execute_many(
     std::span<const std::span<const cplx>> xs, GpuFleetStats* stats,
     BatchMode mode) {
+  // Uniform batches are the degenerate mixed case: one shape group per
+  // shard, same assignment, same merged schedule.
+  std::vector<MixedSignal> signals;
+  signals.reserve(xs.size());
+  for (const auto& x : xs) signals.push_back({x, impl_->params});
+  return execute_mixed(signals, stats, mode);
+}
+
+std::vector<SparseSpectrum> MultiGpuPlan::execute_mixed(
+    std::span<const MixedSignal> signals, GpuFleetStats* stats,
+    BatchMode mode) {
   const std::size_t ndev = impl_->plans.size();
-  const std::size_t batch = xs.size();
+  const std::size_t batch = signals.size();
   cusim::DeviceGroup& group = *impl_->group;
 
-  const std::vector<std::size_t> assign = shard_assignment(batch);
-  std::vector<std::vector<std::size_t>> shard(ndev);  // input indices
-  for (std::size_t i = 0; i < batch; ++i) shard[assign[i]].push_back(i);
-  std::vector<std::vector<std::span<const cplx>>> views(ndev);
-  for (std::size_t d = 0; d < ndev; ++d)
-    for (const std::size_t i : shard[d]) views[d].push_back(xs[i]);
+  std::vector<sfft::Params> shapes;
+  shapes.reserve(batch);
+  for (const auto& s : signals) shapes.push_back(s.params);
+  const std::vector<std::size_t> assign = shard_assignment(shapes);
 
-  // Shared t=0 for every device + the fleet-level pool snapshot. Each
-  // shard's GpuPlan::execute_many re-opens its own device capture, which
-  // is a harmless re-clear of an already-cleared timeline.
+  // Each device's shard, grouped by shape in first-appearance order: one
+  // GpuPlan per distinct shape runs one (pipelined) batch per group.
+  struct Group {
+    sfft::Params p;
+    std::vector<std::size_t> idx;  // input indices, input order
+  };
+  std::vector<std::vector<Group>> groups(ndev);
+  std::vector<std::size_t> shard_size(ndev, 0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::size_t d = assign[i];
+    ++shard_size[d];
+    const ShapeKey key = shape_key(signals[i].params);
+    auto it = std::find_if(
+        groups[d].begin(), groups[d].end(),
+        [&](const Group& g) { return shape_key(g.p) == key; });
+    if (it == groups[d].end()) {
+      groups[d].push_back(Group{signals[i].params, {i}});
+    } else {
+      it->idx.push_back(i);
+    }
+  }
+
+  // Build every shape's plan serially before fanning out: plan
+  // construction touches shared caches (flat filter, BufferPool) that
+  // the concurrent shard threads must not race on.
+  for (std::size_t d = 0; d < ndev; ++d)
+    for (const Group& g : groups[d]) impl_->plan_for(d, g.p);
+
+  // Shared t=0 for every device + the fleet-level pool snapshot. Shard
+  // batches append to this capture (execute_many_in_capture) so one
+  // device timeline covers all of its shape groups.
   group.begin_capture();
 
-  std::vector<std::vector<SparseSpectrum>> douts(ndev);
-  std::vector<GpuBatchStats> dstats(ndev);
+  std::vector<SparseSpectrum> out(batch);
+  std::vector<GpuSignalStats> per_signal(batch);
+  std::vector<std::size_t> shard_candidates(ndev, 0);
+  std::vector<char> shard_pipelined(ndev, 0);
   std::vector<std::exception_ptr> errors(ndev);
   WallTimer wall;
   auto run_shard = [&](std::size_t d) {
     try {
-      douts[d] = impl_->plans[d]->execute_many(
-          std::span<const std::span<const cplx>>(views[d]), &dstats[d],
-          mode);
+      bool first = true;
+      for (const Group& g : groups[d]) {
+        // Serialize shape groups on the device timeline: a real device
+        // would drain one plan's work before the next plan's bulk
+        // upload anyway, and overlapping unrelated plans would
+        // under-report the shard makespan.
+        if (!first) group.device(d).sync_point();
+        first = false;
+        std::vector<std::span<const cplx>> views;
+        views.reserve(g.idx.size());
+        for (const std::size_t i : g.idx) views.push_back(signals[i].x);
+        GpuBatchStats bs;
+        auto outs = impl_->plan_for(d, g.p).execute_many_in_capture(
+            std::span<const std::span<const cplx>>(views), &bs, mode);
+        for (std::size_t j = 0; j < g.idx.size(); ++j) {
+          shard_candidates[d] += outs[j].size();
+          out[g.idx[j]] = std::move(outs[j]);
+          per_signal[g.idx[j]] = std::move(bs.per_signal[j]);
+        }
+        shard_pipelined[d] |= bs.pipelined ? 1 : 0;
+      }
     } catch (...) {
       errors[d] = std::current_exception();
     }
   };
   std::vector<std::size_t> active;
   for (std::size_t d = 0; d < ndev; ++d)
-    if (!shard[d].empty()) active.push_back(d);
+    if (!groups[d].empty()) active.push_back(d);
   if (active.size() <= 1) {
     for (const std::size_t d : active) run_shard(d);
   } else {
@@ -110,13 +300,8 @@ std::vector<SparseSpectrum> MultiGpuPlan::execute_many(
   for (const std::size_t d : active)
     if (errors[d]) std::rethrow_exception(errors[d]);
 
-  // Merge the device timelines on the shared clock and reorder results
-  // back to input order.
+  // Merge the device timelines on the shared clock.
   cusim::FleetSchedule fs = group.simulate();
-  std::vector<SparseSpectrum> out(batch);
-  for (std::size_t d = 0; d < ndev; ++d)
-    for (std::size_t j = 0; j < shard[d].size(); ++j)
-      out[shard[d][j]] = std::move(douts[d][j]);
 
   if (stats != nullptr) {
     GpuFleetStats st;
@@ -124,26 +309,32 @@ std::vector<SparseSpectrum> MultiGpuPlan::execute_many(
     st.host_ms = host_ms;
     st.signals = batch;
     st.devices = ndev;
+    st.staging = group.staging().name();
     st.device_of = assign;
-    st.per_signal.resize(batch);
+    st.per_signal = std::move(per_signal);
     double finish_sum = 0, finish_max = 0;
     for (std::size_t d = 0; d < ndev; ++d) {
       GpuDeviceShardStats ds;
       ds.device = group.device(d).spec().name;
-      ds.signals = shard[d].size();
+      ds.signals = shard_size[d];
       ds.model_ms = fs.finish_s[d] * 1e3;
-      ds.solo_ms = dstats[d].model_ms;
+      ds.solo_ms = groups[d].empty()
+                       ? 0.0
+                       : group.device(d).elapsed_model_ms();
       ds.pcie_stall_ms = fs.pcie_stall_s[d] * 1e3;
-      if (st.model_ms > 0) ds.utilization = ds.model_ms / st.model_ms;
+      ds.pcie_queue_ms = fs.pcie_queue_s[d] * 1e3;
+      // Busy fraction of the fleet makespan (time >= 1 kernel resident):
+      // a device that finishes last but spent the window idling on PCIe
+      // reports low utilization, not ~1.0.
+      if (st.model_ms > 0) ds.utilization = fs.busy_s[d] * 1e3 / st.model_ms;
       st.pcie_stall_ms += ds.pcie_stall_ms;
-      st.candidates += dstats[d].candidates;
-      st.pipelined = st.pipelined || dstats[d].pipelined;
-      if (!shard[d].empty()) {
+      st.pcie_queue_ms += ds.pcie_queue_ms;
+      st.candidates += shard_candidates[d];
+      st.pipelined = st.pipelined || shard_pipelined[d] != 0;
+      if (shard_size[d] > 0) {
         finish_sum += ds.model_ms;
         finish_max = std::max(finish_max, ds.model_ms);
       }
-      for (std::size_t j = 0; j < shard[d].size(); ++j)
-        st.per_signal[shard[d][j]] = std::move(dstats[d].per_signal[j]);
       st.per_device.push_back(std::move(ds));
     }
     if (!active.empty() && finish_sum > 0)

@@ -7,14 +7,25 @@
 // (shared t=0 at the group capture) with PCIe root-complex contention —
 // see cusim/device_group.hpp.
 //
-// Shard assignment is cost-weighted greedy: signals are homogeneous (same
-// n/k/filter), so a device's per-signal cost is proportional to
-// 1/mem_bandwidth_Bps (the algorithm is bandwidth-bound on the modeled
-// device); each signal goes to the device with the smallest projected
-// finish, ties to the lowest index. Homogeneous fleets degrade to
-// round-robin; a half-rate device in a heterogeneous fleet receives
-// proportionally fewer signals instead of straggling the makespan. The
-// assignment is a pure function of (batch size, specs) — deterministic.
+// Shard assignment (ShardPolicy::kCostLpt, the default) prices every
+// signal with an analytic per-signal cost derived from the perfmodel —
+// bytes streamed by binning + the subsampled FFTs + voting/estimation
+// traffic over the device's effective bandwidth, plus a FLOP floor, plus
+// the H2D copy when transfers are modeled — and places signals in LPT
+// order (longest first) onto the device with the smallest projected
+// finish, ties to the lowest index. Homogeneous uniform batches degrade
+// to round-robin; a half-rate device receives proportionally fewer
+// signals; a skewed mixed-shape batch splits by cost instead of count.
+// ShardPolicy::kUnitGreedy keeps the legacy uniform 1/mem_bandwidth
+// weighting (every signal costs the same) for A/B comparison. Either
+// assignment is a pure function of (signal shapes, specs, policy) —
+// deterministic.
+//
+// Mixed-shape batches: execute_mixed() accepts per-signal sfft::Params.
+// Each device shard groups its signals by shape and runs one
+// GpuPlan per distinct shape (cached inside the MultiGpuPlan, built
+// serially before the shard threads fan out) within a single device
+// capture, so the merged fleet schedule still covers the whole shard.
 //
 // Ordering contract: the returned spectra and GpuFleetStats::per_signal
 // are ALWAYS in input order, whatever the shard assignment (tests pin
@@ -31,6 +42,34 @@
 
 namespace cusfft::gpu {
 
+/// How MultiGpuPlan assigns signals to devices.
+enum class ShardPolicy {
+  kCostLpt,     ///< per-signal analytic cost model + LPT (default)
+  kUnitGreedy,  ///< legacy: every signal costs the device's uniform
+                ///< 1/mem_bandwidth weight, greedy in input order
+};
+
+/// One signal of a mixed-shape batch: the samples plus the shape-specific
+/// parameters (x.size() must equal params.n).
+struct MixedSignal {
+  std::span<const cplx> x;
+  sfft::Params params;
+};
+
+/// Analytic per-signal cost (seconds) of running `p` on a device with
+/// `spec` under `opts` — the kCostLpt assignment currency. Counts the
+/// bytes the kernel sequence streams through device memory (binning taps,
+/// subsampled FFT passes, cutoff/vote/estimate traffic) over the device's
+/// effective coalesced bandwidth, a FLOP floor against dp_peak_flops(),
+/// and the H2D copy over the PCIe link when Options::include_transfer.
+/// Kernel-launch overhead is deliberately excluded: it is identical on
+/// every device, so it would only flatten the relative costs the
+/// assignment depends on. This is an assignment heuristic — the merged
+/// timeline stays the ground truth the stats report.
+double modeled_signal_cost_s(const sfft::Params& p,
+                             const perfmodel::GpuSpec& spec,
+                             const Options& opts);
+
 /// One device's share of a fleet batch.
 struct GpuDeviceShardStats {
   std::string device;      // GpuSpec name
@@ -38,7 +77,11 @@ struct GpuDeviceShardStats {
   double model_ms = 0;     // device finish on the merged fleet clock
   double solo_ms = 0;      // the same shard free of PCIe contention
   double pcie_stall_ms = 0;  // host-link contention dilation
-  double utilization = 0;    // model_ms / fleet makespan (0 for idle)
+  double pcie_queue_ms = 0;  // staging-policy admission wait
+  /// Fraction of the fleet makespan this device had >= 1 kernel resident
+  /// (busy/makespan, in [0, 1]); a device idling on PCIe reports low
+  /// utilization even when its last item finishes near the makespan.
+  double utilization = 0;  // 0 for idle devices
 };
 
 /// GpuBatchStats analogue for a sharded batch: fleet makespan plus the
@@ -50,11 +93,13 @@ struct GpuFleetStats {
   std::size_t candidates = 0;  // summed over the batch
   std::size_t devices = 0;
   bool pipelined = false;  // any shard ran the two-stream pipeline
+  std::string staging;     // PcieStaging policy name the merge ran under
   /// max/mean device finish over devices that received signals: 1.0 is a
   /// perfectly balanced fleet, 2.0 means the slowest device ran twice as
   /// long as the average.
   double imbalance = 1.0;
   double pcie_stall_ms = 0;  // summed over devices
+  double pcie_queue_ms = 0;  // summed staging admission wait
   std::vector<GpuDeviceShardStats> per_device;  // device order
   /// Input order (per_signal[i] describes xs[i]); each signal's window is
   /// on its own device's contention-free clock — cross-device spans are
@@ -78,9 +123,19 @@ class MultiGpuPlan {
   const sfft::Params& params() const;
   cusim::DeviceGroup& group();
 
-  /// Cost-weighted greedy shard assignment (see file comment): element i
-  /// is the device index signal i would run on. Pure and deterministic.
+  void set_shard_policy(ShardPolicy p);
+  ShardPolicy shard_policy() const;
+
+  /// Shard assignment for a uniform batch of the plan's own shape:
+  /// element i is the device index signal i would run on. Pure and
+  /// deterministic (see file comment for the policy semantics).
   std::vector<std::size_t> shard_assignment(std::size_t batch) const;
+
+  /// Mixed-shape assignment: one Params per signal. Under kCostLpt the
+  /// LPT pass prices each signal on each device; under kUnitGreedy the
+  /// shapes are ignored (every signal costs the legacy uniform weight).
+  std::vector<std::size_t> shard_assignment(
+      std::span<const sfft::Params> shapes) const;
 
   /// Shards the batch across the fleet and executes every shard
   /// concurrently (one host thread per non-empty shard), then merges the
@@ -90,6 +145,14 @@ class MultiGpuPlan {
   std::vector<SparseSpectrum> execute_many(
       std::span<const std::span<const cplx>> xs,
       GpuFleetStats* stats = nullptr, BatchMode mode = BatchMode::kAuto);
+
+  /// Mixed-shape fleet execution: signals may carry different Params
+  /// (n, k, filter, ...). Each device runs one cached GpuPlan per
+  /// distinct shape inside a single capture; results per signal are
+  /// bit-identical to running that signal's shape on a single device.
+  std::vector<SparseSpectrum> execute_mixed(
+      std::span<const MixedSignal> signals, GpuFleetStats* stats = nullptr,
+      BatchMode mode = BatchMode::kAuto);
 
  private:
   struct Impl;

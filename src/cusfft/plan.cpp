@@ -833,10 +833,11 @@ namespace {
 /// A/B baselines use it).
 BatchMode resolve_batch_mode(BatchMode mode, std::size_t batch) {
   if (mode != BatchMode::kAuto) return mode;
-  static const bool env_off = [] {
-    const char* e = std::getenv("CUSFFT_PIPELINE");
-    return e != nullptr && e[0] == '0' && e[1] == '\0';
-  }();
+  // Re-read per resolution (one getenv): latching the first value in a
+  // function-local static made later setenv("CUSFFT_PIPELINE", ...) calls
+  // silently ineffective for embedders and tests.
+  const char* e = std::getenv("CUSFFT_PIPELINE");
+  const bool env_off = e != nullptr && e[0] == '0' && e[1] == '\0';
   return (batch >= 2 && !env_off) ? BatchMode::kPipelined
                                   : BatchMode::kSerialized;
 }
@@ -846,6 +847,18 @@ BatchMode resolve_batch_mode(BatchMode mode, std::size_t batch) {
 std::vector<SparseSpectrum> GpuPlan::execute_many(
     std::span<const std::span<const cplx>> xs, GpuBatchStats* stats,
     BatchMode mode) {
+  return run_batch(xs, stats, mode, /*fresh_capture=*/true);
+}
+
+std::vector<SparseSpectrum> GpuPlan::execute_many_in_capture(
+    std::span<const std::span<const cplx>> xs, GpuBatchStats* stats,
+    BatchMode mode) {
+  return run_batch(xs, stats, mode, /*fresh_capture=*/false);
+}
+
+std::vector<SparseSpectrum> GpuPlan::run_batch(
+    std::span<const std::span<const cplx>> xs, GpuBatchStats* stats,
+    BatchMode mode, bool fresh_capture) {
   Impl& im = *impl_;
   cusim::Device& dev = *im.dev;
   const bool pipelined =
@@ -858,8 +871,11 @@ std::vector<SparseSpectrum> GpuPlan::execute_many(
   if (pipelined) im.ensure_pipeline_state();
   // One capture for the whole batch: every device buffer, the uploaded
   // filter, the cuFFT-sim plans and the stream pool are reused across
-  // signals, so per-signal cost is purely the kernel sequence.
-  dev.begin_capture();
+  // signals, so per-signal cost is purely the kernel sequence. The
+  // in-capture variant appends to an already-open capture instead —
+  // mixed-shape shards run several plans' batches in one capture, so
+  // opening a fresh one here would erase the earlier shape groups.
+  if (fresh_capture) dev.begin_capture();
   std::vector<SparseSpectrum> out;
   out.reserve(xs.size());
   std::size_t candidates = 0;

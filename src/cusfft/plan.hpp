@@ -107,7 +107,21 @@ class GpuPlan {
       std::span<const std::span<const cplx>> xs,
       GpuBatchStats* stats = nullptr, BatchMode mode = BatchMode::kAuto);
 
+  /// execute_many() without opening a fresh capture: appends this batch to
+  /// the capture already open on the device. Mixed-shape shards run one
+  /// batch per shape-specific plan inside a single device capture (with a
+  /// sync point between shape groups) so the shard's timeline covers all
+  /// of them; execute_many() would reset the capture and erase the earlier
+  /// groups. The caller owns begin_capture()/end_capture().
+  std::vector<SparseSpectrum> execute_many_in_capture(
+      std::span<const std::span<const cplx>> xs,
+      GpuBatchStats* stats = nullptr, BatchMode mode = BatchMode::kAuto);
+
  private:
+  std::vector<SparseSpectrum> run_batch(
+      std::span<const std::span<const cplx>> xs, GpuBatchStats* stats,
+      BatchMode mode, bool fresh_capture);
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

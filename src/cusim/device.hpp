@@ -286,6 +286,9 @@ class Device {
     return report_;
   }
   const Timeline& timeline() const { return timeline_; }
+  /// Mutable timeline access, for tests that inject raw items (e.g.
+  /// dangling deps or cycles) the public API can't produce.
+  Timeline& timeline() { return timeline_; }
 
   /// BufferPool::global() stats as of the last begin_capture() (or device
   /// construction) — the baseline for per-capture allocation deltas.

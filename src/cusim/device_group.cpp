@@ -54,6 +54,7 @@ FleetSchedule DeviceGroup::simulate() {
   fs.finish_s.assign(ndev, 0.0);
   fs.busy_s.assign(ndev, 0.0);
   fs.pcie_stall_s.assign(ndev, 0.0);
+  fs.pcie_queue_s.assign(ndev, 0.0);
 
   struct Node {
     const TimelineItem* it = nullptr;
@@ -62,11 +63,14 @@ FleetSchedule DeviceGroup::simulate() {
     double mem_left = 0, comp_left = 0;
     std::ptrdiff_t prev = -1;  // global index of stream predecessor
     bool running = false, done = false;
+    bool held = false;  // ready this step but queued by the staging policy
   };
   std::vector<Node> nodes;
+  std::vector<std::size_t> dev_count(ndev, 0);  // items per device
   for (std::size_t d = 0; d < ndev; ++d) {
     const auto& items = devices_[d].dev->timeline().items();
     const std::size_t base = nodes.size();
+    dev_count[d] = items.size();
     fs.items[d].assign(items.size(), ItemSchedule{});
     std::vector<std::pair<StreamId, std::size_t>> last;  // local indices
     for (std::size_t i = 0; i < items.size(); ++i) {
@@ -96,14 +100,26 @@ FleetSchedule DeviceGroup::simulate() {
 
   double t = 0.0;
   std::size_t done_count = 0;
+  unsigned rr_next = 0;  // round-robin rotation cursor (device index)
   std::vector<unsigned> dev_running(ndev, 0), dev_mem(ndev, 0);
   while (done_count < n) {
-    // Start every eligible item, respecting each device's kernel window.
+    // Start every eligible item, respecting each device's kernel window
+    // and the root-complex staging policy for PCIe copies.
     std::fill(dev_running.begin(), dev_running.end(), 0u);
-    for (std::size_t i = 0; i < n; ++i)
-      if (nodes[i].running &&
-          nodes[i].it->resource == Resource::kDeviceMemory)
+    unsigned pcie_running = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes[i].held = false;
+      if (!nodes[i].running) continue;
+      if (nodes[i].it->resource == Resource::kDeviceMemory)
         ++dev_running[nodes[i].dev];
+      else
+        ++pcie_running;
+    }
+    std::ptrdiff_t rr_pick = -1;  // best kRoundRobin candidate this step
+    auto rr_dist = [&](unsigned dev) {
+      return (dev + static_cast<unsigned>(ndev) - rr_next) %
+             static_cast<unsigned>(ndev);
+    };
     for (std::size_t i = 0; i < n; ++i) {
       Node& nd = nodes[i];
       if (nd.running || nd.done) continue;
@@ -114,8 +130,12 @@ FleetSchedule DeviceGroup::simulate() {
         barrier_clear = nodes[nd.base + b].done;
       if (!barrier_clear) continue;
       bool deps_clear = true;
+      // Deps are local to the owning device's timeline: bound them by
+      // that device's own item count (mirroring Timeline::simulate's
+      // `dep < n` guard) so a dangling local index can never alias into
+      // the next device's node range and gate on a foreign item.
       for (const std::size_t dep : nd.it->deps)
-        if (nd.base + dep < n && !nodes[nd.base + dep].done) {
+        if (dep < dev_count[nd.dev] && !nodes[nd.base + dep].done) {
           deps_clear = false;
           break;
         }
@@ -123,9 +143,38 @@ FleetSchedule DeviceGroup::simulate() {
       if (nd.it->resource == Resource::kDeviceMemory) {
         if (dev_running[nd.dev] >= cap[nd.dev]) continue;
         ++dev_running[nd.dev];
+      } else {
+        switch (staging_.kind) {
+          case PcieStaging::Kind::kUnlimited:
+            break;
+          case PcieStaging::Kind::kMaxInflight:
+            if (pcie_running >= staging_.limit) {
+              nd.held = true;
+              continue;
+            }
+            ++pcie_running;
+            break;
+          case PcieStaging::Kind::kRoundRobin:
+            // One copy at a time; the winner is the ready device closest
+            // in rotation after the last admission (earliest-submitted
+            // copy within it, by scan order). Decided after the scan.
+            nd.held = true;
+            if (pcie_running == 0 &&
+                (rr_pick < 0 || rr_dist(nd.dev) < rr_dist(nodes[rr_pick].dev)))
+              rr_pick = static_cast<std::ptrdiff_t>(i);
+            continue;
+        }
       }
       nd.running = true;
       fs.items[nd.dev][i - nd.base].start_s = t;
+    }
+    if (rr_pick >= 0) {
+      Node& nd = nodes[static_cast<std::size_t>(rr_pick)];
+      nd.held = false;
+      nd.running = true;
+      fs.items[nd.dev][static_cast<std::size_t>(rr_pick) - nd.base].start_s =
+          t;
+      rr_next = (nd.dev + 1) % static_cast<unsigned>(ndev);
     }
 
     // Bandwidth shares: per-device memory, fleet-wide PCIe.
@@ -154,10 +203,21 @@ FleetSchedule DeviceGroup::simulate() {
       if (nodes[i].mem_left > kEps)
         dt = std::min(dt, nodes[i].mem_left * share);
     }
-    if (!std::isfinite(dt)) break;  // nothing runnable: defensive stop
+    if (!std::isfinite(dt)) {
+      // Nothing is runnable yet items remain: the captured timelines
+      // deadlocked (only reachable with hand-injected items, e.g. a
+      // cyclic dep). Breaking here used to leave the undone items with
+      // finish_s == 0 and silently under-report the makespan.
+      throw std::runtime_error(
+          "DeviceGroup::simulate: deadlock — " +
+          std::to_string(n - done_count) + " of " + std::to_string(n) +
+          " items can never start (unsatisfiable dependencies)");
+    }
     dt = std::max(dt, 0.0);
 
     for (std::size_t i = 0; i < n; ++i) {
+      if (nodes[i].held)  // admission wait under the staging policy
+        fs.pcie_queue_s[nodes[i].dev] += dt;
       if (!nodes[i].running) continue;
       const double share = share_of(nodes[i]);
       nodes[i].comp_left -= dt;
@@ -176,10 +236,25 @@ FleetSchedule DeviceGroup::simulate() {
   for (std::size_t d = 0; d < ndev; ++d) {
     Device& dev = *devices_[d].dev;
     const auto& items = dev.timeline().items();
+    // Busy time = union of kernel intervals (time with >= 1 kernel
+    // resident), so busy_s/makespan is a true [0, 1] utilization —
+    // summing spans would double-count concurrent kernels.
+    std::vector<std::pair<double, double>> spans;
     for (std::size_t i = 0; i < items.size(); ++i) {
       fs.finish_s[d] = std::max(fs.finish_s[d], fs.items[d][i].finish_s);
       if (items[i].resource == Resource::kDeviceMemory)
-        fs.busy_s[d] += fs.items[d][i].finish_s - fs.items[d][i].start_s;
+        spans.emplace_back(fs.items[d][i].start_s, fs.items[d][i].finish_s);
+    }
+    std::sort(spans.begin(), spans.end());
+    double cover_end = -1.0;
+    for (const auto& [s0, s1] : spans) {
+      if (s0 > cover_end) {
+        fs.busy_s[d] += s1 - s0;
+        cover_end = s1;
+      } else if (s1 > cover_end) {
+        fs.busy_s[d] += s1 - cover_end;
+        cover_end = s1;
+      }
     }
     // Contention stall: merged copy durations vs the device's own
     // (contention-free) schedule of the same items.

@@ -209,6 +209,7 @@ CaptureProfile collect_profile(DeviceGroup& group) {
   const FleetSchedule fs = group.simulate();
   const perfmodel::GpuSpec& spec0 = group.device(0).spec();
   p.device = spec0.name;
+  p.staging = group.staging().name();
   p.model_ms = fs.makespan_s * 1e3;
   p.mem_bw_Bps = spec0.mem_bandwidth_Bps;
   p.pcie_bw_Bps = spec0.pcie_bandwidth_Bps;
@@ -260,9 +261,11 @@ std::string CaptureProfile::to_json() const {
      << ",\"max_concurrent_kernels\":" << max_concurrent_kernels
      << ",\"occupancy_frac\":" << jnum(occupancy_frac);
 
-  // Fleet captures only: one entry per device lane (index == trace pid).
-  // Absent for single-device captures so their serialization is unchanged.
+  // Fleet captures only: the staging policy the merged schedule ran
+  // under, plus one entry per device lane (index == trace pid). Absent
+  // for single-device captures so their serialization is unchanged.
   if (!lanes.empty()) {
+    os << ",\"staging\":" << jstr(staging);
     os << ",\"devices\":[";
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       const DeviceLane& l = lanes[i];

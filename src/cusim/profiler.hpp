@@ -108,6 +108,12 @@ struct CaptureProfile {
   /// time origin, and to_json() gains a "devices" array.
   std::vector<DeviceLane> lanes;
 
+  /// PcieStaging policy name the merged schedule ran under (fleet
+  /// captures only; empty — and never serialized — for a single-Device
+  /// capture). Serialized next to "devices", and thereby visible in the
+  /// chrome trace's embedded "profile" object.
+  std::string staging;
+
   /// BufferPool::global() stats at begin_capture() and at collection;
   /// pool_delta() is what "no allocations after warm-up" asserts on.
   /// Serialization (to_json/to_table) carries only the delta — the

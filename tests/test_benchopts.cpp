@@ -91,6 +91,64 @@ TEST(BenchOpts, ProfileEnvIsOverriddenByFlag) {
   ::unsetenv("CUSFFT_PROFILE");
 }
 
+TEST(BenchOpts, MixedFlagAndEnv) {
+  ::unsetenv("CUSFFT_MIXED");
+  const char* none[] = {"bench"};
+  EXPECT_FALSE(BenchOpts::parse(1, const_cast<char**>(none)).mixed);
+
+  const char* argv[] = {"bench", "--mixed"};
+  EXPECT_TRUE(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv))
+                  .mixed);
+
+  ::setenv("CUSFFT_MIXED", "1", 1);
+  EXPECT_TRUE(BenchOpts::parse(1, const_cast<char**>(none)).mixed);
+  ::setenv("CUSFFT_MIXED", "0", 1);
+  EXPECT_FALSE(BenchOpts::parse(1, const_cast<char**>(none)).mixed);
+  ::unsetenv("CUSFFT_MIXED");
+}
+
+// Malformed input is a usage error (exit 2 with the usage text on
+// stderr), never a silently degenerate run. The old parser let strtoull
+// turn CUSFFT_K=abc into k=0 and dropped unknown/misplaced flags.
+using BenchOptsDeathTest = ::testing::Test;
+
+TEST(BenchOptsDeathTest, MalformedEnvNumberExits) {
+  ::setenv("CUSFFT_K", "abc", 1);
+  const char* argv[] = {"bench"};
+  EXPECT_EXIT(BenchOpts::parse(1, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "CUSFFT_K");
+  ::unsetenv("CUSFFT_K");
+}
+
+TEST(BenchOptsDeathTest, MalformedCliValueExits) {
+  const char* argv[] = {"bench", "--k", "12x"};
+  EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "--k");
+}
+
+TEST(BenchOptsDeathTest, NegativeValueExits) {
+  const char* argv[] = {"bench", "--devices", "-3"};
+  EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "non-negative");
+}
+
+TEST(BenchOptsDeathTest, TrailingFlagMissingValueExits) {
+  const char* argv[] = {"bench", "--seed"};
+  EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "missing value");
+}
+
+TEST(BenchOptsDeathTest, UnknownFlagExits) {
+  const char* argv[] = {"bench", "--frobnicate", "1"};
+  EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
 TEST(PaperParams, FollowsPaperRegimeByDefault) {
   ::unsetenv("CUSFFT_BCST");
   ::unsetenv("CUSFFT_LOOPS_LOC");

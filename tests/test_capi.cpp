@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -164,6 +165,130 @@ TEST(CApi, BatchPipelineToggleKeepsResultsIdentical) {
   EXPECT_EQ(cusfft_set_batch_pipeline(hs, 0), CUSFFT_SUCCESS);
   EXPECT_EQ(cusfft_destroy(hs), CUSFFT_SUCCESS);
   EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
+}
+
+TEST(CApi, PipelineEnvRereadEachBatch) {
+  // CUSFFT_PIPELINE must be consulted on every batch. The old resolver
+  // latched the first value in a function-local static, so flipping the
+  // environment between runs silently did nothing. The modeled makespan
+  // (profile "model_ms") is the observable: serialized batches are
+  // strictly slower than pipelined ones, bit-identical results aside.
+  constexpr std::size_t kBatch = 4;
+  constexpr std::size_t kCap = 64;
+  const std::size_t n = 1 << 12, k = 8;
+  std::vector<double> inputs;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const CWorkload w = make_workload(n, k, 600 + i);
+    const double* d = reinterpret_cast<const double*>(w.x.data());
+    inputs.insert(inputs.end(), d, d + 2 * n);
+  }
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, n, k, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+
+  auto run_model_ms = [&]() {
+    std::vector<uint64_t> locs(kBatch * kCap);
+    std::vector<double> vals(2 * kBatch * kCap);
+    std::size_t counts[kBatch] = {};
+    EXPECT_EQ(cusfft_execute_many(h, inputs.data(), kBatch, kCap,
+                                  locs.data(), vals.data(), counts),
+              CUSFFT_SUCCESS);
+    std::size_t len = 0;
+    EXPECT_EQ(cusfft_profile_json(h, nullptr, 0, &len), CUSFFT_SUCCESS);
+    std::vector<char> buf(len);
+    EXPECT_EQ(cusfft_profile_json(h, buf.data(), buf.size(), &len),
+              CUSFFT_SUCCESS);
+    cusfft::json::Value doc;
+    std::string err;
+    EXPECT_TRUE(cusfft::json::parse(buf.data(), doc, &err)) << err;
+    const cusfft::json::Value* profile = doc.find("profile");
+    return profile != nullptr ? profile->number_or("model_ms", -1.0) : -1.0;
+  };
+
+  ::setenv("CUSFFT_PIPELINE", "1", 1);
+  run_model_ms();  // warm-up: pool and pipeline buffers allocate once
+  const double pipelined = run_model_ms();
+  ::setenv("CUSFFT_PIPELINE", "0", 1);
+  const double serialized = run_model_ms();
+  ::setenv("CUSFFT_PIPELINE", "1", 1);
+  const double pipelined_again = run_model_ms();
+  ::unsetenv("CUSFFT_PIPELINE");
+
+  EXPECT_GT(pipelined, 0.0);
+  EXPECT_GT(serialized, pipelined) << "env flip must reach the scheduler";
+  EXPECT_DOUBLE_EQ(pipelined_again, pipelined);
+  EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
+}
+
+TEST(CApi, PcieStagingAndShardPolicyControls) {
+  constexpr std::size_t kBatch = 4;
+  constexpr std::size_t kCap = 64;
+  const std::size_t n = 1 << 12, k = 8;
+  std::vector<double> inputs;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const CWorkload w = make_workload(n, k, 850 + i);
+    const double* d = reinterpret_cast<const double*>(w.x.data());
+    inputs.insert(inputs.end(), d, d + 2 * n);
+  }
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, n, k, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+
+  // Argument validation.
+  EXPECT_EQ(cusfft_set_pcie_staging(nullptr, CUSFFT_STAGING_UNLIMITED, 0),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_set_pcie_staging(h, CUSFFT_STAGING_MAX_INFLIGHT, 0),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_set_pcie_staging(h, static_cast<cusfft_pcie_staging>(99),
+                                    1),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_set_shard_policy(nullptr, CUSFFT_SHARD_COST_LPT),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_set_shard_policy(h, static_cast<cusfft_shard_policy>(99)),
+            CUSFFT_INVALID_ARGUMENT);
+
+  ASSERT_EQ(cusfft_set_device_count(h, 2), CUSFFT_SUCCESS);
+  auto run = [&](std::vector<uint64_t>& locs, std::vector<double>& vals,
+                 std::size_t* counts) {
+    ASSERT_EQ(cusfft_execute_many(h, inputs.data(), kBatch, kCap,
+                                  locs.data(), vals.data(), counts),
+              CUSFFT_SUCCESS);
+  };
+  std::vector<uint64_t> locs1(kBatch * kCap), locs2(kBatch * kCap);
+  std::vector<double> vals1(2 * kBatch * kCap), vals2(2 * kBatch * kCap);
+  std::size_t counts1[kBatch] = {}, counts2[kBatch] = {};
+  run(locs1, vals1, counts1);
+  cusfft_fleet_stats fs;
+  ASSERT_EQ(cusfft_get_fleet_stats(h, &fs), CUSFFT_SUCCESS);
+  EXPECT_EQ(fs.pcie_queue_ms, 0.0);  // unlimited never queues
+
+  // Staged + legacy sharding: scheduling knobs only, results identical.
+  ASSERT_EQ(cusfft_set_pcie_staging(h, CUSFFT_STAGING_ROUND_ROBIN, 0),
+            CUSFFT_SUCCESS);
+  ASSERT_EQ(cusfft_set_shard_policy(h, CUSFFT_SHARD_UNIT_GREEDY),
+            CUSFFT_SUCCESS);
+  run(locs2, vals2, counts2);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    ASSERT_EQ(counts1[i], counts2[i]) << "signal " << i;
+    for (std::size_t j = 0; j < counts1[i]; ++j) {
+      EXPECT_EQ(locs1[i * kCap + j], locs2[i * kCap + j]);
+      EXPECT_EQ(vals1[2 * (i * kCap + j)], vals2[2 * (i * kCap + j)]);
+      EXPECT_EQ(vals1[2 * (i * kCap + j) + 1],
+                vals2[2 * (i * kCap + j) + 1]);
+    }
+  }
+  ASSERT_EQ(cusfft_get_fleet_stats(h, &fs), CUSFFT_SUCCESS);
+  EXPECT_GE(fs.pcie_queue_ms, 0.0);
+  EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
+
+  // CPU backends accept and ignore both knobs.
+  cusfft_handle cpu = nullptr;
+  ASSERT_EQ(cusfft_plan(&cpu, n, k, CUSFFT_BACKEND_SERIAL), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_set_pcie_staging(cpu, CUSFFT_STAGING_MAX_INFLIGHT, 2),
+            CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_set_shard_policy(cpu, CUSFFT_SHARD_UNIT_GREEDY),
+            CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_destroy(cpu), CUSFFT_SUCCESS);
 }
 
 TEST(CApi, MultiDeviceShardingMatchesSingleDevice) {
