@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
 
   ResultTable t({"mode", "signals", "host_ms", "host_sps",
                  "model_ms_per_signal"});
+  std::vector<JsonRow> json_rows;
   auto add = [&](const char* mode, double host_ms, double model_ms) {
     t.add_row({mode, std::to_string(batch), ResultTable::num(host_ms),
                ResultTable::num(host_ms > 0
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
                ResultTable::num(batch > 0
                                     ? model_ms / static_cast<double>(batch)
                                     : 0)});
+    json_rows.push_back({mode, host_ms, model_ms});
   };
 
   {  // cold_plan: plan + execute per signal (pool/filter-cache warm-up run
@@ -266,6 +268,7 @@ int main(int argc, char** argv) {
             << " misses\n\n";
 
   emit(o, "throughput", t);
+  if (!o.json.empty()) write_results_json(o.json, "throughput", json_rows);
   // Spectra equivalence is the bench's correctness gate (CI runs it).
   return identical && mixed_identical ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #include "common.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -26,10 +28,11 @@ namespace {
             << "usage: bench [--min-logn N] [--max-logn N] [--k N]\n"
                "             [--fixed-logn N] [--seed N] [--devices N]\n"
                "             [--mixed] [--out-dir DIR] [--profile PATH]\n"
+               "             [--json PATH]\n"
                "env: CUSFFT_MIN_LOGN CUSFFT_MAX_LOGN CUSFFT_K "
                "CUSFFT_FIXED_LOGN CUSFFT_SEED\n"
                "     CUSFFT_DEVICES CUSFFT_MIXED CUSFFT_OUT_DIR "
-               "CUSFFT_PROFILE\n";
+               "CUSFFT_PROFILE CUSFFT_JSON\n";
   std::exit(2);
 }
 
@@ -105,6 +108,7 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
   o.mixed = env_or("CUSFFT_MIXED", o.mixed ? 1 : 0) != 0;
   if (const char* d = std::getenv("CUSFFT_OUT_DIR")) o.out_dir = d;
   if (const char* p = std::getenv("CUSFFT_PROFILE")) o.profile = p;
+  if (const char* p = std::getenv("CUSFFT_JSON")) o.json = p;
   // Every argv token must be consumed: a trailing flag with no value or
   // an unknown flag is a usage error, not a silent no-op (the old
   // two-at-a-time loop dropped both).
@@ -123,6 +127,7 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
     else if (key == "--devices") o.devices = parse_u64(key, value());
     else if (key == "--out-dir") o.out_dir = value();
     else if (key == "--profile") o.profile = value();
+    else if (key == "--json") o.json = value();
     else usage_exit("unknown flag '" + key + "'");
   }
   if (o.max_logn < o.min_logn) o.max_logn = o.min_logn;
@@ -132,6 +137,28 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
 }
 
 const std::string& profile_path() { return g_profile_path; }
+
+bool write_results_json(const std::string& path, const std::string& bench,
+                        const std::vector<JsonRow>& rows) {
+  std::ofstream f(path);
+  if (!f) {
+    std::cout << "[json] failed to write " << path << "\n";
+    return false;
+  }
+  f << "{\n  \"bench\": \"" << bench << "\",\n  \"results\": [\n";
+  char buf[64];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    f << "    {\"name\": \"" << rows[i].name << "\", ";
+    std::snprintf(buf, sizeof(buf), "%.6f", rows[i].host_ms);
+    f << "\"host_ms\": " << buf << ", ";
+    std::snprintf(buf, sizeof(buf), "%.6f", rows[i].model_ms);
+    f << "\"model_ms\": " << buf << "}";
+    f << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  f << "  ]\n}\n";
+  std::cout << "[json] " << path << "\n";
+  return f.good();
+}
 
 void write_profile_artifact(const cusim::CaptureProfile& p,
                             const std::string& path) {

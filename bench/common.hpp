@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/table.hpp"
 #include "core/timer.hpp"
@@ -43,6 +44,10 @@ struct BenchOpts {
   /// it). parse() also registers the path process-wide so run_cusfft()
   /// emits it without per-bench wiring (docs/PROFILING.md).
   std::string profile;
+  /// When non-empty, benches that support it (bench_throughput) write a
+  /// machine-readable summary — host_ms and modeled ms per configuration —
+  /// to this path. Env CUSFFT_JSON / --json.
+  std::string json;
 
   /// Reads CUSFFT_MIN_LOGN / CUSFFT_MAX_LOGN / CUSFFT_K / CUSFFT_FIXED_LOGN
   /// / CUSFFT_SEED / CUSFFT_DEVICES / CUSFFT_MIXED / CUSFFT_OUT_DIR /
@@ -95,5 +100,18 @@ void write_profile_artifact(const cusim::CaptureProfile& p,
 /// The profile path registered by the last BenchOpts::parse() (empty when
 /// profiling is off).
 const std::string& profile_path();
+
+/// One row of a --json bench summary.
+struct JsonRow {
+  std::string name;
+  double host_ms = 0;
+  double model_ms = 0;
+};
+
+/// Writes `{"bench": <bench>, "results": [{"name", "host_ms",
+/// "model_ms"}...]}` to `path`. Returns false (and reports to stdout) when
+/// the file cannot be written.
+bool write_results_json(const std::string& path, const std::string& bench,
+                        const std::vector<JsonRow>& rows);
 
 }  // namespace cusfft::bench

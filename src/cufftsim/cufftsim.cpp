@@ -50,6 +50,11 @@ struct Plan::Impl {
       }
 
     auto cfg = LaunchCfg::for_elements("cufft_stage", total, 256, stream);
+    // Addresses depend on the stage geometry only: Ns (stride layout), R
+    // (loads per thread), per (transform width; batch follows from the
+    // launch shape). The twiddle/DFT values never touch the trace.
+    cfg.cache((static_cast<u64>(Ns) << 34) |
+              (static_cast<u64>(per) << 4) | R);
     dev->launch(cfg, [&, Ns, R, sign, per, total, dftm](ThreadCtx& t) {
       const u64 tid = t.global_id();
       if (tid >= total) return;
@@ -137,7 +142,8 @@ void Plan::execute(DeviceBuffer<cplx>& data, Direction dir,
     // also pays an extra pass when the pass count is odd).
     const std::size_t total = data.size();
     impl_->dev->launch(
-        LaunchCfg::for_elements("cufft_copyback", total, 256, stream),
+        LaunchCfg::for_elements("cufft_copyback", total, 256, stream)
+            .cache(total),
         [&](ThreadCtx& t) {
           const u64 i = t.global_id();
           if (i < total) data.store(t, i, impl_->work.load(t, i));

@@ -25,6 +25,20 @@ using cusim::ThreadCtx;
 
 namespace {
 constexpr std::size_t kMaxLoops = 32;  // estimation kernel's register array
+
+/// FNV-1a over a word sequence — the plan's captured-graph domain salt.
+/// Everything that shapes a cacheable kernel's access pattern (sizes,
+/// permutation draws, comb taus, option toggles) folds in, so two plans
+/// share launch records only when their launches are actually identical.
+struct SaltHash {
+  u64 h = 1469598103934665603ULL;
+  void mix(u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+};
 }
 
 struct GpuPlan::Impl {
@@ -34,6 +48,7 @@ struct GpuPlan::Impl {
 
   std::size_t n = 0, B = 0, L = 0, w_pad = 0, rounds = 0, mask = 0;
   std::size_t hits_cap = 0;
+  u64 graph_salt = 0;                    // captured-graph domain (ctor)
   std::vector<sfft::LoopPerm> perms;     // same draw as the serial plan
 
   // Device-resident state (allocated once per plan, like a real cusFFT
@@ -124,27 +139,37 @@ struct GpuPlan::Impl {
   void k_perm_filter_partition(std::size_t r, DeviceBuffer<cplx>& dst,
                                std::size_t dst_off, StreamId s) {
     const u64 ai = perms[r].ai, tau = perms[r].tau;
-    dev->launch(LaunchCfg::for_elements("pf_partition", B, 256, s),
-                [&, ai, tau, dst_off](ThreadCtx& t) {
+    // Index mapping (Fig. 3): index(off) = (tau + off*ai) mod n. Per round
+    // off advances by B, so the index advances by the constant B*ai — mod
+    // 2^k arithmetic under the mask is exact, turning the per-round 64-bit
+    // multiply into an add+mask. Accumulating the re/im planes as plain
+    // doubles is the same naive product complex operator* lowers to for
+    // finite values: buckets stay bit-identical.
+    const u64 step = (B * ai) & mask;
+    dev->launch(LaunchCfg::for_elements("pf_partition", B, 256, s).cache(r),
+                [&, ai, tau, step, dst_off](ThreadCtx& t) {
                   const u64 tid = t.global_id();
                   if (tid >= B) return;
-                  cplx my_bucket{0.0, 0.0};
+                  double mr = 0.0, mi = 0.0;
+                  u64 index = (tau + tid * ai) & mask;
                   for (std::size_t j = 0; j < rounds; ++j) {
                     const u64 off = tid + B * j;
-                    // Index mapping (Fig. 3): no loop-carried dependence.
-                    const u64 index = (tau + off * ai) & mask;
-                    my_bucket += sig_->load(t, index) *
-                                 d_filter_time.load(t, off);
+                    const cplx xv = sig_->load(t, index);
+                    const cplx fv = d_filter_time.load(t, off);
+                    mr += xv.real() * fv.real() - xv.imag() * fv.imag();
+                    mi += xv.real() * fv.imag() + xv.imag() * fv.real();
+                    index = (index + step) & mask;
                     t.add_flops(10);
                   }
-                  dst.store(t, dst_off + tid, my_bucket);
+                  dst.store(t, dst_off + tid, cplx{mr, mi});
                 });
   }
 
   /// Section V.A: remap chunk c into coalesced order on its own stream.
   void k_remap(std::size_t r, std::size_t c, StreamId s) {
     const u64 ai = perms[r].ai, tau = perms[r].tau;
-    dev->launch(LaunchCfg::for_elements("pf_remap", B, 256, s),
+    dev->launch(LaunchCfg::for_elements("pf_remap", B, 256, s)
+                    .cache((static_cast<u64>(r) << 32) | c),
                 [&, ai, tau, c](ThreadCtx& t) {
                   const u64 i = t.global_id();
                   if (i >= B) return;
@@ -157,7 +182,7 @@ struct GpuPlan::Impl {
   /// Section V.A: execute kernel — consumes the reordered chunk, all
   /// accesses coalesced.
   void k_execute_chunk(std::size_t c, StreamId s) {
-    dev->launch(LaunchCfg::for_elements("pf_execute", B, 256, s),
+    dev->launch(LaunchCfg::for_elements("pf_execute", B, 256, s).cache(c),
                 [&, c](ThreadCtx& t) {
                   const u64 i = t.global_id();
                   if (i >= B) return;
@@ -170,8 +195,9 @@ struct GpuPlan::Impl {
 
   /// Section V.A: combine per-chunk partials into the loop's buckets.
   void k_combine(DeviceBuffer<cplx>& dst, std::size_t dst_off, StreamId s) {
-    dev->launch(LaunchCfg::for_elements("pf_combine", B, 256, s),
-                [&, dst_off](ThreadCtx& t) {
+    dev->launch(
+        LaunchCfg::for_elements("pf_combine", B, 256, s).cache(dst_off),
+        [&, dst_off](ThreadCtx& t) {
                   const u64 i = t.global_id();
                   if (i >= B) return;
                   cplx acc{0.0, 0.0};
@@ -189,7 +215,7 @@ struct GpuPlan::Impl {
   void k_atomic_histogram(std::size_t r, DeviceBuffer<cplx>& dst,
                           std::size_t dst_off, StreamId s) {
     const u64 ai = perms[r].ai, tau = perms[r].tau;
-    dev->launch(LaunchCfg::for_elements("pf_zero", B, 256, s),
+    dev->launch(LaunchCfg::for_elements("pf_zero", B, 256, s).cache(dst_off),
                 [&, dst_off](ThreadCtx& t) {
                   const u64 i = t.global_id();
                   if (i < B) dst.store(t, dst_off + i, cplx{0.0, 0.0});
@@ -221,7 +247,7 @@ struct GpuPlan::Impl {
   void k_shared_histogram(std::size_t r, DeviceBuffer<cplx>& dst,
                           std::size_t dst_off, StreamId s) {
     const u64 ai = perms[r].ai, tau = perms[r].tau;
-    dev->launch(LaunchCfg::for_elements("pf_zero", B, 256, s),
+    dev->launch(LaunchCfg::for_elements("pf_zero", B, 256, s).cache(dst_off),
                 [&, dst_off](ThreadCtx& t) {
                   const u64 i = t.global_id();
                   if (i < B) dst.store(t, dst_off + i, cplx{0.0, 0.0});
@@ -272,7 +298,7 @@ struct GpuPlan::Impl {
   void k_serial_chain(std::size_t r, DeviceBuffer<cplx>& dst,
                       std::size_t dst_off, StreamId s) {
     const u64 ai = perms[r].ai, tau = perms[r].tau;
-    dev->launch(LaunchCfg::for_elements("pf_zero", B, 256, s),
+    dev->launch(LaunchCfg::for_elements("pf_zero", B, 256, s).cache(dst_off),
                 [&, dst_off](ThreadCtx& t) {
                   const u64 i = t.global_id();
                   if (i < B) dst.store(t, dst_off + i, cplx{0.0, 0.0});
@@ -298,7 +324,7 @@ struct GpuPlan::Impl {
   /// Step 4 baseline (Algorithm 3): sort & select on |bucket|^2 keys.
   /// Leaves the selected bucket indices in d_vals[0..cutoff).
   std::size_t cutoff_sort_select(std::size_t r, StreamId s) {
-    dev->launch(LaunchCfg::for_elements("cutoff_keys", B, 256, s),
+    dev->launch(LaunchCfg::for_elements("cutoff_keys", B, 256, s).cache(r),
                 [&, r](ThreadCtx& t) {
                   const u64 i = t.global_id();
                   if (i >= B) return;
@@ -319,7 +345,7 @@ struct GpuPlan::Impl {
     {
       // View of loop r's buckets: reuse d_z as a staging copy to keep the
       // reduction primitive simple (one coalesced copy kernel).
-      dev->launch(LaunchCfg::for_elements("cutoff_stage", B, 256, s),
+      dev->launch(LaunchCfg::for_elements("cutoff_stage", B, 256, s).cache(r),
                   [&, r](ThreadCtx& t) {
                     const u64 i = t.global_id();
                     if (i < B) zb_->store(t, i, buck_->load(t, r * B + i));
@@ -329,7 +355,7 @@ struct GpuPlan::Impl {
     const double thresh2 =
         opts.select_beta * opts.select_beta * norm2 / static_cast<double>(B);
 
-    dev->launch(LaunchCfg::for_elements("select_reset", 1, 1, s),
+    dev->launch(LaunchCfg::for_elements("select_reset", 1, 1, s).cache(0),
                 [&](ThreadCtx& t) { d_sel_count.store(t, 0, 0); });
     // The atomic slot counter defines d_selected's layout; thread order
     // must stay fixed so the selected list is identical (and ascending)
@@ -358,13 +384,14 @@ struct GpuPlan::Impl {
     const std::size_t W = comb_W;
     const std::size_t stride = n / W;
     const std::size_t keep = std::min(p.comb_keep(), W);
-    dev->launch(LaunchCfg::for_elements("comb_clear", W, 256, s),
+    dev->launch(LaunchCfg::for_elements("comb_clear", W, 256, s).cache(W),
                 [&](ThreadCtx& t) {
                   const u64 i = t.global_id();
                   if (i < W) comb_approved_->store(t, i, 0);
                 });
     for (const u64 tau : comb_taus) {
-      dev->launch(LaunchCfg::for_elements("comb_subsample", W, 256, s),
+      dev->launch(
+          LaunchCfg::for_elements("comb_subsample", W, 256, s).cache(tau),
                   [&, tau, stride](ThreadCtx& t) {
                     const u64 i = t.global_id();
                     if (i >= W) return;
@@ -373,7 +400,7 @@ struct GpuPlan::Impl {
                                                         mask));
                   });
       comb_fft->execute(d_comb_y, cufftsim::Direction::kForward, s);
-      dev->launch(LaunchCfg::for_elements("comb_keys", W, 256, s),
+      dev->launch(LaunchCfg::for_elements("comb_keys", W, 256, s).cache(W),
                   [&](ThreadCtx& t) {
                     const u64 i = t.global_id();
                     if (i >= W) return;
@@ -520,6 +547,10 @@ struct GpuPlan::Impl {
     cusim::Device& dev = *this->dev;
     if (x.size() != n)
       throw std::invalid_argument("GpuPlan::execute: signal size mismatch");
+    // Scope cacheable launches to this plan's parameter draw. A device
+    // shared by several plans switches domains here; records persist per
+    // domain, so interleaved plans still replay their own captures.
+    dev.set_graph_domain(graph_salt);
     bind_buffers(ctx.parity);
     const StreamId hs = ctx.s;
     auto annotate = [&](const char* name) {
@@ -542,12 +573,12 @@ struct GpuPlan::Impl {
     }
 
     // Reset per-signal state.
-    dev.launch(LaunchCfg::for_elements("score_clear", n, 256, hs),
+    dev.launch(LaunchCfg::for_elements("score_clear", n, 256, hs).cache(n),
                [&](ThreadCtx& t) {
                  const u64 i = t.global_id();
                  if (i < n) score_->store(t, i, 0);
                });
-    dev.launch(LaunchCfg::for_elements("hits_reset", 1, 1, hs),
+    dev.launch(LaunchCfg::for_elements("hits_reset", 1, 1, hs).cache(0),
                [&](ThreadCtx& t) { num_hits_->store(t, 0, 0); });
 
     ev.setup = annotate(kPhaseBin);
@@ -606,7 +637,7 @@ struct GpuPlan::Impl {
 
       if (!opts.batched_fft) {
         fft_single->execute(*zb_, cufftsim::Direction::kForward, hs);
-        dev.launch(LaunchCfg::for_elements("bucket_copy", B, 256, hs),
+        dev.launch(LaunchCfg::for_elements("bucket_copy", B, 256, hs).cache(r),
                    [&, r](ThreadCtx& t) {
                      const u64 i = t.global_id();
                      if (i < B)
@@ -729,6 +760,28 @@ GpuPlan::GpuPlan(cusim::Device& dev, sfft::Params params, Options opts)
       im.comb_taus.resize(params.comb_rounds);
       for (auto& t : im.comb_taus) t = rng.next_below(im.n);
     }
+  }
+  {
+    // Captured-graph domain salt: every input that shapes a cacheable
+    // kernel's access pattern. Two plans replay each other's records only
+    // when all of it matches (kernel shapes, permutation draws, option
+    // toggles); anything else is namespaced apart.
+    SaltHash sh;
+    sh.mix(im.n);
+    sh.mix(im.B);
+    sh.mix(im.L);
+    sh.mix(im.w_pad);
+    sh.mix(static_cast<u64>(opts.binning));
+    sh.mix(static_cast<u64>(opts.sort_algo));
+    sh.mix(opts.batched_fft ? 1 : 0);
+    sh.mix(opts.fast_selection ? 1 : 0);
+    for (const auto& perm : im.perms) {
+      sh.mix(perm.ai);
+      sh.mix(perm.tau);
+    }
+    for (const u64 t : im.comb_taus) sh.mix(t);
+    sh.mix(params.comb ? params.comb_w() : 0);
+    im.graph_salt = sh.h;
   }
   im.hits_cap = std::min<std::size_t>(
       im.n, std::max<std::size_t>(1, params.loops_loc * params.cutoff() *

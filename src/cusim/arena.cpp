@@ -1,0 +1,37 @@
+#include "cusim/arena.hpp"
+
+#include <algorithm>
+
+namespace cusfft::cusim {
+
+void* LaunchArena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Advance through recycled chunks first; they are already allocated.
+  while (active_ + 1 < chunks_.size()) {
+    ++active_;
+    Chunk& c = chunks_[active_];
+    const std::size_t at = (c.used + (align - 1)) & ~(align - 1);
+    if (at + bytes <= c.cap) {
+      c.used = at + bytes;
+      bytes_used_ += bytes;
+      return c.data.get() + at;
+    }
+  }
+  // Fresh chunk: double the largest so far, and always fit the request.
+  std::size_t cap = first_chunk_bytes_;
+  if (!chunks_.empty()) cap = chunks_.back().cap * 2;
+  cap = std::max(cap, bytes + align);
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(cap);
+  c.cap = cap;
+  chunks_.push_back(std::move(c));
+  active_ = chunks_.size() - 1;
+  Chunk& fresh = chunks_.back();
+  const std::size_t base =
+      reinterpret_cast<std::uintptr_t>(fresh.data.get()) & (align - 1);
+  const std::size_t at = base == 0 ? 0 : align - base;
+  fresh.used = at + bytes;
+  bytes_used_ += bytes;
+  return fresh.data.get() + at;
+}
+
+}  // namespace cusfft::cusim

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include "cusim/profiler.hpp"
 
@@ -12,11 +13,20 @@ bool sequential_env() {
   const char* env = std::getenv("CUSIM_SEQUENTIAL");
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
+
+GraphMode graph_mode_env() {
+  const char* env = std::getenv("CUSFFT_GRAPH");
+  if (env == nullptr || env[0] == '\0') return GraphMode::kOn;
+  if (std::strcmp(env, "0") == 0) return GraphMode::kOff;
+  if (std::strcmp(env, "verify") == 0) return GraphMode::kVerify;
+  return GraphMode::kOn;
+}
 }  // namespace
 
 Device::Device(perfmodel::GpuSpec spec)
     : model_(spec), timeline_(spec.max_concurrent_kernels) {
   parallel_ = !sequential_env();
+  graph_mode_ = graph_mode_env();
   pool_at_capture_ = BufferPool::global().stats();
 }
 
@@ -40,7 +50,42 @@ CaptureProfile Device::end_capture() { return collect_profile(*this); }
 double Device::elapsed_model_ms() { return timeline_.simulate() * 1e3; }
 
 void Device::finish_launch(const LaunchCfg& cfg, double flops) {
+  submit_kernel_item(cfg, flops, accum_.scaled_totals(),
+                     accum_.max_atomic_conflict());
+}
+
+void Device::finish_replay(const LaunchCfg& cfg, double flops,
+                           const LaunchRecord& rec) {
+  submit_kernel_item(cfg, flops, rec.totals, rec.max_atomic_conflict);
+}
+
+LaunchRecord Device::record_from_accum() {
+  LaunchRecord rec;
+  rec.totals = accum_.scaled_totals();
+  rec.max_atomic_conflict = accum_.max_atomic_conflict();
+  return rec;
+}
+
+void Device::verify_replay_record(const LaunchCfg& cfg,
+                                  const LaunchRecord& rec) {
   const WarpTotals t = accum_.scaled_totals();
+  const bool ok = t.coalesced_tx == rec.totals.coalesced_tx &&
+                  t.random_tx == rec.totals.random_tx &&
+                  t.useful_bytes == rec.totals.useful_bytes &&
+                  t.atomic_ops == rec.totals.atomic_ops &&
+                  t.shared_accesses == rec.totals.shared_accesses &&
+                  accum_.max_atomic_conflict() == rec.max_atomic_conflict;
+  if (!ok)
+    throw std::runtime_error(
+        std::string("cusim graph verify: counters diverged from captured "
+                    "record for kernel '") +
+        cfg.name +
+        "' — the launch was marked cacheable but its access pattern is not "
+        "determined by (name, graph_key, shape)");
+}
+
+void Device::submit_kernel_item(const LaunchCfg& cfg, double flops,
+                                const WarpTotals& t, double max_conflict) {
   perfmodel::KernelCounters c;
   c.name = cfg.name;
   c.blocks = static_cast<double>(cfg.blocks);
@@ -52,7 +97,7 @@ void Device::finish_launch(const LaunchCfg& cfg, double flops) {
   c.bytes_useful = t.useful_bytes;
   c.flops = flops;
   c.atomic_ops = t.atomic_ops;
-  c.max_atomic_conflict = accum_.max_atomic_conflict();
+  c.max_atomic_conflict = max_conflict;
   c.shared_accesses = t.shared_accesses;
 
   const perfmodel::KernelCost cost = model_.kernel_cost(c);

@@ -20,6 +20,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/thread_pool.hpp"
@@ -58,6 +59,30 @@ struct LaunchCfg {
   /// block-parallel host path. Modeled time is unaffected either way.
   bool sequential = false;
 
+  /// Opt-in captured-graph replay. The first launch of a given
+  /// (graph domain, name, graph_key, blocks, threads_per_block) tuple runs
+  /// fully traced and its extrapolated memory counters are recorded; later
+  /// identical launches skip warp tracing entirely — the functional sweep
+  /// still runs on real data (outputs stay bit-exact) and the timeline item
+  /// is rebuilt from the record. Only mark kernels whose *access pattern*
+  /// is fully determined by shape + graph_key: pool buffers sit on
+  /// 256B-aligned simulated addresses with guard gaps, so a rebind to a
+  /// different buffer shifts every address by a multiple of the 128B
+  /// transaction size and cannot change segment counts. Kernels whose
+  /// addresses depend on data values must stay off this path.
+  bool cacheable = false;
+  /// Disambiguates same-name, same-shape launches whose access pattern
+  /// differs through closure parameters (round index, chunk, stage width).
+  u64 graph_key = 0;
+
+  /// Fluent opt-in: `for_elements(...).cache(key)` marks the launch
+  /// cacheable under `key`.
+  LaunchCfg& cache(u64 key) {
+    cacheable = true;
+    graph_key = key;
+    return *this;
+  }
+
   /// Convenience: shape for one thread per element.
   static LaunchCfg for_elements(const char* name, std::size_t count,
                                 std::size_t block = 256, StreamId s = 0) {
@@ -77,6 +102,40 @@ struct KernelReport {
   double solo_s = 0;                   // summed isolated durations
 };
 
+/// Captured-graph replay mode (CUSFFT_GRAPH environment variable):
+/// "0" disables the cache (every launch traces), "verify" traces every
+/// launch anyway and cross-checks cache hits against the fresh counters
+/// (throws on any mismatch — the CI belt-and-braces mode), anything else
+/// (or unset) enables replay.
+enum class GraphMode { kOff, kOn, kVerify };
+
+/// One recorded launch: the trace-derived counters that replay restores
+/// without re-tracing. Shape-derived counters (blocks/threads/warps) and
+/// flops (recomputed by the functional sweep) are not stored.
+struct LaunchRecord {
+  WarpTotals totals;
+  double max_atomic_conflict = 0;
+};
+
+/// The captured launch graph of one Device: records keyed by
+/// (domain salt, kernel name, graph_key, blocks, threads_per_block), plus
+/// hit/record counters for tests and diagnostics.
+struct LaunchGraph {
+  /// `const void*` is the kernel-name literal's address — stable for the
+  /// process lifetime; literal duplication across TUs can only cause a
+  /// redundant record, never a wrong hit (the bytes match the pointer).
+  using Key = std::tuple<u64, const void*, u64, u64, u64>;
+
+  struct Stats {
+    u64 records = 0;   // first-sight captures
+    u64 replays = 0;   // launches served from a record (tracing skipped)
+    u64 verified = 0;  // verify-mode cross-checks that passed
+  };
+
+  std::map<Key, LaunchRecord> records;
+  Stats stats;
+};
+
 class Device {
  public:
   explicit Device(perfmodel::GpuSpec spec = perfmodel::GpuSpec::k20x());
@@ -88,8 +147,27 @@ class Device {
 
   /// Warp-sampling knob: at most this many warps are traced per launch
   /// (evenly strided); counters extrapolate by the stride. Tests that need
-  /// exact counts can raise it.
-  void set_max_traced_warps(u64 v) { max_traced_warps_ = std::max<u64>(1, v); }
+  /// exact counts can raise it. Changing the stride changes extrapolated
+  /// counters, so the captured launch graph is dropped.
+  void set_max_traced_warps(u64 v) {
+    max_traced_warps_ = std::max<u64>(1, v);
+    graph_.records.clear();
+  }
+
+  /// Namespaces the captured launch graph: records taken under one salt are
+  /// invisible under another. Plans hash their parameters/permutations into
+  /// the salt, so a plan with different params never replays another plan's
+  /// records even when kernel names and shapes coincide.
+  void set_graph_domain(u64 salt) { graph_salt_ = salt; }
+
+  /// Replay mode override for tests (the constructor reads CUSFFT_GRAPH).
+  void set_graph_mode(GraphMode m) { graph_mode_ = m; }
+  GraphMode graph_mode() const { return graph_mode_; }
+
+  /// Drops every captured record (explicit invalidation — use when modeled
+  /// behavior outside the key changes).
+  void clear_graph_cache() { graph_.records.clear(); }
+  const LaunchGraph::Stats& graph_stats() const { return graph_.stats; }
 
   /// Host-parallel functional execution toggle (default: on unless the
   /// CUSIM_SEQUENTIAL environment variable is set). Both paths produce
@@ -114,64 +192,36 @@ class Device {
   /// Launches `body(ThreadCtx&)` for every thread in the grid. Functional
   /// execution is immediate — sequential or block-parallel on the host
   /// ThreadPool (see the header comment); the modeled duration is queued on
-  /// the timeline under cfg.stream either way.
+  /// the timeline under cfg.stream either way. Launches marked
+  /// LaunchCfg::cacheable may skip warp tracing by replaying a captured
+  /// record (the functional sweep always runs; outputs are bit-exact on
+  /// every path).
   template <typename F>
   void launch(const LaunchCfg& cfg, F&& body) {
-    const std::size_t warp = spec().warp_size;
-    const std::size_t warps_per_block =
-        (cfg.threads_per_block + warp - 1) / warp;
-    const u64 total_warps = static_cast<u64>(cfg.blocks) * warps_per_block;
-    const u64 stride = std::max<u64>(1, total_warps / max_traced_warps_);
-    accum_.reset(spec().mem_transaction_bytes, stride);
-
-    // One worker's sweep over a contiguous block range, tracing into its
-    // own accumulator. Threads of a block run consecutively on one worker,
-    // preserving the intra-block ordering kernels may rely on.
-    auto run_blocks = [&](KernelAccum& acc, ThreadCtx& ctx, std::size_t b0,
-                          std::size_t b1) {
-      ctx.block_dim = static_cast<u32>(cfg.threads_per_block);
-      ctx.grid_dim = cfg.blocks;
-      for (std::size_t b = b0; b < b1; ++b) {
-        ctx.block_idx = static_cast<u32>(b);
-        u64 warp_index = static_cast<u64>(b) * warps_per_block;
-        for (std::size_t w0 = 0; w0 < cfg.threads_per_block;
-             w0 += warp, ++warp_index) {
-          const bool traced = (warp_index % stride) == 0;
-          if (traced) acc.tracer().reset(spec().mem_transaction_bytes);
-          ctx.attach_trace(traced ? &acc.tracer() : nullptr, &acc);
-          const std::size_t hi = std::min(cfg.threads_per_block, w0 + warp);
-          for (std::size_t tiid = w0; tiid < hi; ++tiid) {
-            ctx.begin_thread(static_cast<u32>(tiid));
-            body(ctx);
-          }
-          if (traced) acc.fold_warp(warp_index);
-        }
+    if (cfg.cacheable && graph_mode_ != GraphMode::kOff) {
+      const LaunchGraph::Key key{graph_salt_,
+                                 static_cast<const void*>(cfg.name),
+                                 cfg.graph_key, cfg.blocks,
+                                 cfg.threads_per_block};
+      const auto it = graph_.records.find(key);
+      if (it != graph_.records.end() && graph_mode_ == GraphMode::kOn) {
+        const double flops = replay_sweep(cfg, body);
+        finish_replay(cfg, flops, it->second);
+        ++graph_.stats.replays;
+        return;
       }
-    };
-
-    double flops = 0;
-    ThreadPool* pool = launch_pool(cfg);
-    if (pool == nullptr) {
-      ThreadCtx ctx;
-      run_blocks(accum_, ctx, 0, cfg.blocks);
-      flops = ctx.flops();
-    } else {
-      const std::size_t slots = pool->size();
-      if (worker_accums_.size() < slots) worker_accums_.resize(slots);
-      for (std::size_t s = 0; s < slots; ++s)
-        worker_accums_[s].reset(spec().mem_transaction_bytes, stride);
-      std::vector<ThreadCtx> ctxs(slots);
-      pool->parallel_for_indexed(
-          cfg.blocks,
-          [&](std::size_t slot, std::size_t b0, std::size_t b1) {
-            run_blocks(worker_accums_[slot], ctxs[slot], b0, b1);
-          });
-      for (std::size_t s = 0; s < slots; ++s) {
-        accum_.absorb(worker_accums_[s]);
-        flops += ctxs[s].flops();  // integer-valued: order-independent
+      const double flops = traced_sweep(cfg, body);
+      if (it != graph_.records.end()) {  // kVerify hit: cross-check
+        verify_replay_record(cfg, it->second);
+        ++graph_.stats.verified;
+      } else {
+        graph_.records.emplace(key, record_from_accum());
+        ++graph_.stats.records;
       }
+      finish_launch(cfg, flops);
+      return;
     }
-    finish_launch(cfg, flops);
+    finish_launch(cfg, traced_sweep(cfg, body));
   }
 
   /// Host-to-device copy: functional copy plus a PCIe timeline entry.
@@ -300,13 +350,132 @@ class Device {
   /// Picks the pool for this launch, or nullptr for the sequential sweep.
   ThreadPool* launch_pool(const LaunchCfg& cfg) const;
 
+  /// Full functional sweep with warp tracing into accum_. Returns the
+  /// grid's self-reported flops. One worker sweeps a contiguous block
+  /// range, tracing into its own accumulator; threads of a block run
+  /// consecutively on one worker, preserving the intra-block ordering
+  /// kernels may rely on.
+  template <typename F>
+  double traced_sweep(const LaunchCfg& cfg, F&& body) {
+    const std::size_t warp = spec().warp_size;
+    const std::size_t warps_per_block =
+        (cfg.threads_per_block + warp - 1) / warp;
+    const u64 total_warps = static_cast<u64>(cfg.blocks) * warps_per_block;
+    const u64 stride = std::max<u64>(1, total_warps / max_traced_warps_);
+    accum_.reset(spec().mem_transaction_bytes, stride);
+
+    auto run_blocks = [&](KernelAccum& acc, ThreadCtx& ctx, std::size_t b0,
+                          std::size_t b1) {
+      ctx.block_dim = static_cast<u32>(cfg.threads_per_block);
+      ctx.grid_dim = cfg.blocks;
+      for (std::size_t b = b0; b < b1; ++b) {
+        ctx.block_idx = static_cast<u32>(b);
+        u64 warp_index = static_cast<u64>(b) * warps_per_block;
+        for (std::size_t w0 = 0; w0 < cfg.threads_per_block;
+             w0 += warp, ++warp_index) {
+          const bool traced = (warp_index % stride) == 0;
+          if (traced) acc.tracer().clear();
+          ctx.attach_trace(traced ? &acc.tracer() : nullptr, &acc);
+          const std::size_t hi = std::min(cfg.threads_per_block, w0 + warp);
+          for (std::size_t tiid = w0; tiid < hi; ++tiid) {
+            ctx.begin_thread(static_cast<u32>(tiid));
+            body(ctx);
+          }
+          if (traced) acc.fold_warp(warp_index);
+        }
+      }
+    };
+
+    ThreadPool* pool = launch_pool(cfg);
+    if (pool == nullptr) {
+      ThreadCtx ctx;
+      run_blocks(accum_, ctx, 0, cfg.blocks);
+      return ctx.flops();
+    }
+    const std::size_t slots = pool->size();
+    if (worker_accums_.size() < slots) worker_accums_.resize(slots);
+    if (worker_ctxs_.size() < slots) worker_ctxs_.resize(slots);
+    for (std::size_t s = 0; s < slots; ++s) {
+      worker_accums_[s].reset(spec().mem_transaction_bytes, stride);
+      worker_ctxs_[s].reset_flops();
+    }
+    pool->parallel_for_indexed(
+        cfg.blocks, [&](std::size_t slot, std::size_t b0, std::size_t b1) {
+          run_blocks(worker_accums_[slot], worker_ctxs_[slot], b0, b1);
+        });
+    double flops = 0;
+    for (std::size_t s = 0; s < slots; ++s) {
+      accum_.absorb(worker_accums_[s]);
+      flops += worker_ctxs_[s].flops();  // integer-valued: order-independent
+    }
+    return flops;
+  }
+
+  /// Lean functional sweep for graph replay: no tracer is attached, so the
+  /// per-access hooks reduce to a slot increment. Same parallel/sequential
+  /// decision as the traced sweep (launch_pool), so functional outputs —
+  /// including any ordering-sensitive accumulations — are bit-identical to
+  /// a traced run. Returns the grid's self-reported flops.
+  template <typename F>
+  double replay_sweep(const LaunchCfg& cfg, F&& body) {
+    const std::size_t warp = spec().warp_size;
+    auto run_blocks = [&](ThreadCtx& ctx, std::size_t b0, std::size_t b1) {
+      ctx.block_dim = static_cast<u32>(cfg.threads_per_block);
+      ctx.grid_dim = cfg.blocks;
+      ctx.attach_trace(nullptr, nullptr);
+      for (std::size_t b = b0; b < b1; ++b) {
+        ctx.block_idx = static_cast<u32>(b);
+        for (std::size_t w0 = 0; w0 < cfg.threads_per_block; w0 += warp) {
+          const std::size_t hi = std::min(cfg.threads_per_block, w0 + warp);
+          for (std::size_t tiid = w0; tiid < hi; ++tiid) {
+            ctx.begin_thread(static_cast<u32>(tiid));
+            body(ctx);
+          }
+        }
+      }
+    };
+
+    ThreadPool* pool = launch_pool(cfg);
+    if (pool == nullptr) {
+      ThreadCtx ctx;
+      run_blocks(ctx, 0, cfg.blocks);
+      return ctx.flops();
+    }
+    const std::size_t slots = pool->size();
+    if (worker_ctxs_.size() < slots) worker_ctxs_.resize(slots);
+    for (std::size_t s = 0; s < slots; ++s) worker_ctxs_[s].reset_flops();
+    pool->parallel_for_indexed(
+        cfg.blocks, [&](std::size_t slot, std::size_t b0, std::size_t b1) {
+          run_blocks(worker_ctxs_[slot], b0, b1);
+        });
+    double flops = 0;
+    for (std::size_t s = 0; s < slots; ++s) flops += worker_ctxs_[s].flops();
+    return flops;
+  }
+
   void finish_launch(const LaunchCfg& cfg, double flops);
+  /// finish_launch for a replayed launch: counters come from the record
+  /// instead of accum_ (flops are live from the functional sweep).
+  void finish_replay(const LaunchCfg& cfg, double flops,
+                     const LaunchRecord& rec);
+  /// Exact comparison of accum_'s fresh counters against a record; throws
+  /// std::runtime_error naming the kernel on any mismatch (kVerify mode).
+  void verify_replay_record(const LaunchCfg& cfg, const LaunchRecord& rec);
+  LaunchRecord record_from_accum();
+  /// Shared tail of every launch: costs the counters, queues the timeline
+  /// item, folds the per-kernel report.
+  void submit_kernel_item(const LaunchCfg& cfg, double flops,
+                          const WarpTotals& t, double max_conflict);
   void submit_copy(const char* name, double bytes, StreamId s);
 
   perfmodel::GpuModel model_;
   Timeline timeline_;
   KernelAccum accum_;
   std::vector<KernelAccum> worker_accums_;  // reused across launches
+  std::vector<ThreadCtx> worker_ctxs_;      // reused across launches
+  LaunchGraph graph_;
+  u64 graph_salt_ = 0;
+  GraphMode graph_mode_ = GraphMode::kOn;
   std::map<std::string, KernelReport> report_;
   std::vector<PhaseAnnotation> phases_;
   BufferPool::Stats pool_at_capture_;

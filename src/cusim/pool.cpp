@@ -1,9 +1,9 @@
 #include "cusim/pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace cusfft::cusim {
 
@@ -21,20 +21,30 @@ u64 allocate_device_range(u64 bytes) {
 BufferPool::Block BufferPool::acquire(std::size_t bytes) {
   const u64 cap = std::max<u64>(256, (static_cast<u64>(bytes) + 255) &
                                          ~u64{255});
-  {
-    std::lock_guard lk(mu_);
-    auto it = free_.lower_bound(cap);
-    if (enabled_ && it != free_.end() && it->first <= 2 * cap) {
-      Block b = std::move(it->second);
-      free_.erase(it);
-      ++stats_.reuses;
-      stats_.bytes_pooled -= b.cap;
+  if (enabled_.load(std::memory_order_relaxed)) {
+    Block b;
+    bool hit = false;
+    {
+      std::lock_guard lk(mu_);
+      auto it = free_.lower_bound(cap);
+      if (it != free_.end() && it->first <= 2 * cap) {
+        b = std::move(it->second.back());
+        it->second.pop_back();
+        if (it->second.empty()) free_.erase(it);
+        hit = true;
+      }
+    }
+    if (hit) {
+      reuses_.fetch_add(1, std::memory_order_relaxed);
+      bytes_pooled_.fetch_sub(b.cap, std::memory_order_relaxed);
+      // Zero outside the lock: for MB-sized scratch this memset dominates
+      // acquire cost and must not serialize concurrent captures.
       std::memset(b.bytes.data(), 0, b.bytes.size());
       return b;
     }
-    ++stats_.allocations;
-    stats_.bytes_allocated += cap;
   }
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  bytes_allocated_.fetch_add(cap, std::memory_order_relaxed);
   Block b;
   b.cap = cap;
   b.bytes.assign(cap, std::byte{0});
@@ -44,31 +54,47 @@ BufferPool::Block BufferPool::acquire(std::size_t bytes) {
 
 void BufferPool::release(Block&& b) {
   if (b.cap == 0) return;
+  if (!enabled_.load(std::memory_order_relaxed)) return;  // frees b
+  // Reserve the budget before touching the list; roll back and free the
+  // block if the reservation overshoots. The parked total therefore never
+  // exceeds the budget even with releases racing each other.
+  const u64 prev = bytes_pooled_.fetch_add(b.cap, std::memory_order_relaxed);
+  if (prev + b.cap > max_pooled_bytes_.load(std::memory_order_relaxed)) {
+    bytes_pooled_.fetch_sub(b.cap, std::memory_order_relaxed);
+    return;  // frees b
+  }
   std::lock_guard lk(mu_);
-  if (!enabled_ || stats_.bytes_pooled + b.cap > max_pooled_bytes_) return;
-  stats_.bytes_pooled += b.cap;
-  free_.emplace(b.cap, std::move(b));
+  free_[b.cap].push_back(std::move(b));
 }
 
 void BufferPool::trim() {
-  std::lock_guard lk(mu_);
-  free_.clear();
-  stats_.bytes_pooled = 0;
+  std::map<u64, std::vector<Block>> doomed;
+  {
+    std::lock_guard lk(mu_);
+    doomed.swap(free_);
+    u64 parked = 0;
+    for (const auto& [cap, blocks] : doomed)
+      parked += cap * blocks.size();
+    bytes_pooled_.fetch_sub(parked, std::memory_order_relaxed);
+  }
+  // Destructors (the actual frees) run after the lock is dropped.
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard lk(mu_);
-  return stats_;
+  Stats s;
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  s.reuses = reuses_.load(std::memory_order_relaxed);
+  s.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
+  s.bytes_pooled = bytes_pooled_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void BufferPool::set_enabled(bool on) {
-  std::lock_guard lk(mu_);
-  enabled_ = on;
+  enabled_.store(on, std::memory_order_relaxed);
 }
 
 void BufferPool::set_max_pooled_bytes(u64 bytes) {
-  std::lock_guard lk(mu_);
-  max_pooled_bytes_ = bytes;
+  max_pooled_bytes_.store(bytes, std::memory_order_relaxed);
 }
 
 BufferPool& BufferPool::global() {

@@ -3,11 +3,17 @@
 // plan pays cudaMalloc/cudaFree per buffer; the functional simulator was
 // paying the same cost in page faults and zeroing ~20 times per plan. The
 // pool keeps released blocks (host storage + their simulated device address
-// range) on a size-keyed free list, so a warm plan rebuild or a batched
+// range) on size-class free lists, so a warm plan rebuild or a batched
 // execute_many() performs no new allocations — asserted by tests via
 // stats().
+//
+// Concurrency: the mutex guards only the free-list structure. The zeroing
+// memset on acquire (the expensive part for MB-sized blocks) runs outside
+// the lock, and stats are plain atomics so stats() never contends with the
+// worker threads that acquire scratch buffers mid-capture.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <mutex>
@@ -73,10 +79,17 @@ class BufferPool {
 
  private:
   mutable std::mutex mu_;
-  std::multimap<u64, Block> free_;  // capacity -> parked block
-  Stats stats_;
-  bool enabled_ = true;
-  u64 max_pooled_bytes_ = u64{1} << 30;
+  std::map<u64, std::vector<Block>> free_;  // size class (capacity) -> blocks
+
+  // Counters live outside the mutex: bytes_pooled_ is adjusted with a
+  // reserve-then-insert protocol in release() so the parked total never
+  // exceeds the budget even under concurrent releases.
+  std::atomic<u64> allocations_{0};
+  std::atomic<u64> reuses_{0};
+  std::atomic<u64> bytes_allocated_{0};
+  std::atomic<u64> bytes_pooled_{0};
+  std::atomic<bool> enabled_{true};
+  std::atomic<u64> max_pooled_bytes_{u64{1} << 30};
 };
 
 }  // namespace cusfft::cusim

@@ -44,6 +44,9 @@ class ThreadCtx {
     tracer_ = t;
     accum_ = a;
   }
+  /// Clears the flop counter for reuse across launches (Device keeps a pool
+  /// of worker contexts instead of constructing fresh ones per launch).
+  void reset_flops() { flops_ = 0; }
   void begin_thread(u32 tid) {
     thread_idx = tid;
     slot_ = 0;

@@ -13,7 +13,15 @@ void Timeline::clear() {
   last_on_stream_.clear();
   pending_deps_.clear();
   pending_after_.clear();
+  dep_arena_.reset();
   barrier_ = 0;
+  dirty_ = true;
+}
+
+void Timeline::clear_events() {
+  events_.clear();
+  // The cached makespan/schedule was computed for the pre-clear event set;
+  // force the next simulate() to recompute rather than reuse it.
   dirty_ = true;
 }
 
@@ -60,17 +68,34 @@ double Timeline::event_time_s(std::size_t event_id,
 }
 
 std::size_t Timeline::submit(TimelineItem item) {
+  return submit(std::move(item), {});
+}
+
+std::size_t Timeline::submit(TimelineItem item,
+                             std::span<const std::size_t> deps) {
   item.after = barrier_;
   if (const auto it = pending_after_.find(item.stream);
       it != pending_after_.end()) {
     item.after = std::max(item.after, it->second);
     pending_after_.erase(it);
   }
-  if (const auto it = pending_deps_.find(item.stream);
-      it != pending_deps_.end()) {
-    item.deps.insert(item.deps.end(), it->second.begin(), it->second.end());
-    pending_deps_.erase(it);
+  // Merge caller-set deps, the explicit list, and the stream's pending
+  // wait_event() deps into one arena-backed span: the caller's storage may
+  // not outlive this call, the arena does (until clear()).
+  const auto pend = pending_deps_.find(item.stream);
+  const std::size_t pend_n =
+      pend != pending_deps_.end() ? pend->second.size() : 0;
+  const std::size_t total = item.deps.size() + deps.size() + pend_n;
+  if (total != 0) {
+    std::size_t* dst = dep_arena_.alloc_array<std::size_t>(total);
+    std::size_t k = 0;
+    for (const std::size_t d : item.deps) dst[k++] = d;
+    for (const std::size_t d : deps) dst[k++] = d;
+    if (pend_n != 0)
+      for (const std::size_t d : pend->second) dst[k++] = d;
+    item.deps = {dst, total};
   }
+  if (pend != pending_deps_.end()) pending_deps_.erase(pend);
   items_.push_back(std::move(item));
   last_on_stream_[items_.back().stream] = items_.size() - 1;
   dirty_ = true;
@@ -115,22 +140,24 @@ double Timeline::simulate() {
 
   double t = 0.0;
   std::size_t done_count = 0;
+  // The event loop only ever touches items that are not yet done: `alive`
+  // holds them in ascending index order (compacted after each retire), and
+  // `done_prefix` is the first not-done index — "all of [0, after) done"
+  // becomes one comparison. Scheduling decisions are evaluated in the same
+  // ascending-index order as the full scan this replaced, so the schedule
+  // is bit-identical; only the per-step cost drops from O(n) to O(alive).
+  std::vector<std::size_t> alive(n);
+  for (std::size_t i = 0; i < n; ++i) alive[i] = i;
+  std::size_t done_prefix = 0;
+  unsigned dev_running = 0, pcie_running = 0;
   while (done_count < n) {
     // Start every eligible item (stream predecessor finished), respecting
     // the concurrent-kernel cap for device work.
-    unsigned dev_running = 0, pcie_running = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      if (st[i].running)
-        (items_[i].resource == Resource::kDeviceMemory ? dev_running
-                                                       : pcie_running)++;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (st[i].running || st[i].done) continue;
+    for (const std::size_t i : alive) {
+      if (st[i].running) continue;
       if (prev[i] >= 0 && !st[static_cast<std::size_t>(prev[i])].done)
         continue;
-      bool barrier_clear = true;
-      for (std::size_t b = 0; b < items_[i].after && barrier_clear; ++b)
-        barrier_clear = st[b].done;
-      if (!barrier_clear) continue;
+      if (items_[i].after > done_prefix) continue;  // barrier window open
       bool deps_clear = true;
       for (const std::size_t d : items_[i].deps)
         if (d < n && !st[d].done) {
@@ -150,14 +177,14 @@ double Timeline::simulate() {
 
     // Bandwidth is shared only among items that still demand memory.
     unsigned dev_mem = 0, pcie_mem = 0;
-    for (std::size_t i = 0; i < n; ++i)
+    for (const std::size_t i : alive)
       if (st[i].running && st[i].mem_left > kEps)
         (items_[i].resource == Resource::kDeviceMemory ? dev_mem
                                                        : pcie_mem)++;
 
     // Next completion under the current bandwidth shares.
     double dt = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t i : alive) {
       if (!st[i].running) continue;
       const double share =
           items_[i].resource == Resource::kDeviceMemory
@@ -173,7 +200,8 @@ double Timeline::simulate() {
     dt = std::max(dt, 0.0);
 
     // Advance everything by dt and retire finished items.
-    for (std::size_t i = 0; i < n; ++i) {
+    bool retired = false;
+    for (const std::size_t i : alive) {
       if (!st[i].running) continue;
       const double share =
           items_[i].resource == Resource::kDeviceMemory
@@ -186,9 +214,18 @@ double Timeline::simulate() {
         st[i].done = true;
         schedule_[i].finish_s = t + dt;
         ++done_count;
+        retired = true;
+        (items_[i].resource == Resource::kDeviceMemory ? dev_running
+                                                       : pcie_running)--;
       }
     }
     t += dt;
+    if (retired) {
+      alive.erase(std::remove_if(alive.begin(), alive.end(),
+                                 [&](std::size_t i) { return st[i].done; }),
+                  alive.end());
+      while (done_prefix < n && st[done_prefix].done) ++done_prefix;
+    }
   }
   dirty_ = false;
   makespan_s_ = t;

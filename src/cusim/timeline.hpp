@@ -6,10 +6,12 @@
 
 #include <cstddef>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "cusim/arena.hpp"
 
 namespace cusfft::cusim {
 
@@ -36,8 +38,10 @@ struct TimelineItem {
 
   // Explicit cross-stream dependencies (cudaStreamWaitEvent): indices of
   // items that must finish before this one may start. Attached by submit()
-  // from the stream's pending wait_event() calls.
-  std::vector<std::size_t> deps;
+  // from the stream's pending wait_event() calls; the storage lives on the
+  // owning Timeline's launch arena (valid until that Timeline's clear()).
+  // External injectors pass their list through submit(item, deps).
+  std::span<const std::size_t> deps;
 };
 
 /// Result for one item after simulation.
@@ -53,6 +57,10 @@ class Timeline {
 
   void clear();
   std::size_t submit(TimelineItem item);  // returns item index
+  /// submit() with an explicit dependency list (raw-item injection: tests,
+  /// schedulers). The list is copied onto the timeline's arena and merged
+  /// with any pending wait_event() deps for the item's stream.
+  std::size_t submit(TimelineItem item, std::span<const std::size_t> deps);
   std::size_t item_count() const { return items_.size(); }
 
   /// Device-wide synchronization point (cudaDeviceSynchronize semantics):
@@ -74,6 +82,14 @@ class Timeline {
   /// cudaStreamWaitEvent: the next item submitted to `s` (and, by stream
   /// FIFO, everything after it) may not start before `event_id` completes.
   void wait_event(StreamId s, std::size_t event_id);
+
+  /// Drops every recorded event mark (ids become invalid) while keeping
+  /// the submitted items — long-lived captures recycle their event table
+  /// between replayed graphs this way. Invalidates the cached simulate()
+  /// result: a later simulate() recomputes instead of serving the
+  /// makespan cached for the pre-clear event set (the stale-`makespan_s_`
+  /// hazard — reuse was previously keyed on new submissions only).
+  void clear_events();
 
   /// Time of a recorded event in the last simulate() run (0 if nothing
   /// preceded it).
@@ -108,8 +124,9 @@ class Timeline {
 
   unsigned max_kernels_;
   std::size_t barrier_ = 0;
-  bool dirty_ = true;        // submissions since the last simulate()
+  bool dirty_ = true;        // submissions/event clears since simulate()
   double makespan_s_ = 0;    // cached simulate() result while !dirty_
+  LaunchArena dep_arena_;    // backs every TimelineItem::deps span
   std::vector<TimelineItem> items_;
   std::vector<ItemSchedule> schedule_;
   std::vector<EventMark> events_;

@@ -1,45 +1,76 @@
 #include "cusim/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 
 namespace cusfft::cusim {
 
-void WarpTracer::reset(std::size_t transaction_bytes) {
-  accesses_.clear();
+void WarpTracer::reset(std::size_t transaction_bytes, LaunchArena* arena) {
+  accesses_.reset(arena);
+  sorted_.reset(arena);
+  counts_.reset(arena);
+  segs_.reset(arena);
+  max_slot_ = 0;
   shared_ = 0;
   tx_bytes_ = transaction_bytes;
 }
 
+void WarpTracer::clear() {
+  accesses_.clear();
+  max_slot_ = 0;
+  shared_ = 0;
+}
+
 void WarpTracer::on_access(u32 slot, u64 addr, u32 bytes, bool atomic) {
   accesses_.push_back(Access{slot, addr, bytes, atomic});
+  max_slot_ = std::max(max_slot_, slot);
 }
 
 WarpTotals WarpTracer::finalize() {
   WarpTotals out;
   out.shared_accesses = shared_;
-  if (accesses_.empty()) return out;
-  std::stable_sort(accesses_.begin(), accesses_.end(),
-                   [](const Access& a, const Access& b) {
-                     return a.slot < b.slot;
-                   });
-  std::vector<u64> segs;
-  segs.reserve(64);
+  const std::size_t n = accesses_.size();
+  if (n == 0) return out;
+
+  // Stable counting sort by slot (equivalent to the stable_sort this
+  // replaced: lane order within a slot is preserved).
+  const std::size_t slots = static_cast<std::size_t>(max_slot_) + 1;
+  counts_.resize_uninit(slots + 1);
+  u32* off = counts_.begin();
+  std::memset(off, 0, (slots + 1) * sizeof(u32));
+  for (const Access& a : accesses_) ++off[a.slot + 1];
+  for (std::size_t s = 0; s < slots; ++s) off[s + 1] += off[s];
+  sorted_.resize_uninit(n);
+  Access* sorted = sorted_.begin();
+  for (const Access& a : accesses_) sorted[off[a.slot]++] = a;
+
   std::size_t i = 0;
-  while (i < accesses_.size()) {
-    const u32 slot = accesses_[i].slot;
-    segs.clear();
+  while (i < n) {
+    const u32 slot = sorted[i].slot;
+    // Size the segment scratch for this slot's group.
+    std::size_t group_end = i, cap = 0;
+    for (; group_end < n && sorted[group_end].slot == slot; ++group_end) {
+      const Access& a = sorted[group_end];
+      cap += static_cast<std::size_t>((a.addr + a.bytes - 1) / tx_bytes_ -
+                                      a.addr / tx_bytes_) +
+             1;
+    }
+    segs_.resize_uninit(cap);
+    u64* segs = segs_.begin();
+    std::size_t nseg = 0;
     double bytes = 0;
-    for (; i < accesses_.size() && accesses_[i].slot == slot; ++i) {
-      const auto& a = accesses_[i];
+    for (; i < group_end; ++i) {
+      const Access& a = sorted[i];
       bytes += a.bytes;
       const u64 first = a.addr / tx_bytes_;
       const u64 last = (a.addr + a.bytes - 1) / tx_bytes_;
-      for (u64 s = first; s <= last; ++s) segs.push_back(s);
+      for (u64 s = first; s <= last; ++s) segs[nseg++] = s;
       if (a.atomic) out.atomic_ops += 1;
     }
-    std::sort(segs.begin(), segs.end());
-    const double tx = static_cast<double>(
-        std::unique(segs.begin(), segs.end()) - segs.begin());
+    std::sort(segs, segs + nseg);
+    const double tx =
+        static_cast<double>(std::unique(segs, segs + nseg) - segs);
     const double min_tx =
         std::max(1.0, std::ceil(bytes / static_cast<double>(tx_bytes_)));
     out.useful_bytes += bytes;
@@ -52,20 +83,21 @@ WarpTotals WarpTracer::finalize() {
 }
 
 void KernelAccum::reset(std::size_t transaction_bytes, u64 sample_stride) {
-  tracer_.reset(transaction_bytes);
-  warps_.clear();
+  arena_.reset();
+  tracer_.reset(transaction_bytes, &arena_);
+  warps_.reset(&arena_);
   atomic_conflicts_.clear();
   stride_ = std::max<u64>(1, sample_stride);
 }
 
 void KernelAccum::fold_warp(u64 warp_index) {
-  warps_.emplace_back(warp_index, tracer_.finalize());
+  warps_.push_back({warp_index, tracer_.finalize()});
 }
 
 void KernelAccum::on_atomic_addr(u64 addr) { ++atomic_conflicts_[addr]; }
 
 void KernelAccum::absorb(KernelAccum& other) {
-  warps_.insert(warps_.end(), other.warps_.begin(), other.warps_.end());
+  warps_.append(other.warps_.begin(), other.warps_.size());
   other.warps_.clear();
   for (const auto& [addr, cnt] : other.atomic_conflicts_)
     atomic_conflicts_[addr] += cnt;
@@ -74,7 +106,7 @@ void KernelAccum::absorb(KernelAccum& other) {
 
 WarpTotals KernelAccum::scaled_totals() {
   std::sort(warps_.begin(), warps_.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const auto& a, const auto& b) { return a.index < b.index; });
   WarpTotals s;
   for (const auto& [idx, t] : warps_) {
     s.coalesced_tx += t.coalesced_tx;
@@ -94,7 +126,8 @@ WarpTotals KernelAccum::scaled_totals() {
 
 double KernelAccum::max_atomic_conflict() const {
   u32 worst = 0;
-  for (const auto& [addr, cnt] : atomic_conflicts_) worst = std::max(worst, cnt);
+  for (const auto& [addr, cnt] : atomic_conflicts_)
+    worst = std::max(worst, cnt);
   return static_cast<double>(worst) * static_cast<double>(stride_);
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "cusim/arena.hpp"
 
 namespace cusfft::cusim {
 
@@ -25,7 +26,14 @@ struct WarpTotals {
 
 class WarpTracer {
  public:
-  void reset(std::size_t transaction_bytes);
+  /// `arena` backs the access records until the next reset; it must outlive
+  /// the tracer's use and is recycled by the owning KernelAccum per launch.
+  void reset(std::size_t transaction_bytes, LaunchArena* arena);
+
+  /// Empties the record list for the next traced warp, keeping all storage
+  /// (same arena generation) — the per-warp cycle allocates nothing once
+  /// the capacity high-water mark is reached.
+  void clear();
 
   /// Records one lane's access. `slot` is the lane-local sequence number of
   /// the access; the i-th access of every lane is treated as one warp-wide
@@ -36,7 +44,10 @@ class WarpTracer {
 
   /// Groups slots into transactions and classifies them. A slot whose
   /// transaction count is within 2x of the minimum possible for its byte
-  /// volume counts as coalesced; otherwise random.
+  /// volume counts as coalesced; otherwise random. Grouping is a counting
+  /// sort by slot (lane order preserved within a slot — the same order a
+  /// stable sort of the record list produces), so one warp finalizes in
+  /// O(accesses) with no heap traffic.
   WarpTotals finalize();
 
  private:
@@ -46,7 +57,12 @@ class WarpTracer {
     u32 bytes;
     bool atomic;
   };
-  std::vector<Access> accesses_;
+  ArenaVec<Access> accesses_;
+  // finalize() scratch, capacity reused across warps (see clear()).
+  ArenaVec<Access> sorted_;
+  ArenaVec<u32> counts_;
+  ArenaVec<u64> segs_;
+  u32 max_slot_ = 0;
   double shared_ = 0;
   std::size_t tx_bytes_ = 128;
 };
@@ -60,12 +76,17 @@ class WarpTracer {
 /// and scaled_totals() folds the records in ascending warp-index order — the
 /// exact summation order of a sequential sweep, so parallel and sequential
 /// launches produce bit-identical counters.
+///
+/// All per-launch records (trace accesses, per-warp totals) live on the
+/// accumulator's LaunchArena; reset() recycles it, so a warm capture's
+/// launches allocate nothing.
 class KernelAccum {
  public:
   void reset(std::size_t transaction_bytes, u64 sample_stride);
 
   WarpTracer& tracer() { return tracer_; }
   u64 sample_stride() const { return stride_; }
+  LaunchArena& arena() { return arena_; }
 
   /// Finalizes the tracer into the record for grid-wide warp `warp_index`.
   void fold_warp(u64 warp_index);
@@ -85,8 +106,13 @@ class KernelAccum {
   double max_atomic_conflict() const;
 
  private:
+  struct WarpRecord {
+    u64 index;
+    WarpTotals totals;
+  };
+  LaunchArena arena_;
   WarpTracer tracer_;
-  std::vector<std::pair<u64, WarpTotals>> warps_;  // (warp index, totals)
+  ArenaVec<WarpRecord> warps_;
   std::unordered_map<u64, u32> atomic_conflicts_;
   u64 stride_ = 1;
 };

@@ -16,7 +16,8 @@ double tree_reduce(cusim::Device& dev, cusim::DeviceBuffer<double>& vals,
   std::size_t active = vals.size();
   while (active > 1) {
     const std::size_t half = (active + 1) / 2;
-    dev.launch(LaunchCfg::for_elements("reduce_pass", half, 256, stream),
+    dev.launch(LaunchCfg::for_elements("reduce_pass", half, 256, stream)
+                   .cache(active),
                [&, active, half](ThreadCtx& t) {
                  const u64 i = t.global_id();
                  if (i >= half) return;
@@ -39,7 +40,8 @@ cusim::DeviceBuffer<double> map_to_double(cusim::Device& dev,
   using cusim::LaunchCfg;
   using cusim::ThreadCtx;
   cusim::DeviceBuffer<double> out(in.size());
-  dev.launch(LaunchCfg::for_elements("reduce_map", in.size(), 256, stream),
+  dev.launch(LaunchCfg::for_elements("reduce_map", in.size(), 256, stream)
+                 .cache(in.size()),
              [&](ThreadCtx& t) {
                const u64 i = t.global_id();
                if (i >= in.size()) return;

@@ -20,7 +20,7 @@ void exclusive_scan(cusim::Device& dev, cusim::DeviceBuffer<u64>& data,
   // pad copy is honest, counted work).
   const std::size_t m = next_pow2(n);
   DeviceBuffer<u64> work(m);
-  dev.launch(LaunchCfg::for_elements("scan_pad", m, 256, stream),
+  dev.launch(LaunchCfg::for_elements("scan_pad", m, 256, stream).cache(n),
              [&](ThreadCtx& t) {
                const u64 i = t.global_id();
                if (i >= m) return;
@@ -30,7 +30,8 @@ void exclusive_scan(cusim::Device& dev, cusim::DeviceBuffer<u64>& data,
   // Upsweep: combine pairs (stride d) into the right node.
   for (std::size_t d = 1; d < m; d <<= 1) {
     const std::size_t pairs = m / (2 * d);
-    dev.launch(LaunchCfg::for_elements("scan_upsweep", pairs, 256, stream),
+    dev.launch(LaunchCfg::for_elements("scan_upsweep", pairs, 256, stream)
+                   .cache((static_cast<u64>(d) << 32) | pairs),
                [&, d, pairs](ThreadCtx& t) {
                  const u64 p = t.global_id();
                  if (p >= pairs) return;
@@ -41,13 +42,15 @@ void exclusive_scan(cusim::Device& dev, cusim::DeviceBuffer<u64>& data,
                });
   }
 
-  dev.launch(LaunchCfg::for_elements("scan_setroot", 1, 1, stream),
+  dev.launch(
+      LaunchCfg::for_elements("scan_setroot", 1, 1, stream).cache(m),
              [&](ThreadCtx& t) { work.store(t, m - 1, 0); });
 
   // Downsweep: push prefixes back down the tree.
   for (std::size_t d = m / 2; d >= 1; d >>= 1) {
     const std::size_t pairs = m / (2 * d);
-    dev.launch(LaunchCfg::for_elements("scan_downsweep", pairs, 256, stream),
+    dev.launch(LaunchCfg::for_elements("scan_downsweep", pairs, 256, stream)
+                   .cache((static_cast<u64>(d) << 32) | pairs),
                [&, d, pairs](ThreadCtx& t) {
                  const u64 p = t.global_id();
                  if (p >= pairs) return;
@@ -60,7 +63,7 @@ void exclusive_scan(cusim::Device& dev, cusim::DeviceBuffer<u64>& data,
                });
   }
 
-  dev.launch(LaunchCfg::for_elements("scan_unpad", n, 256, stream),
+  dev.launch(LaunchCfg::for_elements("scan_unpad", n, 256, stream).cache(n),
              [&](ThreadCtx& t) {
                const u64 i = t.global_id();
                if (i < n) data.store(t, i, work.load(t, i));
@@ -79,13 +82,14 @@ void inclusive_scan(cusim::Device& dev, cusim::DeviceBuffer<u64>& data,
   if (n == 0) return;
   // Keep the original values, run the exclusive scan, then add them back.
   cusim::DeviceBuffer<u64> orig(n);
-  dev.launch(LaunchCfg::for_elements("scan_keep", n, 256, stream),
+  dev.launch(LaunchCfg::for_elements("scan_keep", n, 256, stream).cache(n),
              [&](ThreadCtx& t) {
                const u64 i = t.global_id();
                if (i < n) orig.store(t, i, data.load(t, i));
              });
   exclusive_scan(dev, data, stream);
-  dev.launch(LaunchCfg::for_elements("scan_addback", n, 256, stream),
+  dev.launch(
+      LaunchCfg::for_elements("scan_addback", n, 256, stream).cache(n),
              [&](ThreadCtx& t) {
                const u64 i = t.global_id();
                if (i < n)

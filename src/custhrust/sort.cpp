@@ -39,7 +39,7 @@ void radix_sort(Device& dev, DeviceBuffer<double>& keys,
   DeviceBuffer<u64> mapped(n), mapped_tmp(n);
   DeviceBuffer<double> keys_tmp(n);
   DeviceBuffer<u32> vals_tmp(n);
-  dev.launch(LaunchCfg::for_elements("radix_map", n, kBlock, stream),
+  dev.launch(LaunchCfg::for_elements("radix_map", n, kBlock, stream).cache(n),
              [&](ThreadCtx& t) {
                const u64 i = t.global_id();
                if (i >= n) return;
@@ -58,7 +58,8 @@ void radix_sort(Device& dev, DeviceBuffer<double>& keys,
     const unsigned shift = pass * kDigitBits;
 
     dev.launch(LaunchCfg::for_elements("radix_clear", hist.size(), kBlock,
-                                       stream),
+                                       stream)
+                   .cache(hist.size()),
                [&](ThreadCtx& t) {
                  const u64 i = t.global_id();
                  if (i < hist.size()) hist.store(t, i, 0);
@@ -109,7 +110,8 @@ void bitonic_sort(Device& dev, DeviceBuffer<double>& keys,
   // Pad with -inf so padding sinks to the tail of a descending sort.
   DeviceBuffer<double> k(m);
   DeviceBuffer<u32> v(m);
-  dev.launch(LaunchCfg::for_elements("bitonic_pad", m, kBlock, stream),
+  dev.launch(
+      LaunchCfg::for_elements("bitonic_pad", m, kBlock, stream).cache(n),
              [&](ThreadCtx& t) {
                const u64 i = t.global_id();
                if (i >= m) return;
@@ -143,7 +145,8 @@ void bitonic_sort(Device& dev, DeviceBuffer<double>& keys,
     }
   }
 
-  dev.launch(LaunchCfg::for_elements("bitonic_unpad", n, kBlock, stream),
+  dev.launch(
+      LaunchCfg::for_elements("bitonic_unpad", n, kBlock, stream).cache(n),
              [&](ThreadCtx& t) {
                const u64 i = t.global_id();
                if (i >= n) return;

@@ -26,6 +26,13 @@ std::vector<LoopPerm> draw_loop_perms(std::size_t n, std::size_t loops,
 void bin_permuted(std::span<const cplx> x, std::span<const cplx> filter_time,
                   const LoopPerm& perm, std::span<cplx> z);
 
+/// Straight-line scalar form of bin_permuted (one `i % B` and one complex
+/// operator* per item). Kept as the numerical reference: the blocked/SoA
+/// production loop must stay bit-identical to it (pinned by tests).
+void bin_permuted_reference(std::span<const cplx> x,
+                            std::span<const cplx> filter_time,
+                            const LoopPerm& perm, std::span<cplx> z);
+
 /// Step 4 (baseline cutoff): indices of the `cutoff` largest-magnitude
 /// buckets (unordered).
 std::vector<u32> top_buckets(std::span<const cplx> buckets,

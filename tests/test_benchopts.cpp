@@ -2,9 +2,13 @@
 // paper-regime parameter derivation the figure benches share.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "common.hpp"
+#include "core/json_lite.hpp"
 
 namespace cusfft::bench {
 namespace {
@@ -76,6 +80,46 @@ TEST(BenchOpts, ProfileFlagRegistersPath) {
   const auto o2 = BenchOpts::parse(1, const_cast<char**>(none));
   EXPECT_TRUE(o2.profile.empty());
   EXPECT_TRUE(profile_path().empty());
+}
+
+TEST(BenchOpts, JsonFlagAndEnv) {
+  ::unsetenv("CUSFFT_JSON");
+  const char* argv[] = {"bench", "--json", "/tmp/results.json"};
+  EXPECT_EQ(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                             const_cast<char**>(argv))
+                .json,
+            "/tmp/results.json");
+
+  ::setenv("CUSFFT_JSON", "/tmp/env_results.json", 1);
+  const char* none[] = {"bench"};
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).json,
+            "/tmp/env_results.json");
+  ::unsetenv("CUSFFT_JSON");
+
+  const char* cleared[] = {"bench"};
+  EXPECT_TRUE(BenchOpts::parse(1, const_cast<char**>(cleared)).json.empty());
+}
+
+TEST(BenchJson, WriteResultsRoundTripsThroughJsonLite) {
+  const std::string path = "/tmp/cusfft_bench_json_test.json";
+  ASSERT_TRUE(write_results_json(
+      path, "throughput",
+      {{"execute", 12.5, 3.25}, {"many_pipelined", 10.0, 2.5}}));
+
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  json::Value doc;
+  std::string err;
+  ASSERT_TRUE(json::parse(ss.str(), doc, &err)) << err;
+  EXPECT_EQ(doc.string_or("bench", ""), "throughput");
+  const json::Value* results = doc.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), 2u);
+  EXPECT_EQ(results->array[0].string_or("name", ""), "execute");
+  EXPECT_DOUBLE_EQ(results->array[0].number_or("host_ms", 0), 12.5);
+  EXPECT_DOUBLE_EQ(results->array[1].number_or("model_ms", 0), 2.5);
+  std::remove(path.c_str());
 }
 
 TEST(BenchOpts, ProfileEnvIsOverriddenByFlag) {

@@ -227,6 +227,39 @@ TEST(Timeline, ClearResets) {
   EXPECT_NEAR(tl.simulate(), 0.0, 1e-12);
 }
 
+TEST(Timeline, ClearEventsRestartsIdsAndInvalidatesCache) {
+  Timeline tl(32);
+  tl.submit({"a", 1, Resource::kDeviceMemory, 1e-3, 0.0});
+  const std::size_t e_old = tl.record_event();
+  EXPECT_NEAR(tl.simulate(), 1e-3, 1e-9);
+  EXPECT_NEAR(tl.event_time_s(e_old), 1e-3, 1e-9);
+
+  tl.clear_events();
+  // Old ids are invalid after the clear...
+  EXPECT_THROW(tl.event_time_s(e_old), std::out_of_range);
+  // ...and a new event that happens to reuse the same numeric id must read
+  // the current timeline state — simulate() may not serve the makespan it
+  // cached for the pre-clear event set (the stale-makespan hazard).
+  tl.submit({"b", 1, Resource::kDeviceMemory, 1e-3, 0.0});
+  const std::size_t e_new = tl.record_event();
+  EXPECT_EQ(e_new, e_old);
+  EXPECT_NEAR(tl.simulate(), 2e-3, 1e-9);
+  EXPECT_NEAR(tl.event_time_s(e_new), 2e-3, 1e-9);
+}
+
+TEST(Timeline, ClearEventsAloneForcesRecompute) {
+  // clear_events() with no new submissions: the next simulate() recomputes
+  // (items unchanged, so the value matches) and freshly recorded events
+  // resolve against that schedule.
+  Timeline tl(32);
+  tl.submit({"a", 1, Resource::kDeviceMemory, 1e-3, 0.0});
+  const double first = tl.simulate();
+  tl.clear_events();
+  const std::size_t e = tl.record_event();
+  EXPECT_DOUBLE_EQ(tl.simulate(), first);
+  EXPECT_NEAR(tl.event_time_s(e), first, 1e-12);
+}
+
 TEST(Device, CaptureRegionsIndependent) {
   Device dev;
   dev.begin_capture();
@@ -338,8 +371,9 @@ TEST(Timeline, ChainedBarriersSerializeEverything) {
 }
 
 TEST(WarpTracerUnit, GroupsBySlotAndClassifies) {
+  LaunchArena arena;
   WarpTracer tr;
-  tr.reset(128);
+  tr.reset(128, &arena);
   // Slot 0: 32 lanes reading 16B each, consecutive -> 4 coalesced tx.
   for (u32 lane = 0; lane < 32; ++lane)
     tr.on_access(0, 4096 + lane * 16, 16, false);
@@ -353,8 +387,9 @@ TEST(WarpTracerUnit, GroupsBySlotAndClassifies) {
 }
 
 TEST(WarpTracerUnit, StraddlingAccessCountsBothSegments) {
+  LaunchArena arena;
   WarpTracer tr;
-  tr.reset(128);
+  tr.reset(128, &arena);
   tr.on_access(0, 120, 16, false);  // crosses the 128B boundary
   const WarpTotals t = tr.finalize();
   EXPECT_DOUBLE_EQ(t.coalesced_tx + t.random_tx, 2);

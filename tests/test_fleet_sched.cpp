@@ -32,12 +32,19 @@ using cusim::TimelineItem;
 TimelineItem kernel_item(const char* name, cusim::StreamId s,
                          double compute_s,
                          std::vector<std::size_t> deps = {}) {
+  // TimelineItem::deps is a non-owning view; park the list in static
+  // storage so it outlives the returned temporary long enough for submit()
+  // to copy it onto the timeline's arena. Each call recycles the previous
+  // list, which is fine here: every item is submitted before the next one
+  // is built.
+  static thread_local std::vector<std::size_t> storage;
+  storage = std::move(deps);
   TimelineItem it;
   it.name = name;
   it.stream = s;
   it.resource = Resource::kDeviceMemory;
   it.compute_s = compute_s;
-  it.deps = std::move(deps);
+  it.deps = {storage.data(), storage.size()};
   return it;
 }
 

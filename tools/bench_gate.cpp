@@ -1,0 +1,113 @@
+// bench_micro regression gate CLI:
+//
+//   bench_gate <base.json> <new.json> [--threshold 2.5]
+//              [--noise-floor-ns 500]
+//
+// Both inputs are google-benchmark JSON exports
+// (bench_micro --benchmark_out=x.json --benchmark_out_format=json).
+// Compares cpu_time per benchmark name; exits 1 when any benchmark above
+// the noise floor regresses by more than `threshold` (a fraction: 2.5 ==
+// +250%, loose enough to absorb machine-to-machine variation against the
+// checked-in baseline while still catching order-of-magnitude slips).
+// Improvements and sub-noise-floor entries never fail.
+//
+// Exit codes: 0 within threshold, 1 regression above threshold,
+// 2 usage/parse failure — same contract as profile_diff.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_gate_lib.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 2.5;
+  double noise_floor_ns = 500.0;
+  const char* paths[2] = {nullptr, nullptr};
+  int npaths = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--noise-floor-ns" && i + 1 < argc) {
+      noise_floor_ns = std::strtod(argv[++i], nullptr);
+    } else if (npaths < 2) {
+      paths[npaths++] = argv[i];
+    } else {
+      npaths = 3;  // too many positionals
+      break;
+    }
+  }
+  if (npaths != 2) {
+    std::cerr << "usage: bench_gate <base.json> <new.json>"
+                 " [--threshold frac] [--noise-floor-ns ns]\n";
+    return 2;
+  }
+
+  std::string base_text, new_text;
+  if (!read_file(paths[0], &base_text)) {
+    std::cerr << "bench_gate: cannot open " << paths[0] << "\n";
+    return 2;
+  }
+  if (!read_file(paths[1], &new_text)) {
+    std::cerr << "bench_gate: cannot open " << paths[1] << "\n";
+    return 2;
+  }
+
+  const cusfft::tools::BenchSummary base =
+      cusfft::tools::summarize_benchmark_json(base_text);
+  if (!base.ok) {
+    std::cerr << "bench_gate: " << paths[0] << ": " << base.error << "\n";
+    return 2;
+  }
+  const cusfft::tools::BenchSummary next =
+      cusfft::tools::summarize_benchmark_json(new_text);
+  if (!next.ok) {
+    std::cerr << "bench_gate: " << paths[1] << ": " << next.error << "\n";
+    return 2;
+  }
+
+  const cusfft::tools::BenchGateResult r =
+      cusfft::tools::gate_benchmarks(base, next, noise_floor_ns);
+  std::printf("bench_gate: %s -> %s (noise floor %.0f ns)\n", paths[0],
+              paths[1], r.noise_floor_ns);
+  for (const auto& row : r.rows)
+    std::printf("  %-32s %12.1f -> %12.1f ns  (%+7.2f%%)%s\n",
+                row.name.c_str(), row.base_ns, row.new_ns, row.frac * 100.0,
+                row.gated ? "" : "  [below noise floor]");
+  for (const auto& name : r.only_base)
+    std::printf("  %-32s missing in new run\n", name.c_str());
+  for (const auto& name : r.only_new)
+    std::printf("  %-32s new benchmark (not gated)\n", name.c_str());
+
+  if (!r.only_base.empty()) {
+    std::printf("bench_gate: FAIL: %zu benchmark(s) missing in new run\n",
+                r.only_base.size());
+    return 1;
+  }
+  if (r.worst_regression_frac > threshold) {
+    std::printf(
+        "bench_gate: FAIL: worst regression %+0.1f%% exceeds threshold "
+        "%0.1f%%\n",
+        r.worst_regression_frac * 100.0, threshold * 100.0);
+    return 1;
+  }
+  std::printf("bench_gate: OK: worst regression %+0.1f%% within %0.1f%%\n",
+              r.worst_regression_frac * 100.0, threshold * 100.0);
+  return 0;
+}

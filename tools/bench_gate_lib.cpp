@@ -1,0 +1,114 @@
+#include "bench_gate_lib.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/json_lite.hpp"
+
+namespace cusfft::tools {
+
+namespace {
+
+double unit_to_ns(const std::string& unit) {
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return 1.0;  // google-benchmark default is ns
+}
+
+}  // namespace
+
+BenchSummary summarize_benchmark_json(const std::string& text) {
+  BenchSummary s;
+  json::Value doc;
+  std::string err;
+  if (!json::parse(text, doc, &err)) {
+    s.error = "JSON parse error: " + err;
+    return s;
+  }
+  const json::Value* benchmarks = doc.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    s.error = "missing \"benchmarks\" array (not a --benchmark_out file?)";
+    return s;
+  }
+
+  bool has_aggregates = false;
+  for (const json::Value& b : benchmarks->array)
+    if (b.string_or("run_type", "iteration") == "aggregate")
+      has_aggregates = true;
+
+  for (const json::Value& b : benchmarks->array) {
+    const std::string run_type = b.string_or("run_type", "iteration");
+    std::string name = b.string_or("name", "");
+    if (name.empty()) continue;
+    if (has_aggregates) {
+      // Repetition runs: keep the median aggregate only, under the plain
+      // benchmark name.
+      if (run_type != "aggregate" ||
+          b.string_or("aggregate_name", "") != "median")
+        continue;
+      const std::string suffix = "_median";
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0)
+        name.resize(name.size() - suffix.size());
+    } else if (run_type != "iteration") {
+      continue;
+    }
+    const double scale = unit_to_ns(b.string_or("time_unit", "ns"));
+    BenchEntry e;
+    e.name = name;
+    e.real_time_ns = b.number_or("real_time", 0) * scale;
+    e.cpu_time_ns = b.number_or("cpu_time", 0) * scale;
+    e.iterations = static_cast<u64>(b.number_or("iterations", 0));
+    s.entries.push_back(std::move(e));
+  }
+  if (s.entries.empty()) {
+    s.error = "no benchmark entries found";
+    return s;
+  }
+  s.ok = true;
+  return s;
+}
+
+BenchGateResult gate_benchmarks(const BenchSummary& base,
+                                const BenchSummary& next,
+                                double noise_floor_ns) {
+  BenchGateResult r;
+  r.noise_floor_ns = noise_floor_ns;
+
+  std::map<std::string, const BenchEntry*> base_by_name;
+  for (const BenchEntry& e : base.entries) base_by_name[e.name] = &e;
+  std::map<std::string, const BenchEntry*> new_by_name;
+  for (const BenchEntry& e : next.entries) new_by_name[e.name] = &e;
+
+  for (const auto& [name, be] : base_by_name) {
+    const auto it = new_by_name.find(name);
+    if (it == new_by_name.end()) {
+      r.only_base.push_back(name);
+      continue;
+    }
+    BenchGateRow row;
+    row.name = name;
+    row.base_ns = be->cpu_time_ns;
+    row.new_ns = it->second->cpu_time_ns;
+    row.frac = row.base_ns > 0
+                   ? (row.new_ns - row.base_ns) / row.base_ns
+                   : 0.0;
+    row.gated = row.base_ns >= noise_floor_ns;
+    if (row.gated)
+      r.worst_regression_frac = std::max(r.worst_regression_frac, row.frac);
+    r.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, e] : new_by_name)
+    if (base_by_name.find(name) == base_by_name.end())
+      r.only_new.push_back(name);
+
+  std::sort(r.rows.begin(), r.rows.end(),
+            [](const BenchGateRow& a, const BenchGateRow& b) {
+              return a.frac > b.frac;
+            });
+  return r;
+}
+
+}  // namespace cusfft::tools

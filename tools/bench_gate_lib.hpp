@@ -1,0 +1,59 @@
+// bench_micro regression gate: parses two google-benchmark JSON exports
+// (--benchmark_out=<path> --benchmark_out_format=json), matches benchmarks
+// by name, and flags regressions above a threshold. Entries faster than a
+// noise floor are reported but never gate (sub-microsecond timings swing
+// with machine load). Improvements never fail. The comparison library is
+// separate from the CLI so tests can drive it on synthetic documents —
+// same layout as profile_check_lib / profile_diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace cusfft::tools {
+
+/// One benchmark measurement, normalized to nanoseconds.
+struct BenchEntry {
+  std::string name;
+  double real_time_ns = 0;
+  double cpu_time_ns = 0;
+  u64 iterations = 0;
+};
+
+/// Parsed benchmark_out document. With --benchmark_repetitions, only the
+/// *_median aggregates are kept (suffix stripped) so repeated and single
+/// runs compare under the same names.
+struct BenchSummary {
+  bool ok = false;
+  std::string error;
+  std::vector<BenchEntry> entries;
+};
+
+BenchSummary summarize_benchmark_json(const std::string& text);
+
+/// One matched benchmark in a gate comparison.
+struct BenchGateRow {
+  std::string name;
+  double base_ns = 0;
+  double new_ns = 0;
+  double frac = 0;    // (new - base) / base; negative == improvement
+  bool gated = true;  // false when base_ns is below the noise floor
+};
+
+struct BenchGateResult {
+  std::vector<BenchGateRow> rows;  // sorted worst regression first
+  std::vector<std::string> only_base;  // present in base, missing in new
+  std::vector<std::string> only_new;   // new benchmarks (never gate)
+  double worst_regression_frac = 0;    // max over gated rows, floored at 0
+  double noise_floor_ns = 0;
+};
+
+/// Compares cpu_time per matched name. `noise_floor_ns` exempts benchmarks
+/// whose base time is too small to gate reliably.
+BenchGateResult gate_benchmarks(const BenchSummary& base,
+                                const BenchSummary& next,
+                                double noise_floor_ns);
+
+}  // namespace cusfft::tools
