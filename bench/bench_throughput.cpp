@@ -20,6 +20,7 @@
 #include "cusfft/plan.hpp"
 #include "cusim/device.hpp"
 #include "cusim/device_group.hpp"
+#include "cusim/metrics.hpp"
 #include "cusim/pool.hpp"
 #include "signal/filter.hpp"
 
@@ -167,6 +168,12 @@ int main(int argc, char** argv) {
       pipe_ms, serial_ms, pipe_ms > 0 ? serial_ms / pipe_ms : 0.0,
       identical ? "bit-identical" : "MISMATCH");
 
+  // Mid-run metrics snapshot: tools/metrics_check compares it against the
+  // final snapshot to prove the counters are monotonic within one process
+  // (counters reset at process start, so two separate runs can't check
+  // this).
+  if (!o.metrics.empty()) write_metrics_json(o.metrics + ".snap1.json");
+
   bool mixed_identical = true;
   if (o.mixed) {
     // Mixed-shape fleet sweep: a skewed batch (expensive shape on even
@@ -268,7 +275,13 @@ int main(int argc, char** argv) {
             << " misses\n\n";
 
   emit(o, "throughput", t);
-  if (!o.json.empty()) write_results_json(o.json, "throughput", json_rows);
+  // The always-on registry has been recording the whole run; the --json
+  // summary embeds the snapshot so bench_gate baselines and metrics come
+  // from one artifact.
+  if (!o.json.empty())
+    write_results_json(o.json, "throughput", json_rows,
+                       cusim::MetricsRegistry::global().expose_json());
+  if (!o.metrics.empty()) write_metrics_artifacts(o.metrics);
   // Spectra equivalence is the bench's correctness gate (CI runs it).
   return identical && mixed_identical ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include "cufftsim/cufftsim.hpp"
 #include "cusfft/plan.hpp"
 #include "cusim/device.hpp"
+#include "cusim/metrics.hpp"
 #include "psfft/fftw_baseline.hpp"
 #include "psfft/psfft.hpp"
 #include "sfft/serial.hpp"
@@ -28,11 +29,12 @@ namespace {
             << "usage: bench [--min-logn N] [--max-logn N] [--k N]\n"
                "             [--fixed-logn N] [--seed N] [--devices N]\n"
                "             [--mixed] [--out-dir DIR] [--profile PATH]\n"
-               "             [--json PATH]\n"
+               "             [--json PATH] [--metrics PATH]\n"
                "env: CUSFFT_MIN_LOGN CUSFFT_MAX_LOGN CUSFFT_K "
                "CUSFFT_FIXED_LOGN CUSFFT_SEED\n"
                "     CUSFFT_DEVICES CUSFFT_MIXED CUSFFT_OUT_DIR "
-               "CUSFFT_PROFILE CUSFFT_JSON\n";
+               "CUSFFT_PROFILE CUSFFT_JSON\n"
+               "     CUSFFT_METRICS\n";
   std::exit(2);
 }
 
@@ -66,6 +68,15 @@ double parse_double(const std::string& what, const char* v) {
 double env_or_d(const char* name, double def) {
   const char* v = std::getenv(name);
   return v ? parse_double(name, v) : def;
+}
+
+/// Strict path value: set-but-empty is a usage error, not a silent
+/// disable (CUSFFT_METRICS= would otherwise look like metrics were
+/// requested and produce nothing).
+std::string parse_path(const std::string& what, const char* v) {
+  if (v == nullptr || *v == '\0')
+    usage_exit(what + ": expected a non-empty path, got ''");
+  return v;
 }
 
 // Profile artifact path registered by BenchOpts::parse (process-wide so
@@ -109,6 +120,8 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
   if (const char* d = std::getenv("CUSFFT_OUT_DIR")) o.out_dir = d;
   if (const char* p = std::getenv("CUSFFT_PROFILE")) o.profile = p;
   if (const char* p = std::getenv("CUSFFT_JSON")) o.json = p;
+  if (const char* p = std::getenv("CUSFFT_METRICS"))
+    o.metrics = parse_path("CUSFFT_METRICS", p);
   // Every argv token must be consumed: a trailing flag with no value or
   // an unknown flag is a usage error, not a silent no-op (the old
   // two-at-a-time loop dropped both).
@@ -128,6 +141,7 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
     else if (key == "--out-dir") o.out_dir = value();
     else if (key == "--profile") o.profile = value();
     else if (key == "--json") o.json = value();
+    else if (key == "--metrics") o.metrics = parse_path(key, value());
     else usage_exit("unknown flag '" + key + "'");
   }
   if (o.max_logn < o.min_logn) o.max_logn = o.min_logn;
@@ -139,7 +153,8 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
 const std::string& profile_path() { return g_profile_path; }
 
 bool write_results_json(const std::string& path, const std::string& bench,
-                        const std::vector<JsonRow>& rows) {
+                        const std::vector<JsonRow>& rows,
+                        const std::string& metrics_json) {
   std::ofstream f(path);
   if (!f) {
     std::cout << "[json] failed to write " << path << "\n";
@@ -155,9 +170,48 @@ bool write_results_json(const std::string& path, const std::string& bench,
     f << "\"model_ms\": " << buf << "}";
     f << (i + 1 < rows.size() ? ",\n" : "\n");
   }
-  f << "  ]\n}\n";
+  f << "  ]";
+  if (!metrics_json.empty()) {
+    // The snapshot document is already valid JSON; embed it verbatim
+    // (minus its trailing newline) so the bench summary and the metrics
+    // come from one artifact.
+    std::string doc = metrics_json;
+    while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+    f << ",\n  \"metrics\": " << doc;
+  }
+  f << "\n}\n";
   std::cout << "[json] " << path << "\n";
   return f.good();
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    std::cout << "[metrics] failed to write " << path << "\n";
+    return false;
+  }
+  f << cusim::MetricsRegistry::global().expose_json();
+  return f.good();
+}
+
+bool write_metrics_artifacts(const std::string& path) {
+  const auto snap = cusim::MetricsRegistry::global().snapshot();
+  bool ok = true;
+  {
+    std::ofstream f(path);
+    if (f) f << snap.to_json();
+    ok = ok && f.good();
+  }
+  {
+    std::ofstream f(path + ".prom");
+    if (f) f << snap.to_prometheus();
+    ok = ok && f.good();
+  }
+  if (ok)
+    std::cout << "[metrics] " << path << " (+.prom)\n";
+  else
+    std::cout << "[metrics] failed to write " << path << "\n";
+  return ok;
 }
 
 void write_profile_artifact(const cusim::CaptureProfile& p,

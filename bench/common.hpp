@@ -48,14 +48,21 @@ struct BenchOpts {
   /// machine-readable summary — host_ms and modeled ms per configuration —
   /// to this path. Env CUSFFT_JSON / --json.
   std::string json;
+  /// When non-empty, benches that support it (bench_throughput) write the
+  /// always-on MetricsRegistry snapshot to this path (JSON), the same
+  /// snapshot in Prometheus text format to `<path>.prom`, and a mid-run
+  /// snapshot to `<path>.snap1.json` for tools/metrics_check's
+  /// monotonicity gate. Env CUSFFT_METRICS / --metrics.
+  std::string metrics;
 
   /// Reads CUSFFT_MIN_LOGN / CUSFFT_MAX_LOGN / CUSFFT_K / CUSFFT_FIXED_LOGN
   /// / CUSFFT_SEED / CUSFFT_DEVICES / CUSFFT_MIXED / CUSFFT_OUT_DIR /
-  /// CUSFFT_PROFILE, then applies --key value args (--profile <path>,
-  /// --devices <N>) and the boolean --mixed flag. Malformed numbers
-  /// (env or CLI), a flag missing its value, and unknown flags are usage
-  /// errors: the process prints usage to stderr and exits with status 2
-  /// instead of silently running a degenerate configuration.
+  /// CUSFFT_PROFILE / CUSFFT_METRICS, then applies --key value args
+  /// (--profile <path>, --devices <N>) and the boolean --mixed flag.
+  /// Malformed numbers, empty path values, a flag missing its value, and
+  /// unknown flags are usage errors: the process prints usage to stderr
+  /// and exits with status 2 instead of silently running a degenerate
+  /// configuration.
   static BenchOpts parse(int argc, char** argv);
 };
 
@@ -109,9 +116,23 @@ struct JsonRow {
 };
 
 /// Writes `{"bench": <bench>, "results": [{"name", "host_ms",
-/// "model_ms"}...]}` to `path`. Returns false (and reports to stdout) when
-/// the file cannot be written.
+/// "model_ms"}...]}` to `path`. When `metrics_json` is non-empty (a
+/// document from MetricsRegistry::expose_json) it is embedded verbatim
+/// under a top-level "metrics" key, so bench_gate baselines and the
+/// metrics snapshot come from one artifact. Returns false (and reports to
+/// stdout) when the file cannot be written.
 bool write_results_json(const std::string& path, const std::string& bench,
-                        const std::vector<JsonRow>& rows);
+                        const std::vector<JsonRow>& rows,
+                        const std::string& metrics_json = "");
+
+/// Writes the current MetricsRegistry::global() snapshot to `path` (JSON,
+/// schema "cusfft-metrics-v1") and to `path + ".prom"` (Prometheus text
+/// exposition). Returns false when either file cannot be written.
+bool write_metrics_artifacts(const std::string& path);
+
+/// Writes only the JSON snapshot to `path` — used for the mid-run
+/// `<metrics>.snap1.json` that tools/metrics_check compares against the
+/// final snapshot for counter monotonicity.
+bool write_metrics_json(const std::string& path);
 
 }  // namespace cusfft::bench

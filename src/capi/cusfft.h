@@ -163,6 +163,37 @@ cusfft_status cusfft_profile_json(cusfft_handle h, char* buf, size_t cap,
  * failure; CUSFFT_INVALID_ARGUMENT when no profile is available. */
 cusfft_status cusfft_profile_write(cusfft_handle h, const char* path);
 
+/* ---- Always-on metrics (process-wide, no handle) ----
+ * Every execute on a GPU backend feeds a process-wide registry of
+ * counters, gauges, and latency histograms (cusim::MetricsRegistry; see
+ * docs/PROFILING.md, "Capture vs. continuous metrics"). These calls
+ * expose a point-in-time snapshot; unlike the capture profile above they
+ * work across plans and never require a prior execute (an untouched
+ * process exposes an empty-but-valid document).
+ *
+ * cusfft_metrics_json copies the JSON snapshot (schema
+ * "cusfft-metrics-v1") into `buf` with the same buf/cap/len protocol as
+ * cusfft_profile_json: `*len` always receives the required size incl.
+ * NUL; buf == NULL queries the size, an insufficient cap returns
+ * CUSFFT_INVALID_ARGUMENT. cusfft_metrics_text is the same snapshot in
+ * Prometheus text exposition format. */
+cusfft_status cusfft_metrics_json(char* buf, size_t cap, size_t* len);
+cusfft_status cusfft_metrics_text(char* buf, size_t cap, size_t* len);
+
+typedef enum {
+  CUSFFT_METRICS_JSON = 0,      /* "cusfft-metrics-v1" JSON document */
+  CUSFFT_METRICS_PROMETHEUS = 1 /* Prometheus text exposition format */
+} cusfft_metrics_format;
+
+/* Writes one snapshot to `path` in the requested format.
+ * CUSFFT_INTERNAL_ERROR on I/O failure. */
+cusfft_status cusfft_metrics_write(const char* path,
+                                   cusfft_metrics_format format);
+
+/* Zeroes every counter/gauge/histogram in the registry (a new baseline
+ * for the next scrape window). Instruments stay registered. */
+cusfft_status cusfft_metrics_reset(void);
+
 cusfft_status cusfft_destroy(cusfft_handle h);
 
 /* Human-readable name for a status code (static storage). */

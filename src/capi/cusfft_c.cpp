@@ -15,6 +15,7 @@
 #include "cusfft/plan.hpp"
 #include "cusim/device.hpp"
 #include "cusim/device_group.hpp"
+#include "cusim/metrics.hpp"
 #include "cusim/profiler.hpp"
 #include "psfft/psfft.hpp"
 #include "sfft/serial.hpp"
@@ -363,6 +364,70 @@ cusfft_status cusfft_profile_write(cusfft_handle h, const char* path) {
   if (h->profile == nullptr) return CUSFFT_INVALID_ARGUMENT;
   try {
     if (!h->profile->write(path)) return CUSFFT_INTERNAL_ERROR;
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+namespace {
+
+/// Shared buf/cap/len protocol of the snapshot calls (identical to
+/// cusfft_profile_json).
+cusfft_status copy_out(const std::string& doc, char* buf, size_t cap,
+                       size_t* len) {
+  *len = doc.size() + 1;  // incl. NUL
+  if (buf == nullptr) return CUSFFT_SUCCESS;  // size query
+  if (cap < *len) return CUSFFT_INVALID_ARGUMENT;
+  std::memcpy(buf, doc.c_str(), *len);
+  return CUSFFT_SUCCESS;
+}
+
+}  // namespace
+
+cusfft_status cusfft_metrics_json(char* buf, size_t cap, size_t* len) {
+  if (len == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  try {
+    return copy_out(cusfft::cusim::MetricsRegistry::global().expose_json(),
+                    buf, cap, len);
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+}
+
+cusfft_status cusfft_metrics_text(char* buf, size_t cap, size_t* len) {
+  if (len == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  try {
+    return copy_out(cusfft::cusim::MetricsRegistry::global().expose_text(),
+                    buf, cap, len);
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+}
+
+cusfft_status cusfft_metrics_write(const char* path,
+                                   cusfft_metrics_format format) {
+  if (path == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  if (format != CUSFFT_METRICS_JSON && format != CUSFFT_METRICS_PROMETHEUS)
+    return CUSFFT_INVALID_ARGUMENT;
+  try {
+    auto& reg = cusfft::cusim::MetricsRegistry::global();
+    const std::string doc = format == CUSFFT_METRICS_JSON
+                                ? reg.expose_json()
+                                : reg.expose_text();
+    std::FILE* f = std::fopen(path, "wb");
+    if (f == nullptr) return CUSFFT_INTERNAL_ERROR;
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    const bool closed = std::fclose(f) == 0;
+    return ok && closed ? CUSFFT_SUCCESS : CUSFFT_INTERNAL_ERROR;
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+}
+
+cusfft_status cusfft_metrics_reset(void) {
+  try {
+    cusfft::cusim::MetricsRegistry::global().reset();
   } catch (...) {
     return CUSFFT_INTERNAL_ERROR;
   }

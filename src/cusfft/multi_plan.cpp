@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/timer.hpp"
+#include "cusim/metrics.hpp"
 #include "signal/filter.hpp"
 
 namespace cusfft::gpu {
@@ -303,45 +304,77 @@ std::vector<SparseSpectrum> MultiGpuPlan::execute_mixed(
   // Merge the device timelines on the shared clock.
   cusim::FleetSchedule fs = group.simulate();
 
-  if (stats != nullptr) {
-    GpuFleetStats st;
-    st.model_ms = fs.makespan_s * 1e3;
-    st.host_ms = host_ms;
-    st.signals = batch;
-    st.devices = ndev;
-    st.staging = group.staging().name();
-    st.device_of = assign;
-    st.per_signal = std::move(per_signal);
-    double finish_sum = 0, finish_max = 0;
-    for (std::size_t d = 0; d < ndev; ++d) {
-      GpuDeviceShardStats ds;
-      ds.device = group.device(d).spec().name;
-      ds.signals = shard_size[d];
-      ds.model_ms = fs.finish_s[d] * 1e3;
-      ds.solo_ms = groups[d].empty()
-                       ? 0.0
-                       : group.device(d).elapsed_model_ms();
-      ds.pcie_stall_ms = fs.pcie_stall_s[d] * 1e3;
-      ds.pcie_queue_ms = fs.pcie_queue_s[d] * 1e3;
-      // Busy fraction of the fleet makespan (time >= 1 kernel resident):
-      // a device that finishes last but spent the window idling on PCIe
-      // reports low utilization, not ~1.0.
-      if (st.model_ms > 0) ds.utilization = fs.busy_s[d] * 1e3 / st.model_ms;
-      st.pcie_stall_ms += ds.pcie_stall_ms;
-      st.pcie_queue_ms += ds.pcie_queue_ms;
-      st.candidates += shard_candidates[d];
-      st.pipelined = st.pipelined || shard_pipelined[d] != 0;
-      if (shard_size[d] > 0) {
-        finish_sum += ds.model_ms;
-        finish_max = std::max(finish_max, ds.model_ms);
-      }
-      st.per_device.push_back(std::move(ds));
+  // The fleet stats are assembled unconditionally: the always-on registry
+  // records every fleet batch (this is the single publication point for
+  // sharded signals — shard-level GpuBatchStats stay silent in-capture).
+  GpuFleetStats st;
+  st.model_ms = fs.makespan_s * 1e3;
+  st.host_ms = host_ms;
+  st.signals = batch;
+  st.devices = ndev;
+  st.staging = group.staging().name();
+  st.device_of = assign;
+  st.per_signal = std::move(per_signal);
+  double finish_sum = 0, finish_max = 0;
+  for (std::size_t d = 0; d < ndev; ++d) {
+    GpuDeviceShardStats ds;
+    ds.device = group.device(d).spec().name;
+    ds.signals = shard_size[d];
+    ds.model_ms = fs.finish_s[d] * 1e3;
+    ds.solo_ms = groups[d].empty()
+                     ? 0.0
+                     : group.device(d).elapsed_model_ms();
+    ds.pcie_stall_ms = fs.pcie_stall_s[d] * 1e3;
+    ds.pcie_queue_ms = fs.pcie_queue_s[d] * 1e3;
+    // Busy fraction of the fleet makespan (time >= 1 kernel resident):
+    // a device that finishes last but spent the window idling on PCIe
+    // reports low utilization, not ~1.0.
+    if (st.model_ms > 0) ds.utilization = fs.busy_s[d] * 1e3 / st.model_ms;
+    st.pcie_stall_ms += ds.pcie_stall_ms;
+    st.pcie_queue_ms += ds.pcie_queue_ms;
+    st.candidates += shard_candidates[d];
+    st.pipelined = st.pipelined || shard_pipelined[d] != 0;
+    if (shard_size[d] > 0) {
+      finish_sum += ds.model_ms;
+      finish_max = std::max(finish_max, ds.model_ms);
     }
-    if (!active.empty() && finish_sum > 0)
-      st.imbalance = finish_max / (finish_sum / active.size());
-    *stats = std::move(st);
+    st.per_device.push_back(std::move(ds));
   }
+  if (!active.empty() && finish_sum > 0)
+    st.imbalance = finish_max / (finish_sum / active.size());
+  st.to_metrics(cusim::MetricsRegistry::global());
+  if (stats != nullptr) *stats = std::move(st);
   return out;
+}
+
+void GpuFleetStats::to_metrics(cusim::MetricsRegistry& reg) const {
+  using cusim::MetricsRegistry;
+  reg.counter("cusfft_fleet_batches_total").inc();
+  reg.counter("cusfft_signals_total").add(signals);
+  reg.counter("cusfft_candidates_total").add(candidates);
+  if (pipelined) reg.counter("cusfft_batches_pipelined_total").inc();
+  reg.histogram("cusfft_fleet_model_ms").observe(model_ms);
+  reg.histogram("cusfft_fleet_host_ms").observe(host_ms);
+  reg.histogram("cusfft_fleet_pcie_stall_ms").observe(pcie_stall_ms);
+  reg.histogram("cusfft_fleet_pcie_queue_ms").observe(pcie_queue_ms);
+  reg.gauge("cusfft_fleet_imbalance").set(imbalance);
+  for (std::size_t d = 0; d < per_device.size(); ++d) {
+    const GpuDeviceShardStats& ds = per_device[d];
+    const std::string dev = std::to_string(d);
+    reg.counter(MetricsRegistry::label("cusfft_device_signals_total",
+                                       "device", dev))
+        .add(ds.signals);
+    reg.gauge(
+           MetricsRegistry::label("cusfft_device_utilization", "device", dev))
+        .set(ds.utilization);
+    reg.gauge(MetricsRegistry::label("cusfft_device_finish_ms", "device", dev))
+        .set(ds.model_ms);
+  }
+  // Per-signal windows land on the device that actually ran the signal —
+  // this is where the per-device p50/p99 execute-latency story comes from.
+  for (std::size_t i = 0; i < per_signal.size(); ++i)
+    observe_signal_metrics(reg, per_signal[i],
+                           i < device_of.size() ? device_of[i] : 0);
 }
 
 }  // namespace cusfft::gpu

@@ -106,6 +106,14 @@ struct GpuFleetStats {
   /// not directly comparable, use per_device/model_ms for fleet timing.
   std::vector<GpuSignalStats> per_signal;
   std::vector<std::size_t> device_of;  // input order: shard assignment
+
+  /// Folds this fleet batch into the always-on registry: fleet counters
+  /// and makespan/PCIe histograms, per-device utilization/finish gauges
+  /// and signal counters, and every signal's latency + phase spans
+  /// attributed to its assigned device. execute_mixed() publishes
+  /// automatically (the shard-level GpuBatchStats stay silent, so fleet
+  /// signals are counted exactly once).
+  void to_metrics(cusim::MetricsRegistry& reg) const;
 };
 
 class MultiGpuPlan {

@@ -10,6 +10,7 @@
 #include "core/modmath.hpp"
 #include "core/rng.hpp"
 #include "cufftsim/cufftsim.hpp"
+#include "cusim/metrics.hpp"
 #include "custhrust/reduce.hpp"
 #include "custhrust/sort.hpp"
 #include "sfft/serial.hpp"
@@ -858,24 +859,29 @@ SparseSpectrum GpuPlan::execute(std::span<const cplx> x,
   Impl::PhaseEvents ev;
   SparseSpectrum out = im.exec_signal(x, ev, Impl::SignalCtx{});
 
-  if (stats) {
-    stats->model_ms = dev.elapsed_model_ms();
-    stats->host_ms = wall.ms();
-    stats->candidates = out.size();
-    stats->step_model_ms.clear();
-    for (const auto& [name, rep] : dev.report())
-      stats->step_model_ms[step_of_kernel(name)] += rep.solo_s * 1e3;
-    // Overlap-aware phase spans from the timeline events.
-    const double t0 = dev.event_time_ms(ev.start);
-    const double t1 = dev.event_time_ms(ev.setup);
-    const double t2 = dev.event_time_ms(ev.binned);
-    const double t3 = dev.event_time_ms(ev.voted);
-    stats->phase_span_ms.clear();
-    stats->phase_span_ms[Impl::kPhaseTransfer] = t1 - t0;
-    stats->phase_span_ms[Impl::kPhaseBin] = t2 - t1;
-    stats->phase_span_ms[Impl::kPhaseVote] = t3 - t2;
-    stats->phase_span_ms[Impl::kPhaseEstimate] = stats->model_ms - t3;
-  }
+  // Stats are assembled whether or not the caller asked for them: the
+  // always-on registry records every execute. The event queries hit the
+  // cached simulate() the makespan already ran, so the overhead is a few
+  // map folds per execute, not a re-simulation.
+  GpuExecStats local;
+  GpuExecStats& st = stats != nullptr ? *stats : local;
+  st.model_ms = dev.elapsed_model_ms();
+  st.host_ms = wall.ms();
+  st.candidates = out.size();
+  st.step_model_ms.clear();
+  for (const auto& [name, rep] : dev.report())
+    st.step_model_ms[step_of_kernel(name)] += rep.solo_s * 1e3;
+  // Overlap-aware phase spans from the timeline events.
+  const double t0 = dev.event_time_ms(ev.start);
+  const double t1 = dev.event_time_ms(ev.setup);
+  const double t2 = dev.event_time_ms(ev.binned);
+  const double t3 = dev.event_time_ms(ev.voted);
+  st.phase_span_ms.clear();
+  st.phase_span_ms[Impl::kPhaseTransfer] = t1 - t0;
+  st.phase_span_ms[Impl::kPhaseBin] = t2 - t1;
+  st.phase_span_ms[Impl::kPhaseVote] = t3 - t2;
+  st.phase_span_ms[Impl::kPhaseEstimate] = st.model_ms - t3;
+  st.to_metrics(cusim::MetricsRegistry::global());
   return out;
 }
 
@@ -965,33 +971,79 @@ std::vector<SparseSpectrum> GpuPlan::run_batch(
     }
   }
 
-  if (stats) {
-    stats->model_ms = dev.elapsed_model_ms();
-    stats->host_ms = wall.ms();
-    stats->signals = xs.size();
-    stats->candidates = candidates;
-    stats->pipelined = pipelined;
-    stats->per_signal.clear();
-    stats->per_signal.reserve(xs.size());
-    for (std::size_t i = 0; i < xs.size(); ++i) {
-      // Each signal's window from its own events — coherent under overlap.
-      const double t0 = dev.event_time_ms(evs[i].start);
-      const double t1 = dev.event_time_ms(evs[i].setup);
-      const double t2 = dev.event_time_ms(evs[i].binned);
-      const double t3 = dev.event_time_ms(evs[i].voted);
-      const double t4 = dev.event_time_ms(evs[i].done);
-      GpuSignalStats sig;
-      sig.start_ms = t0;
-      sig.end_ms = t4;
-      sig.candidates = out[i].size();
-      sig.phase_span_ms[Impl::kPhaseTransfer] = t1 - t0;
-      sig.phase_span_ms[Impl::kPhaseBin] = t2 - t1;
-      sig.phase_span_ms[Impl::kPhaseVote] = t3 - t2;
-      sig.phase_span_ms[Impl::kPhaseEstimate] = t4 - t3;
-      stats->per_signal.push_back(std::move(sig));
-    }
+  // Stats are assembled even when the caller passes nullptr so the
+  // always-on registry sees every batch. Publication happens only for
+  // fresh captures: an in-capture batch is one shard of a fleet batch,
+  // and the fleet publishes once through GpuFleetStats::to_metrics with
+  // the correct per-device attribution — recording here too would count
+  // every fleet signal twice.
+  GpuBatchStats local;
+  GpuBatchStats& st = stats != nullptr ? *stats : local;
+  st.model_ms = dev.elapsed_model_ms();
+  st.host_ms = wall.ms();
+  st.signals = xs.size();
+  st.candidates = candidates;
+  st.pipelined = pipelined;
+  st.per_signal.clear();
+  st.per_signal.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // Each signal's window from its own events — coherent under overlap.
+    const double t0 = dev.event_time_ms(evs[i].start);
+    const double t1 = dev.event_time_ms(evs[i].setup);
+    const double t2 = dev.event_time_ms(evs[i].binned);
+    const double t3 = dev.event_time_ms(evs[i].voted);
+    const double t4 = dev.event_time_ms(evs[i].done);
+    GpuSignalStats sig;
+    sig.start_ms = t0;
+    sig.end_ms = t4;
+    sig.candidates = out[i].size();
+    sig.phase_span_ms[Impl::kPhaseTransfer] = t1 - t0;
+    sig.phase_span_ms[Impl::kPhaseBin] = t2 - t1;
+    sig.phase_span_ms[Impl::kPhaseVote] = t3 - t2;
+    sig.phase_span_ms[Impl::kPhaseEstimate] = t4 - t3;
+    st.per_signal.push_back(std::move(sig));
   }
+  if (fresh_capture) st.to_metrics(cusim::MetricsRegistry::global());
   return out;
+}
+
+void observe_signal_metrics(cusim::MetricsRegistry& reg,
+                            const GpuSignalStats& sig, std::size_t device) {
+  using cusim::MetricsRegistry;
+  reg.histogram(MetricsRegistry::label("cusfft_signal_latency_ms", "device",
+                                       std::to_string(device)))
+      .observe(sig.end_ms - sig.start_ms);
+  for (const auto& [phase, span_ms] : sig.phase_span_ms)
+    reg.histogram(MetricsRegistry::label("cusfft_phase_ms", "phase", phase))
+        .observe(span_ms);
+}
+
+void GpuExecStats::to_metrics(cusim::MetricsRegistry& reg) const {
+  using cusim::MetricsRegistry;
+  reg.counter("cusfft_executes_total").inc();
+  reg.counter("cusfft_candidates_total").add(candidates);
+  reg.histogram("cusfft_execute_model_ms").observe(model_ms);
+  reg.histogram("cusfft_execute_host_ms").observe(host_ms);
+  // A solo execute is one signal on (implicit) device 0, so it feeds the
+  // same per-device latency family the fleet paths populate.
+  reg.histogram(
+         MetricsRegistry::label("cusfft_signal_latency_ms", "device", "0"))
+      .observe(model_ms);
+  for (const auto& [phase, span_ms] : phase_span_ms)
+    reg.histogram(MetricsRegistry::label("cusfft_phase_ms", "phase", phase))
+        .observe(span_ms);
+}
+
+void GpuBatchStats::to_metrics(cusim::MetricsRegistry& reg,
+                               std::size_t device) const {
+  reg.counter("cusfft_batches_total").inc();
+  if (pipelined) reg.counter("cusfft_batches_pipelined_total").inc();
+  reg.counter("cusfft_signals_total").add(signals);
+  reg.counter("cusfft_candidates_total").add(candidates);
+  reg.histogram("cusfft_batch_model_ms").observe(model_ms);
+  reg.histogram("cusfft_batch_host_ms").observe(host_ms);
+  for (const GpuSignalStats& sig : per_signal)
+    observe_signal_metrics(reg, sig, device);
 }
 
 const char* step_of_kernel(const std::string& k) {

@@ -21,6 +21,10 @@
 #include "cusim/device.hpp"
 #include "sfft/params.hpp"
 
+namespace cusfft::cusim {
+class MetricsRegistry;  // cusim/metrics.hpp
+}
+
 namespace cusfft::gpu {
 
 /// How execute_many() schedules the batch on the modeled device.
@@ -46,6 +50,14 @@ struct GpuSignalStats {
   std::size_t candidates = 0;
 };
 
+/// Publishes one signal's window into the always-on registry: its
+/// end-to-end latency into `cusfft_signal_latency_ms{device="<device>"}`
+/// and each phase span into `cusfft_phase_ms{phase="..."}`. Shared by the
+/// single-device batch path and the fleet adapter so the two can never
+/// drift apart.
+void observe_signal_metrics(cusim::MetricsRegistry& reg,
+                            const GpuSignalStats& sig, std::size_t device);
+
 /// Modeled timing and wall time for one execute_many() batch.
 struct GpuBatchStats {
   double model_ms = 0;  // modeled makespan of the whole batch
@@ -59,6 +71,12 @@ struct GpuBatchStats {
   /// (MultiGpuPlan reorders shard results back to input order; tests pin
   /// this).
   std::vector<GpuSignalStats> per_signal;
+
+  /// Folds this batch into the always-on registry (batch counters,
+  /// model/host latency histograms, per-signal latencies + phase spans on
+  /// `device`). execute_many() publishes automatically; the fleet path
+  /// publishes once through GpuFleetStats::to_metrics instead.
+  void to_metrics(cusim::MetricsRegistry& reg, std::size_t device = 0) const;
 };
 
 /// Modeled timing and counters for one execute().
@@ -73,6 +91,11 @@ struct GpuExecStats {
                                                 // between phase boundaries
                                                 // (overlap-aware)
   std::size_t candidates = 0;  // locations that survived voting
+
+  /// Folds this execute into the always-on registry (execute counter,
+  /// model/host latency histograms, phase-span histograms). execute()
+  /// publishes automatically.
+  void to_metrics(cusim::MetricsRegistry& reg) const;
 };
 
 class GpuPlan {

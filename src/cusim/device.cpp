@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "cusim/metrics.hpp"
 #include "cusim/profiler.hpp"
 
 namespace cusfft::cusim {
@@ -30,6 +31,35 @@ Device::Device(perfmodel::GpuSpec spec)
   pool_at_capture_ = BufferPool::global().stats();
 }
 
+Device::~Device() { publish_metrics(); }
+
+void Device::publish_metrics() {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  // Graph-replay counters are kept in graph_.stats for cheap per-launch
+  // updates; the registry sees the delta since the last push, so totals
+  // across transient devices accumulate without per-launch lookups.
+  const LaunchGraph::Stats& s = graph_.stats;
+  if (s.records > graph_pushed_.records)
+    reg.counter("cusfft_graph_records_total")
+        .add(s.records - graph_pushed_.records);
+  if (s.replays > graph_pushed_.replays)
+    reg.counter("cusfft_graph_replays_total")
+        .add(s.replays - graph_pushed_.replays);
+  if (s.verified > graph_pushed_.verified)
+    reg.counter("cusfft_graph_verified_total")
+        .add(s.verified - graph_pushed_.verified);
+  graph_pushed_ = s;
+
+  // Launch-arena footprint: high-water marks across every device so far.
+  LaunchArena::Stats a = accum_.arena().stats();
+  const LaunchArena::Stats deps = timeline_.arena_stats();
+  a.chunks += deps.chunks;
+  a.bytes_reserved += deps.bytes_reserved;
+  reg.gauge("cusfft_arena_chunks").set_max(static_cast<double>(a.chunks));
+  reg.gauge("cusfft_arena_reserved_bytes")
+      .set_max(static_cast<double>(a.bytes_reserved));
+}
+
 ThreadPool* Device::launch_pool(const LaunchCfg& cfg) const {
   if (!parallel_ || cfg.sequential || cfg.blocks < 2) return nullptr;
   if (cfg.blocks * cfg.threads_per_block < min_parallel_threads_)
@@ -39,13 +69,17 @@ ThreadPool* Device::launch_pool(const LaunchCfg& cfg) const {
 }
 
 void Device::begin_capture() {
+  publish_metrics();
   timeline_.clear();
   report_.clear();
   phases_.clear();
   pool_at_capture_ = BufferPool::global().stats();
 }
 
-CaptureProfile Device::end_capture() { return collect_profile(*this); }
+CaptureProfile Device::end_capture() {
+  publish_metrics();
+  return collect_profile(*this);
+}
 
 double Device::elapsed_model_ms() { return timeline_.simulate() * 1e3; }
 

@@ -140,6 +140,13 @@ class Device {
  public:
   explicit Device(perfmodel::GpuSpec spec = perfmodel::GpuSpec::k20x());
 
+  /// Publishes the final graph-stats delta and arena high-water marks to
+  /// MetricsRegistry::global() (see publish_metrics).
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
   const perfmodel::GpuModel& model() const { return model_; }
   const perfmodel::GpuSpec& spec() const { return model_.spec(); }
 
@@ -327,6 +334,13 @@ class Device {
   /// Does not clear anything — call begin_capture() for the next region.
   CaptureProfile end_capture();
 
+  /// Pushes this device's graph-replay counter deltas and arena high-water
+  /// gauges into MetricsRegistry::global(). Devices are transient (stack
+  /// objects inside a plan), so instead of a pull collector that would
+  /// dangle, every device pushes deltas at capture boundaries and on
+  /// destruction; calling it twice is harmless (deltas since last push).
+  void publish_metrics();
+
   /// Simulates everything submitted since begin_capture(); returns the
   /// modeled makespan in milliseconds. Idempotent until the next submit.
   double elapsed_model_ms();
@@ -474,6 +488,7 @@ class Device {
   std::vector<KernelAccum> worker_accums_;  // reused across launches
   std::vector<ThreadCtx> worker_ctxs_;      // reused across launches
   LaunchGraph graph_;
+  LaunchGraph::Stats graph_pushed_;  // already published to the registry
   u64 graph_salt_ = 0;
   GraphMode graph_mode_ = GraphMode::kOn;
   std::map<std::string, KernelReport> report_;

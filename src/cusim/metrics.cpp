@@ -1,0 +1,384 @@
+#include "cusim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "cusim/pool.hpp"
+
+namespace cusfft::cusim {
+
+namespace metrics_detail {
+
+std::size_t shard_index() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot & (kShards - 1);
+}
+
+}  // namespace metrics_detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram() = default;
+
+std::size_t Histogram::bucket_index(double v) {
+  // Decompose v = m * 2^e with m in [0.5, 1): the octave is e-1 and the
+  // linear sub-bucket within it is floor((2m - 1) * kSubBuckets). Bucket 0
+  // is the underflow bucket (v < 2^kMinExp, including 0, negatives, NaN).
+  if (!(v >= std::ldexp(1.0, kMinExp))) return 0;
+  if (v >= std::ldexp(1.0, kMaxExp)) return kBuckets - 1;
+  int e = 0;
+  const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  const int octave = (e - 1) - kMinExp;
+  int sub = static_cast<int>((2.0 * m - 1.0) * kSubBuckets);
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 + static_cast<std::size_t>(octave) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double Histogram::bucket_upper(std::size_t index) {
+  if (index == 0) return std::ldexp(1.0, kMinExp);
+  if (index >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  const std::size_t grid = index - 1;
+  const int octave = static_cast<int>(grid / kSubBuckets);
+  const int sub = static_cast<int>(grid % kSubBuckets);
+  // Upper edge of linear sub-bucket `sub` inside octave [2^o, 2^(o+1)).
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets,
+                    kMinExp + octave);
+}
+
+void Histogram::observe(double v) {
+  Shard& s = shards_[metrics_detail::shard_index()];
+  s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  metrics_detail::atomic_add(s.sum, v);
+  // First observation on a shard seeds min/max; count is bumped last so a
+  // concurrent snapshot that sees count > 0 also sees a seeded min.
+  if (s.count.load(std::memory_order_relaxed) == 0) {
+    s.min.store(v, std::memory_order_relaxed);
+    s.max.store(v, std::memory_order_relaxed);
+  } else {
+    metrics_detail::atomic_min(s.min, v);
+    metrics_detail::atomic_max(s.max, v);
+  }
+  s.count.fetch_add(1, std::memory_order_release);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  std::array<u64, kBuckets> merged{};
+  bool seeded = false;
+  for (const Shard& s : shards_) {
+    const u64 n = s.count.load(std::memory_order_acquire);
+    if (n == 0) continue;
+    out.count += n;
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const double lo = s.min.load(std::memory_order_relaxed);
+    const double hi = s.max.load(std::memory_order_relaxed);
+    if (!seeded) {
+      out.min = lo;
+      out.max = hi;
+      seeded = true;
+    } else {
+      out.min = std::min(out.min, lo);
+      out.max = std::max(out.max, hi);
+    }
+    for (std::size_t i = 0; i < kBuckets; ++i)
+      merged[i] += s.buckets[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    if (merged[i] != 0) out.buckets.emplace_back(bucket_upper(i), merged[i]);
+  return out;
+}
+
+void Histogram::zero() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const u64 rank =
+      std::max<u64>(1, static_cast<u64>(std::ceil(q * static_cast<double>(
+                                                          count))));
+  u64 seen = 0;
+  for (const auto& [upper, n] : buckets) {
+    seen += n;
+    if (seen >= rank) return std::min(upper, max);
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+/// Shortest decimal form that round-trips a double (printf %.17g trimmed),
+/// shared by both exposition formats so snapshots are byte-deterministic.
+std::string format_number(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+/// Splits `cusfft_foo_ms{device="0"}` into the Prometheus family name and
+/// the raw label body (empty when unlabeled).
+void split_labels(const std::string& name, std::string* base,
+                  std::string* labels) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/// `base{labels,extra}` — appends one more label to a (possibly empty)
+/// label body.
+std::string with_label(const std::string& base, const std::string& labels,
+                       const std::string& extra) {
+  std::string body = labels;
+  if (!body.empty() && !extra.empty()) body += ",";
+  body += extra;
+  if (body.empty()) return base;
+  return base + "{" + body + "}";
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  if (gauges_.count(name) || histograms_.count(name))
+    throw std::logic_error("metric '" + name +
+                           "' already registered as a different kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  if (counters_.count(name) || histograms_.count(name))
+    throw std::logic_error("metric '" + name +
+                           "' already registered as a different kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lk(mu_);
+  if (counters_.count(name) || gauges_.count(name))
+    throw std::logic_error("metric '" + name +
+                           "' already registered as a different kind");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::label(const std::string& name,
+                                   const std::string& key,
+                                   const std::string& value) {
+  std::string base, labels;
+  split_labels(name, &base, &labels);
+  return with_label(base, labels, key + "=\"" + value + "\"");
+}
+
+void MetricsRegistry::add_collector(Collector c) {
+  std::lock_guard lk(mu_);
+  collectors_.push_back(std::move(c));
+}
+
+void MetricsRegistry::run_collectors(Snapshot& s) const {
+  Snapshot pulled;
+  for (const auto& c : collectors_) c(pulled);
+  // Collector counters are process-lifetime absolutes (the underlying
+  // subsystem owns them and cannot be zeroed from here); subtract the
+  // baseline recorded at the last reset() so they restart from zero like
+  // every registry-owned counter.
+  for (auto& [name, v] : pulled.counters) {
+    const auto it = collector_base_.find(name);
+    const u64 base = it == collector_base_.end() ? 0 : it->second;
+    s.counters[name] = v >= base ? v - base : 0;
+  }
+  for (auto& [name, v] : pulled.gauges) s.gauges[name] = v;
+  for (auto& [name, h] : pulled.histograms) s.histograms[name] = std::move(h);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  run_collectors(s);
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& [name, c] : counters_) c->zero();
+  for (auto& [name, g] : gauges_) g->zero();
+  for (auto& [name, h] : histograms_) h->zero();
+  Snapshot pulled;
+  for (const auto& c : collectors_) c(pulled);
+  collector_base_.clear();
+  for (const auto& [name, v] : pulled.counters) collector_base_[name] = v;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = [] {
+    auto* r = new MetricsRegistry();
+    r->add_collector([](Snapshot& s) {
+      const BufferPool::Stats ps = BufferPool::global().stats();
+      s.counters["cusfft_pool_misses_total"] = ps.allocations;
+      s.counters["cusfft_pool_hits_total"] = ps.reuses;
+      s.counters["cusfft_pool_bytes_allocated_total"] = ps.bytes_allocated;
+      s.counters["cusfft_pool_bytes_recycled_total"] = ps.bytes_reused;
+      s.gauges["cusfft_pool_bytes_pooled"] =
+          static_cast<double>(ps.bytes_pooled);
+    });
+    return r;
+  }();
+  return *reg;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+
+std::string MetricsRegistry::Snapshot::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"cusfft-metrics-v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": " + format_number(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + format_number(h.sum);
+    out += ", \"min\": " + format_number(h.min);
+    out += ", \"max\": " + format_number(h.max);
+    out += ", \"p50\": " + format_number(h.percentile(0.50));
+    out += ", \"p95\": " + format_number(h.percentile(0.95));
+    out += ", \"p99\": " + format_number(h.percentile(0.99));
+    out += ", \"buckets\": [";
+    bool bfirst = true;
+    for (const auto& [upper, n] : h.buckets) {
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      // +Inf is not valid JSON; the overflow bucket serializes its bound
+      // as a string, mirroring Prometheus's le="+Inf".
+      if (std::isinf(upper))
+        out += "{\"le\": \"+Inf\", \"count\": " + std::to_string(n) + "}";
+      else
+        out += "{\"le\": " + format_number(upper) +
+               ", \"count\": " + std::to_string(n) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsRegistry::Snapshot::to_prometheus() const {
+  std::string out;
+  out.reserve(4096);
+  std::string base, labels, last_base;
+  for (const auto& [name, v] : counters) {
+    split_labels(name, &base, &labels);
+    if (base != last_base) {
+      out += "# TYPE " + base + " counter\n";
+      last_base = base;
+    }
+    out += name + " " + std::to_string(v) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, v] : gauges) {
+    split_labels(name, &base, &labels);
+    if (base != last_base) {
+      out += "# TYPE " + base + " gauge\n";
+      last_base = base;
+    }
+    out += name + " " + format_number(v) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, h] : histograms) {
+    split_labels(name, &base, &labels);
+    if (base != last_base) {
+      out += "# TYPE " + base + " histogram\n";
+      last_base = base;
+    }
+    u64 cum = 0;
+    for (const auto& [upper, n] : h.buckets) {
+      cum += n;
+      if (std::isinf(upper)) continue;  // folded into the +Inf line below
+      out += with_label(base + "_bucket", labels,
+                        "le=\"" + format_number(upper) + "\"") +
+             " " + std::to_string(cum) + "\n";
+    }
+    out += with_label(base + "_bucket", labels, "le=\"+Inf\"") + " " +
+           std::to_string(h.count) + "\n";
+    out += with_label(base + "_sum", labels, "") + " " + format_number(h.sum) +
+           "\n";
+    out += with_label(base + "_count", labels, "") + " " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace cusfft::cusim

@@ -36,6 +36,7 @@ BufferPool::Block BufferPool::acquire(std::size_t bytes) {
     }
     if (hit) {
       reuses_.fetch_add(1, std::memory_order_relaxed);
+      bytes_reused_.fetch_add(b.cap, std::memory_order_relaxed);
       bytes_pooled_.fetch_sub(b.cap, std::memory_order_relaxed);
       // Zero outside the lock: for MB-sized scratch this memset dominates
       // acquire cost and must not serialize concurrent captures.
@@ -85,6 +86,7 @@ BufferPool::Stats BufferPool::stats() const {
   s.allocations = allocations_.load(std::memory_order_relaxed);
   s.reuses = reuses_.load(std::memory_order_relaxed);
   s.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
+  s.bytes_reused = bytes_reused_.load(std::memory_order_relaxed);
   s.bytes_pooled = bytes_pooled_.load(std::memory_order_relaxed);
   return s;
 }

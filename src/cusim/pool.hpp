@@ -38,6 +38,7 @@ class BufferPool {
     u64 allocations = 0;     // fresh device ranges created
     u64 reuses = 0;          // acquires served from the free list
     u64 bytes_allocated = 0; // cumulative fresh bytes
+    u64 bytes_reused = 0;    // cumulative bytes served from the free list
     u64 bytes_pooled = 0;    // currently parked on the free list
 
     /// Delta of the monotonic counters against an earlier snapshot
@@ -49,6 +50,7 @@ class BufferPool {
       d.allocations = allocations - earlier.allocations;
       d.reuses = reuses - earlier.reuses;
       d.bytes_allocated = bytes_allocated - earlier.bytes_allocated;
+      d.bytes_reused = bytes_reused - earlier.bytes_reused;
       d.bytes_pooled = bytes_pooled;
       return d;
     }
@@ -87,6 +89,7 @@ class BufferPool {
   std::atomic<u64> allocations_{0};
   std::atomic<u64> reuses_{0};
   std::atomic<u64> bytes_allocated_{0};
+  std::atomic<u64> bytes_reused_{0};
   std::atomic<u64> bytes_pooled_{0};
   std::atomic<bool> enabled_{true};
   std::atomic<u64> max_pooled_bytes_{u64{1} << 30};

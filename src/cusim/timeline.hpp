@@ -113,6 +113,10 @@ class Timeline {
   const std::vector<ItemSchedule>& schedule() const { return schedule_; }
   const std::vector<TimelineItem>& items() const { return items_; }
 
+  /// Usage of the arena backing the dependency spans — feeds the arena
+  /// high-water gauges in MetricsRegistry.
+  LaunchArena::Stats arena_stats() const { return dep_arena_.stats(); }
+
  private:
   /// One recorded event: device-wide (all items [0, upto)) or stream-scoped
   /// (the single item that was last on the stream when recorded).

@@ -122,6 +122,53 @@ TEST(BenchJson, WriteResultsRoundTripsThroughJsonLite) {
   std::remove(path.c_str());
 }
 
+TEST(BenchOpts, MetricsFlagAndEnv) {
+  ::unsetenv("CUSFFT_METRICS");
+  const char* none[] = {"bench"};
+  EXPECT_TRUE(
+      BenchOpts::parse(1, const_cast<char**>(none)).metrics.empty());
+
+  const char* argv[] = {"bench", "--metrics", "/tmp/fleet_metrics.json"};
+  EXPECT_EQ(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                             const_cast<char**>(argv))
+                .metrics,
+            "/tmp/fleet_metrics.json");
+
+  ::setenv("CUSFFT_METRICS", "/tmp/env_metrics.json", 1);
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).metrics,
+            "/tmp/env_metrics.json");
+  // The flag wins over the environment (flags parse after env).
+  EXPECT_EQ(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                             const_cast<char**>(argv))
+                .metrics,
+            "/tmp/fleet_metrics.json");
+  ::unsetenv("CUSFFT_METRICS");
+}
+
+TEST(BenchJson, WriteResultsEmbedsMetricsSnapshot) {
+  const std::string path = "/tmp/cusfft_bench_metrics_embed.json";
+  const std::string metrics =
+      "{\"schema\": \"cusfft-metrics-v1\", \"counters\": "
+      "{\"cusfft_executes_total\": 3}, \"gauges\": {}, \"histograms\": {}}";
+  ASSERT_TRUE(
+      write_results_json(path, "throughput", {{"execute", 1.0, 0.5}},
+                         metrics));
+
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  json::Value doc;
+  std::string err;
+  ASSERT_TRUE(json::parse(ss.str(), doc, &err)) << err;
+  const json::Value* m = doc.find("metrics");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->string_or("schema", ""), "cusfft-metrics-v1");
+  const json::Value* counters = m->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->number_or("cusfft_executes_total", 0), 3);
+  std::remove(path.c_str());
+}
+
 TEST(BenchOpts, ProfileEnvIsOverriddenByFlag) {
   ::setenv("CUSFFT_PROFILE", "/tmp/env.json", 1);
   const char* envonly[] = {"bench"};
@@ -191,6 +238,28 @@ TEST(BenchOptsDeathTest, UnknownFlagExits) {
   EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
                                const_cast<char**>(argv)),
               ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(BenchOptsDeathTest, EmptyMetricsEnvExits) {
+  ::setenv("CUSFFT_METRICS", "", 1);
+  const char* argv[] = {"bench"};
+  EXPECT_EXIT(BenchOpts::parse(1, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "CUSFFT_METRICS");
+  ::unsetenv("CUSFFT_METRICS");
+}
+
+TEST(BenchOptsDeathTest, MetricsFlagMissingValueExits) {
+  const char* argv[] = {"bench", "--metrics"};
+  EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "missing value");
+}
+
+TEST(BenchOptsDeathTest, EmptyMetricsFlagValueExits) {
+  const char* argv[] = {"bench", "--metrics", ""};
+  EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "non-empty path");
 }
 
 TEST(PaperParams, FollowsPaperRegimeByDefault) {

@@ -541,6 +541,76 @@ TEST(CApi, ProfileWriteAndCpuBackendHasNone) {
   cusfft_destroy(cpu);
 }
 
+TEST(CApi, MetricsJsonSizeQueryThenFetch) {
+  // Drive some traffic through the GPU backend so the registry is
+  // non-empty, then exercise the buf/cap/len protocol.
+  const auto w = make_workload(1 << 12, 8, 77);
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, w.n, w.k, CUSFFT_BACKEND_GPU_OPTIMIZED), CUSFFT_SUCCESS);
+  std::vector<size_t> locs(w.k);
+  std::vector<double> vals(2 * w.k);
+  size_t count = locs.size();
+  ASSERT_EQ(cusfft_execute(h, reinterpret_cast<const double*>(w.x.data()),
+                           locs.data(), vals.data(), &count),
+            CUSFFT_SUCCESS);
+  cusfft_destroy(h);
+
+  size_t len = 0;
+  ASSERT_EQ(cusfft_metrics_json(nullptr, 0, &len), CUSFFT_SUCCESS);
+  ASSERT_GT(len, 1u);  // includes the NUL terminator
+  std::string doc(len, '\0');
+  // A too-small buffer must be rejected without writing past it.
+  EXPECT_EQ(cusfft_metrics_json(doc.data(), len - 1, &len),
+            CUSFFT_INVALID_ARGUMENT);
+  ASSERT_EQ(cusfft_metrics_json(doc.data(), doc.size(), &len),
+            CUSFFT_SUCCESS);
+  doc.resize(len - 1);  // drop the NUL
+  EXPECT_NE(doc.find("\"schema\": \"cusfft-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("cusfft_executes_total"), std::string::npos);
+
+  // The Prometheus exposition goes through the same protocol.
+  size_t tlen = 0;
+  ASSERT_EQ(cusfft_metrics_text(nullptr, 0, &tlen), CUSFFT_SUCCESS);
+  std::string text(tlen, '\0');
+  ASSERT_EQ(cusfft_metrics_text(text.data(), text.size(), &tlen),
+            CUSFFT_SUCCESS);
+  EXPECT_NE(text.find("# TYPE cusfft_executes_total counter"),
+            std::string::npos);
+
+  EXPECT_EQ(cusfft_metrics_json(nullptr, 0, nullptr),
+            CUSFFT_INVALID_ARGUMENT);
+}
+
+TEST(CApi, MetricsWriteAndReset) {
+  const std::string path = "/tmp/cusfft_capi_metrics.json";
+  ASSERT_EQ(cusfft_metrics_write(path.c_str(), CUSFFT_METRICS_JSON),
+            CUSFFT_SUCCESS);
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("cusfft-metrics-v1"), std::string::npos);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(cusfft_metrics_write(nullptr, CUSFFT_METRICS_JSON),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_metrics_write(path.c_str(),
+                                 static_cast<cusfft_metrics_format>(42)),
+            CUSFFT_INVALID_ARGUMENT);
+
+  // reset() zeroes counters; the exposition survives and stays valid.
+  ASSERT_EQ(cusfft_metrics_reset(), CUSFFT_SUCCESS);
+  size_t len = 0;
+  ASSERT_EQ(cusfft_metrics_json(nullptr, 0, &len), CUSFFT_SUCCESS);
+  std::string doc(len, '\0');
+  ASSERT_EQ(cusfft_metrics_json(doc.data(), doc.size(), &len),
+            CUSFFT_SUCCESS);
+  if (doc.find("cusfft_executes_total") != std::string::npos) {
+    EXPECT_NE(doc.find("\"cusfft_executes_total\": 0"), std::string::npos)
+        << "after reset, a registered counter must read 0";
+  }
+}
+
 TEST(CApi, StatusStrings) {
   EXPECT_STREQ(cusfft_status_string(CUSFFT_SUCCESS), "success");
   EXPECT_STREQ(cusfft_status_string(CUSFFT_INVALID_ARGUMENT),

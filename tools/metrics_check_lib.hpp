@@ -1,0 +1,55 @@
+// Validator for the always-on metrics artifacts (cusim::MetricsRegistry
+// expositions). Four checks, each usable on its own:
+//   - check_metrics_json: schema + internal consistency of one JSON
+//     snapshot (bucket counts sum to the histogram count, percentiles are
+//     ordered min <= p50 <= p95 <= p99 <= max, sum within [count*min,
+//     count*max], bucket bounds ascending);
+//   - check_metrics_monotonic: counters and histogram counts never
+//     decrease between two snapshots of the same process;
+//   - check_metrics_prometheus: the Prometheus text exposition agrees
+//     with the JSON snapshot (same counter values, same histogram counts,
+//     cumulative buckets non-decreasing and ending at the count);
+//   - check_device_histograms: the per-device execute-latency
+//     histograms exist with observations for every expected device.
+// Library + CLI split so tests can feed synthetic documents — same layout
+// as profile_check_lib / bench_gate_lib.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace cusfft::tools {
+
+struct MetricsCheckResult {
+  bool ok = false;
+  std::vector<std::string> errors;
+
+  // Summary counts for reporting (filled by check_metrics_json).
+  std::size_t counters = 0;
+  std::size_t gauges = 0;
+  std::size_t histograms = 0;
+};
+
+/// Validates one "cusfft-metrics-v1" JSON document.
+MetricsCheckResult check_metrics_json(const std::string& text);
+
+/// Validates that every counter and histogram count in `prev` is <= its
+/// value in `next` (both "cusfft-metrics-v1" documents from the same
+/// process). Instruments present only in `next` are fine (registered
+/// later); instruments that disappeared are errors.
+MetricsCheckResult check_metrics_monotonic(const std::string& prev,
+                                           const std::string& next);
+
+/// Cross-checks a Prometheus text exposition against the JSON snapshot it
+/// was taken with.
+MetricsCheckResult check_metrics_prometheus(const std::string& json_text,
+                                            const std::string& prom_text);
+
+/// Requires `cusfft_signal_latency_ms{device="i"}` with count > 0 for
+/// every i in [0, devices).
+MetricsCheckResult check_device_histograms(const std::string& json_text,
+                                           std::size_t devices);
+
+}  // namespace cusfft::tools
