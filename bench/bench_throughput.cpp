@@ -9,10 +9,20 @@
 // host_sps is functional-simulation wall throughput on this container;
 // model_ms_per_signal is the modeled device time and must not depend on
 // which configuration ran.
+//
+// --serve switches to the serving-tier replay instead: a multi-tenant
+// arrival trace (canned or --serve-in) is driven through
+// cusfft::serve::Server twice (the decision traces must match — the
+// deterministic-replay gate) plus once in single-request mode
+// (max_batch=1, zero wait), and the bench reports per-SLO-class p50/p99
+// modeled latency and sustained QPS. Exit is nonzero unless the replay is
+// reproducible and batched serving beats per-request execution on QPS.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <span>
+#include <sstream>
 #include <vector>
 
 #include "common.hpp"
@@ -27,8 +37,144 @@
 using namespace cusfft;
 using namespace cusfft::bench;
 
+namespace {
+
+std::string slurp_or_exit(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "bench_throughput: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+struct ServeRun {
+  serve::GpuServeStats stats;
+  std::string decisions;
+  std::string schedule;
+  double host_ms = 0;
+};
+
+ServeRun run_trace(const serve::ServerConfig& cfg, const serve::Trace& tr,
+                   u64 seed) {
+  serve::Server s(cfg);
+  WallTimer wall;
+  serve::replay(s, tr, seed);
+  ServeRun r;
+  r.host_ms = wall.ms();
+  r.stats = s.stats();
+  r.decisions = s.decision_trace();
+  r.schedule = s.schedule_trace();
+  return r;
+}
+
+int run_serve(const BenchOpts& o) {
+  const std::size_t n = 1ULL << o.min_logn;
+  const std::size_t k = std::min(o.k, n / 8);
+
+  serve::ServerConfig base;
+  base.devices = o.devices;
+  // Small enough that the canned trace's charlie bursts overflow it, so
+  // the replay exercises the rejection path (CUSFFT_SERVE_QUEUE_DEPTH
+  // overrides).
+  base.tenant_queue_depth = 4;
+  const serve::ServerConfig cfg = serve_config_or_exit(base);
+
+  serve::Trace tr;
+  if (!o.serve_in.empty()) {
+    try {
+      tr = serve::Trace::parse(slurp_or_exit(o.serve_in));
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "bench_throughput: " << o.serve_in << ": " << e.what()
+                << "\n";
+      return 2;
+    }
+  } else {
+    tr = serve::canned_trace(n, k, o.seed);
+  }
+
+  std::cout << "Serve: " << tr.events.size()
+            << " arrivals, devices=" << cfg.devices
+            << " max_batch=" << cfg.max_batch << " wait_ms="
+            << cfg.max_wait_latency_ms << "/" << cfg.max_wait_throughput_ms
+            << " queue_depth=" << cfg.tenant_queue_depth << "\n\n";
+
+  const ServeRun run1 = run_trace(cfg, tr, o.seed);
+  // Mid-run snapshot between the two (drained) replays: the serve
+  // counters are published incrementally, so tools/metrics_check can
+  // verify monotonicity against the final snapshot.
+  if (!o.metrics.empty()) write_metrics_json(o.metrics + ".snap1.json");
+  const ServeRun run2 = run_trace(cfg, tr, o.seed);
+
+  // Per-request baseline: same trace and fleet, but every request
+  // launches as its own batch the moment the device frees up.
+  serve::ServerConfig single = cfg;
+  single.max_batch = 1;
+  single.max_wait_latency_ms = 0;
+  single.max_wait_throughput_ms = 0;
+  const ServeRun solo = run_trace(single, tr, o.seed);
+
+  const bool deterministic =
+      run1.decisions == run2.decisions && run1.schedule == run2.schedule;
+  const bool faster = run1.stats.sustained_qps > solo.stats.sustained_qps;
+
+  ResultTable t(
+      {"mode", "class", "completed", "p50_ms", "p99_ms", "mean_ms", "qps"});
+  auto add_class = [&](const char* mode, const ServeRun& r, const char* cls,
+                       const serve::ClassLatency& l) {
+    t.add_row({mode, cls, std::to_string(l.count), ResultTable::num(l.p50_ms),
+               ResultTable::num(l.p99_ms), ResultTable::num(l.mean_ms),
+               ResultTable::num(r.stats.sustained_qps)});
+  };
+  add_class("serve_batched", run1, "latency", run1.stats.latency);
+  add_class("serve_batched", run1, "throughput", run1.stats.throughput);
+  add_class("serve_single", solo, "latency", solo.stats.latency);
+  add_class("serve_single", solo, "throughput", solo.stats.throughput);
+
+  auto show = [](const char* name, const serve::GpuServeStats& s) {
+    std::printf("%-9s %3zu completed / %zu shed / %zu rejected in %zu "
+                "batches, fill %.2f, horizon %.3f ms, %.1f qps\n",
+                name, s.completed, s.shed, s.rejected, s.batches,
+                s.mean_batch_fill, s.virtual_ms, s.sustained_qps);
+  };
+  show("batched:", run1.stats);
+  show("single:", solo.stats);
+  std::printf("batched vs single: %.1f vs %.1f sustained qps (%.2fx), "
+              "replay %s\n\n",
+              run1.stats.sustained_qps, solo.stats.sustained_qps,
+              solo.stats.sustained_qps > 0
+                  ? run1.stats.sustained_qps / solo.stats.sustained_qps
+                  : 0.0,
+              deterministic ? "deterministic" : "MISMATCH");
+
+  if (!o.serve_out.empty()) {
+    std::ofstream f(o.serve_out);
+    if (!f) {
+      std::cerr << "bench_throughput: cannot write " << o.serve_out << "\n";
+      return 2;
+    }
+    f << run1.decisions;
+    std::cout << "wrote decision trace: " << o.serve_out << "\n";
+  }
+
+  emit(o, "serve", t);
+  run1.stats.to_metrics(cusim::MetricsRegistry::global());
+  if (!o.json.empty())
+    write_results_json(o.json, "serve",
+                       {{"serve_batched", run1.host_ms, run1.stats.virtual_ms},
+                        {"serve_single", solo.host_ms, solo.stats.virtual_ms}},
+                       cusim::MetricsRegistry::global().expose_json());
+  if (!o.metrics.empty()) write_metrics_artifacts(o.metrics);
+  return deterministic && faster ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const BenchOpts o = BenchOpts::parse(argc, argv);
+  if (o.serve) return run_serve(o);
   const std::size_t batch = env_or("CUSFFT_BATCH", 8);
   const std::size_t n = 1ULL << o.min_logn;
   const std::size_t k = std::min(o.k, n / 8);

@@ -30,11 +30,18 @@ namespace {
                "             [--fixed-logn N] [--seed N] [--devices N]\n"
                "             [--mixed] [--out-dir DIR] [--profile PATH]\n"
                "             [--json PATH] [--metrics PATH]\n"
+               "             [--serve] [--serve-in PATH] [--serve-out "
+               "PATH]\n"
                "env: CUSFFT_MIN_LOGN CUSFFT_MAX_LOGN CUSFFT_K "
                "CUSFFT_FIXED_LOGN CUSFFT_SEED\n"
                "     CUSFFT_DEVICES CUSFFT_MIXED CUSFFT_OUT_DIR "
                "CUSFFT_PROFILE CUSFFT_JSON\n"
-               "     CUSFFT_METRICS\n";
+               "     CUSFFT_METRICS CUSFFT_SERVE CUSFFT_SERVE_IN "
+               "CUSFFT_SERVE_OUT\n"
+               "     CUSFFT_SERVE_DEVICES CUSFFT_SERVE_MAX_BATCH "
+               "CUSFFT_SERVE_MAX_WAIT_MS\n"
+               "     CUSFFT_SERVE_MAX_WAIT_LAT_MS "
+               "CUSFFT_SERVE_QUEUE_DEPTH\n";
   std::exit(2);
 }
 
@@ -122,6 +129,11 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
   if (const char* p = std::getenv("CUSFFT_JSON")) o.json = p;
   if (const char* p = std::getenv("CUSFFT_METRICS"))
     o.metrics = parse_path("CUSFFT_METRICS", p);
+  o.serve = env_or("CUSFFT_SERVE", o.serve ? 1 : 0) != 0;
+  if (const char* p = std::getenv("CUSFFT_SERVE_IN"))
+    o.serve_in = parse_path("CUSFFT_SERVE_IN", p);
+  if (const char* p = std::getenv("CUSFFT_SERVE_OUT"))
+    o.serve_out = parse_path("CUSFFT_SERVE_OUT", p);
   // Every argv token must be consumed: a trailing flag with no value or
   // an unknown flag is a usage error, not a silent no-op (the old
   // two-at-a-time loop dropped both).
@@ -142,6 +154,9 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
     else if (key == "--profile") o.profile = value();
     else if (key == "--json") o.json = value();
     else if (key == "--metrics") o.metrics = parse_path(key, value());
+    else if (key == "--serve") o.serve = true;
+    else if (key == "--serve-in") o.serve_in = parse_path(key, value());
+    else if (key == "--serve-out") o.serve_out = parse_path(key, value());
     else usage_exit("unknown flag '" + key + "'");
   }
   if (o.max_logn < o.min_logn) o.max_logn = o.min_logn;
@@ -151,6 +166,14 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
 }
 
 const std::string& profile_path() { return g_profile_path; }
+
+serve::ServerConfig serve_config_or_exit(serve::ServerConfig base) {
+  try {
+    return serve::ServerConfig::from_env(std::move(base));
+  } catch (const std::invalid_argument& e) {
+    usage_exit(e.what());
+  }
+}
 
 bool write_results_json(const std::string& path, const std::string& bench,
                         const std::vector<JsonRow>& rows,

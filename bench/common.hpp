@@ -19,6 +19,7 @@
 #include "core/timer.hpp"
 #include "core/types.hpp"
 #include "cusfft/options.hpp"
+#include "cusfft/server.hpp"
 #include "cusim/profiler.hpp"
 #include "sfft/params.hpp"
 
@@ -54,6 +55,19 @@ struct BenchOpts {
   /// snapshot to `<path>.snap1.json` for tools/metrics_check's
   /// monotonicity gate. Env CUSFFT_METRICS / --metrics.
   std::string metrics;
+  /// bench_throughput: replay a multi-tenant arrival trace through the
+  /// serving tier (cusfft::serve::Server) instead of the batch sweeps,
+  /// reporting per-SLO-class latency percentiles and sustained QPS. Env
+  /// CUSFFT_SERVE / --serve.
+  bool serve = false;
+  /// --serve: read the arrival trace from this file (serve::Trace text
+  /// format) instead of the canned three-tenant trace. Env
+  /// CUSFFT_SERVE_IN / --serve-in.
+  std::string serve_in;
+  /// --serve: write the run's float-free decision trace (batch
+  /// composition + shed/reject decisions) to this path — the golden
+  /// scheduling artifact CI diffs. Env CUSFFT_SERVE_OUT / --serve-out.
+  std::string serve_out;
 
   /// Reads CUSFFT_MIN_LOGN / CUSFFT_MAX_LOGN / CUSFFT_K / CUSFFT_FIXED_LOGN
   /// / CUSFFT_SEED / CUSFFT_DEVICES / CUSFFT_MIXED / CUSFFT_OUT_DIR /
@@ -75,6 +89,12 @@ struct RunResult {
 /// exits with the usage message when the value is malformed (the old
 /// strtoull-based read silently turned CUSFFT_K=abc into 0).
 std::size_t env_or(const char* name, std::size_t def);
+
+/// serve::ServerConfig::from_env(base) with bench error semantics: a
+/// malformed CUSFFT_SERVE_* value (the library's typed
+/// std::invalid_argument) becomes the usual exit-2 usage error. Re-reads
+/// the environment on every call, like the library.
+serve::ServerConfig serve_config_or_exit(serve::ServerConfig base);
 
 /// Deterministic k-sparse benchmark signal (unit magnitudes, the reference
 /// implementations' workload).

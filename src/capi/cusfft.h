@@ -194,6 +194,97 @@ cusfft_status cusfft_metrics_write(const char* path,
  * for the next scrape window). Instruments stay registered. */
 cusfft_status cusfft_metrics_reset(void);
 
+/* ---- Multi-tenant serving tier (deterministic virtual clock) ----
+ * A cusfft_server wraps cusfft::serve::Server: per-tenant submissions
+ * with a latency- or throughput-class SLO and an optional deadline,
+ * bounded per-tenant admission (overflow is rejected immediately, never
+ * blocked), and a dynamic batcher that coalesces pending requests into
+ * mixed-shape fleet batches (shape-keyed plan cache shared across
+ * tenants). The C surface exposes the virtual-clock drive: submissions
+ * carry a nondecreasing arrival time in modeled milliseconds and
+ * cusfft_server_advance/_drain launch the batches, so replays are
+ * bit-reproducible. Every request terminates in exactly one of
+ * {completed, shed, rejected}. */
+typedef struct cusfft_server_t* cusfft_server;
+
+typedef enum {
+  CUSFFT_SLO_LATENCY = 0,   /* short batch-close window, preempts */
+  CUSFFT_SLO_THROUGHPUT = 1 /* long accumulation window */
+} cusfft_slo_class;
+
+typedef enum {
+  CUSFFT_REQUEST_PENDING = 0,
+  CUSFFT_REQUEST_COMPLETED = 1,
+  CUSFFT_REQUEST_SHED = 2,    /* deadline expired before launch */
+  CUSFFT_REQUEST_REJECTED = 3 /* per-tenant queue-depth backpressure */
+} cusfft_request_outcome;
+
+typedef struct {
+  size_t devices;            /* simulated fleet size, >= 1 */
+  size_t max_batch;          /* size batch-close trigger, >= 1 */
+  size_t tenant_queue_depth; /* per-tenant admission bound, >= 1 */
+  double max_wait_latency_ms;    /* latency-class close window */
+  double max_wait_throughput_ms; /* throughput-class close window */
+} cusfft_server_config;
+
+/* Fills `out` with the library defaults overlaid with the CUSFFT_SERVE_*
+ * environment knobs (re-read on every call; malformed values return
+ * CUSFFT_INVALID_ARGUMENT). */
+cusfft_status cusfft_server_config_default(cusfft_server_config* out);
+
+/* cfg == NULL uses cusfft_server_config_default(). */
+cusfft_status cusfft_server_create(cusfft_server* out,
+                                   const cusfft_server_config* cfg);
+
+/* Submits one request for `tenant` arriving at virtual time `arrival_ms`
+ * (nondecreasing across submissions; clamped up to the server clock).
+ * `input` is n interleaved (re, im) doubles; n a power of two >= 16.
+ * `deadline_ms` is relative to arrival; <= 0 means none. `request_id`
+ * receives the id — check cusfft_server_outcome for an immediate
+ * backpressure rejection. */
+cusfft_status cusfft_server_submit(cusfft_server s, const char* tenant,
+                                   double arrival_ms, size_t n, size_t k,
+                                   cusfft_slo_class slo, double deadline_ms,
+                                   const double* input,
+                                   uint64_t* request_id);
+
+/* Launches every batch that closes up to virtual time t_ms. */
+cusfft_status cusfft_server_advance(cusfft_server s, double t_ms);
+
+/* Flushes the queue (remaining batches launch back to back). */
+cusfft_status cusfft_server_drain(cusfft_server s);
+
+cusfft_status cusfft_server_outcome(cusfft_server s, uint64_t request_id,
+                                    cusfft_request_outcome* out);
+
+/* Copies a completed request's spectrum with the cusfft_execute output
+ * protocol: on entry *count is the capacity of locations/values (pairs),
+ * on exit the number written (largest magnitudes first). `latency_ms`
+ * (optional, may be NULL) receives the modeled queue+execute latency.
+ * CUSFFT_INVALID_ARGUMENT unless the request completed. */
+cusfft_status cusfft_server_result(cusfft_server s, uint64_t request_id,
+                                   uint64_t* locations, double* values,
+                                   size_t* count, double* latency_ms);
+
+typedef struct {
+  size_t submitted;
+  size_t completed;
+  size_t shed;
+  size_t rejected;
+  size_t batches;
+  size_t max_queue_depth; /* high-water pending count, all tenants */
+  double virtual_ms;      /* serving horizon on the modeled clock */
+  double sustained_qps;   /* completed / virtual seconds */
+  double latency_p50_ms;  /* latency-class completions */
+  double latency_p99_ms;
+  double throughput_p50_ms; /* throughput-class completions */
+  double throughput_p99_ms;
+} cusfft_serve_stats;
+
+cusfft_status cusfft_server_stats(cusfft_server s, cusfft_serve_stats* out);
+
+cusfft_status cusfft_server_destroy(cusfft_server s);
+
 cusfft_status cusfft_destroy(cusfft_handle h);
 
 /* Human-readable name for a status code (static storage). */

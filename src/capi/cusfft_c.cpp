@@ -13,6 +13,7 @@
 #include "core/types.hpp"
 #include "cusfft/multi_plan.hpp"
 #include "cusfft/plan.hpp"
+#include "cusfft/server.hpp"
 #include "cusim/device.hpp"
 #include "cusim/device_group.hpp"
 #include "cusim/metrics.hpp"
@@ -431,6 +432,198 @@ cusfft_status cusfft_metrics_reset(void) {
   } catch (...) {
     return CUSFFT_INTERNAL_ERROR;
   }
+  return CUSFFT_SUCCESS;
+}
+
+}  // extern "C"
+
+/// Owns the serving tier behind the cusfft_server handle (the Server is
+/// neither copyable nor movable, so the handle constructs it in place).
+struct cusfft_server_t {
+  cusfft::serve::Server impl;
+  explicit cusfft_server_t(const cusfft::serve::ServerConfig& c) : impl(c) {}
+};
+
+extern "C" {
+
+cusfft_status cusfft_server_config_default(cusfft_server_config* out) {
+  if (out == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  try {
+    const cusfft::serve::ServerConfig cfg =
+        cusfft::serve::ServerConfig::from_env();
+    out->devices = cfg.devices;
+    out->max_batch = cfg.max_batch;
+    out->tenant_queue_depth = cfg.tenant_queue_depth;
+    out->max_wait_latency_ms = cfg.max_wait_latency_ms;
+    out->max_wait_throughput_ms = cfg.max_wait_throughput_ms;
+  } catch (const std::invalid_argument&) {
+    return CUSFFT_INVALID_ARGUMENT;
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_server_create(cusfft_server* out,
+                                   const cusfft_server_config* cfg) {
+  if (out == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  *out = nullptr;
+  try {
+    cusfft::serve::ServerConfig c;
+    if (cfg != nullptr) {
+      c.devices = cfg->devices;
+      c.max_batch = cfg->max_batch;
+      c.tenant_queue_depth = cfg->tenant_queue_depth;
+      c.max_wait_latency_ms = cfg->max_wait_latency_ms;
+      c.max_wait_throughput_ms = cfg->max_wait_throughput_ms;
+    } else {
+      c = cusfft::serve::ServerConfig::from_env();
+    }
+    *out = new cusfft_server_t(c);
+  } catch (const std::invalid_argument&) {
+    return CUSFFT_INVALID_ARGUMENT;
+  } catch (const std::bad_alloc&) {
+    return CUSFFT_ALLOC_FAILED;
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+namespace {
+
+cusfft::serve::Server* unwrap(cusfft_server s) { return &s->impl; }
+
+}  // namespace
+
+cusfft_status cusfft_server_submit(cusfft_server s, const char* tenant,
+                                   double arrival_ms, size_t n, size_t k,
+                                   cusfft_slo_class slo, double deadline_ms,
+                                   const double* input,
+                                   uint64_t* request_id) {
+  if (s == nullptr || tenant == nullptr || input == nullptr ||
+      request_id == nullptr)
+    return CUSFFT_INVALID_ARGUMENT;
+  if (slo != CUSFFT_SLO_LATENCY && slo != CUSFFT_SLO_THROUGHPUT)
+    return CUSFFT_INVALID_ARGUMENT;
+  try {
+    cusfft::serve::Request r;
+    r.tenant = tenant;
+    r.params.n = n;
+    r.params.k = k;
+    const auto* x = reinterpret_cast<const cusfft::cplx*>(input);
+    r.x.assign(x, x + n);
+    r.slo = slo == CUSFFT_SLO_LATENCY
+                ? cusfft::serve::SloClass::kLatency
+                : cusfft::serve::SloClass::kThroughput;
+    if (deadline_ms > 0) r.deadline_ms = deadline_ms;
+    *request_id = unwrap(s)->submit_at(arrival_ms, std::move(r));
+  } catch (const std::invalid_argument&) {
+    return CUSFFT_INVALID_ARGUMENT;
+  } catch (const std::logic_error&) {
+    return CUSFFT_INVALID_ARGUMENT;
+  } catch (const std::bad_alloc&) {
+    return CUSFFT_ALLOC_FAILED;
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_server_advance(cusfft_server s, double t_ms) {
+  if (s == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  try {
+    unwrap(s)->advance(t_ms);
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_server_drain(cusfft_server s) {
+  if (s == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  try {
+    unwrap(s)->drain();
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_server_outcome(cusfft_server s, uint64_t request_id,
+                                    cusfft_request_outcome* out) {
+  if (s == nullptr || out == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  try {
+    switch (unwrap(s)->response(request_id).outcome) {
+      case cusfft::serve::Outcome::kPending:
+        *out = CUSFFT_REQUEST_PENDING;
+        break;
+      case cusfft::serve::Outcome::kCompleted:
+        *out = CUSFFT_REQUEST_COMPLETED;
+        break;
+      case cusfft::serve::Outcome::kShed:
+        *out = CUSFFT_REQUEST_SHED;
+        break;
+      case cusfft::serve::Outcome::kRejected:
+        *out = CUSFFT_REQUEST_REJECTED;
+        break;
+    }
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_server_result(cusfft_server s, uint64_t request_id,
+                                   uint64_t* locations, double* values,
+                                   size_t* count, double* latency_ms) {
+  if (s == nullptr || locations == nullptr || values == nullptr ||
+      count == nullptr)
+    return CUSFFT_INVALID_ARGUMENT;
+  try {
+    cusfft::serve::Response r = unwrap(s)->response(request_id);
+    if (r.outcome != cusfft::serve::Outcome::kCompleted)
+      return CUSFFT_INVALID_ARGUMENT;
+    cusfft::SparseSpectrum spec = std::move(r.spectrum);
+    if (spec.size() > *count)
+      spec = cusfft::trim_top_k(std::move(spec), *count);
+    for (size_t i = 0; i < spec.size(); ++i) {
+      locations[i] = spec[i].loc;
+      values[2 * i] = spec[i].val.real();
+      values[2 * i + 1] = spec[i].val.imag();
+    }
+    *count = spec.size();
+    if (latency_ms != nullptr) *latency_ms = r.latency_ms;
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_server_stats(cusfft_server s, cusfft_serve_stats* out) {
+  if (s == nullptr || out == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  try {
+    const cusfft::serve::GpuServeStats st = unwrap(s)->stats();
+    out->submitted = st.submitted;
+    out->completed = st.completed;
+    out->shed = st.shed;
+    out->rejected = st.rejected;
+    out->batches = st.batches;
+    out->max_queue_depth = st.max_queue_depth;
+    out->virtual_ms = st.virtual_ms;
+    out->sustained_qps = st.sustained_qps;
+    out->latency_p50_ms = st.latency.p50_ms;
+    out->latency_p99_ms = st.latency.p99_ms;
+    out->throughput_p50_ms = st.throughput.p50_ms;
+    out->throughput_p99_ms = st.throughput.p99_ms;
+  } catch (...) {
+    return CUSFFT_INTERNAL_ERROR;
+  }
+  return CUSFFT_SUCCESS;
+}
+
+cusfft_status cusfft_server_destroy(cusfft_server s) {
+  delete s;
   return CUSFFT_SUCCESS;
 }
 

@@ -15,6 +15,14 @@
 // document (expose_json) that tools/metrics_check validates with the
 // in-repo core/json_lite reader. Metric naming scheme, label convention,
 // and the capture-vs-continuous split are documented in docs/PROFILING.md.
+//
+// Family prefixes currently registered here: cusfft_executes_total /
+// cusfft_signal_latency_ms / cusfft_phase_ms (per-plan execution),
+// cusfft_fleet_* / cusfft_device_* (MultiGpuPlan sharding), cusfft_pool_*
+// / cusfft_arena_* / cusfft_graph_* (allocator and replay substrate), and
+// cusfft_serve_* (the multi-tenant serving tier — requests/completed/
+// shed/rejected/batches counters with a {class="latency"|"throughput"}
+// split on requests and latency histograms; see cusfft/server.hpp).
 #pragma once
 
 #include <array>

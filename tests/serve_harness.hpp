@@ -1,0 +1,84 @@
+// Deterministic driver for serving-tier tests: hand-build or script
+// multi-tenant arrival traces, replay them on a fresh virtual-clock
+// Server, and collect every terminal response plus the schedule/decision
+// traces for golden assertions. Everything here is a pure function of
+// (trace, config, seed) — no wall clock, no threads — which is what makes
+// batch composition, shed decisions, and modeled latencies
+// bit-reproducible across runs. Shared by test_server.cpp and the
+// server-submission fuzzer in test_fuzz.cpp.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "cusfft/server.hpp"
+
+namespace cusfft::serve_test {
+
+/// One scripted arrival (deadline relative to arrival; default none).
+inline serve::TraceEvent ev(
+    double at, std::string tenant, std::size_t n, std::size_t k,
+    serve::SloClass slo,
+    double deadline = std::numeric_limits<double>::infinity()) {
+  serve::TraceEvent e;
+  e.arrival_ms = at;
+  e.tenant = std::move(tenant);
+  e.n = n;
+  e.k = k;
+  e.slo = slo;
+  e.deadline_ms = deadline;
+  return e;
+}
+
+/// Everything one replay produced, keyed for assertions.
+struct ReplayResult {
+  std::vector<u64> ids;                      ///< request ids in event order
+  std::map<u64, serve::Response> responses;  ///< terminal records by id
+  serve::GpuServeStats stats;
+  std::string schedule;   ///< full trace (timestamps + modeled latencies)
+  std::string decisions;  ///< float-free golden variant
+};
+
+/// Replays `tr` through a fresh virtual-clock Server (submit_at in arrival
+/// order, then drain) and snapshots every observable output.
+inline ReplayResult run_trace(const serve::ServerConfig& cfg,
+                              const serve::Trace& tr, u64 seed) {
+  serve::Server s(cfg);
+  ReplayResult r;
+  r.ids = serve::replay(s, tr, seed);
+  for (u64 id : r.ids) r.responses.emplace(id, s.response(id));
+  r.stats = s.stats();
+  r.schedule = s.schedule_trace();
+  r.decisions = s.decision_trace();
+  return r;
+}
+
+/// Randomized-but-seeded multi-tenant trace: `events` arrivals spread over
+/// tenants "t0".."t<tenants-1>" with random inter-arrival gaps, two
+/// signal shapes (n and 2n), a ~1-in-4 latency-class mix, and ~1-in-8
+/// tight deadlines — enough variety to exercise every close reason and
+/// both terminal failure paths while staying a pure function of the seed.
+inline serve::Trace scripted_trace(std::size_t events, std::size_t tenants,
+                                   std::size_t n, std::size_t k, u64 seed) {
+  serve::Trace t;
+  Rng rng(seed);
+  double now = 0;
+  for (std::size_t i = 0; i < events; ++i) {
+    now += 0.05 + 0.4 * rng.next_double();
+    const bool big = (rng.next_u64() & 1) != 0;
+    serve::TraceEvent e =
+        ev(now, "t" + std::to_string(rng.next_below(tenants)),
+           big ? 2 * n : n, k,
+           rng.next_below(4) == 0 ? serve::SloClass::kLatency
+                                  : serve::SloClass::kThroughput);
+    if (rng.next_below(8) == 0) e.deadline_ms = 0.5 + rng.next_double();
+    t.events.push_back(std::move(e));
+  }
+  return t;
+}
+
+}  // namespace cusfft::serve_test

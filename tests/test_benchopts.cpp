@@ -262,6 +262,82 @@ TEST(BenchOptsDeathTest, EmptyMetricsFlagValueExits) {
               ::testing::ExitedWithCode(2), "non-empty path");
 }
 
+TEST(BenchOpts, ServeFlagEnvAndPaths) {
+  ::unsetenv("CUSFFT_SERVE");
+  ::unsetenv("CUSFFT_SERVE_IN");
+  ::unsetenv("CUSFFT_SERVE_OUT");
+  const char* none[] = {"bench"};
+  EXPECT_FALSE(BenchOpts::parse(1, const_cast<char**>(none)).serve);
+
+  const char* argv[] = {"bench",      "--serve",     "--serve-in",
+                        "/tmp/in.tr", "--serve-out", "/tmp/out.tr"};
+  const auto o = BenchOpts::parse(static_cast<int>(std::size(argv)),
+                                  const_cast<char**>(argv));
+  EXPECT_TRUE(o.serve);
+  EXPECT_EQ(o.serve_in, "/tmp/in.tr");
+  EXPECT_EQ(o.serve_out, "/tmp/out.tr");
+
+  ::setenv("CUSFFT_SERVE", "1", 1);
+  ::setenv("CUSFFT_SERVE_IN", "/tmp/env_in.tr", 1);
+  EXPECT_TRUE(BenchOpts::parse(1, const_cast<char**>(none)).serve);
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).serve_in,
+            "/tmp/env_in.tr");
+  ::setenv("CUSFFT_SERVE", "0", 1);
+  EXPECT_FALSE(BenchOpts::parse(1, const_cast<char**>(none)).serve);
+  ::unsetenv("CUSFFT_SERVE");
+  ::unsetenv("CUSFFT_SERVE_IN");
+}
+
+// CUSFFT_SERVE_* audit: serve_config_or_exit re-reads the environment on
+// every call (no latching) and turns the library's typed parse error into
+// the bench's exit-2 usage error.
+TEST(ServeConfig, OrExitAppliesEnvUnlatched) {
+  ::setenv("CUSFFT_SERVE_MAX_BATCH", "5", 1);
+  EXPECT_EQ(serve_config_or_exit(serve::ServerConfig{}).max_batch, 5u);
+  ::setenv("CUSFFT_SERVE_MAX_BATCH", "6", 1);
+  EXPECT_EQ(serve_config_or_exit(serve::ServerConfig{}).max_batch, 6u);
+  ::unsetenv("CUSFFT_SERVE_MAX_BATCH");
+  EXPECT_EQ(serve_config_or_exit(serve::ServerConfig{}).max_batch,
+            serve::ServerConfig{}.max_batch);
+}
+
+TEST(BenchOptsDeathTest, MalformedServeMaxBatchExits) {
+  ::setenv("CUSFFT_SERVE_MAX_BATCH", "abc", 1);
+  EXPECT_EXIT(serve_config_or_exit(serve::ServerConfig{}),
+              ::testing::ExitedWithCode(2), "CUSFFT_SERVE_MAX_BATCH");
+  ::unsetenv("CUSFFT_SERVE_MAX_BATCH");
+}
+
+TEST(BenchOptsDeathTest, NegativeServeWaitExits) {
+  ::setenv("CUSFFT_SERVE_MAX_WAIT_MS", "-2", 1);
+  EXPECT_EXIT(serve_config_or_exit(serve::ServerConfig{}),
+              ::testing::ExitedWithCode(2), "CUSFFT_SERVE_MAX_WAIT_MS");
+  ::unsetenv("CUSFFT_SERVE_MAX_WAIT_MS");
+}
+
+TEST(BenchOptsDeathTest, ZeroServeDevicesExits) {
+  // The value parses but fails validate(): still a usage error, with the
+  // library's message naming the rejected knob.
+  ::setenv("CUSFFT_SERVE_DEVICES", "0", 1);
+  EXPECT_EXIT(serve_config_or_exit(serve::ServerConfig{}),
+              ::testing::ExitedWithCode(2), "devices must be >= 1");
+  ::unsetenv("CUSFFT_SERVE_DEVICES");
+}
+
+TEST(BenchOptsDeathTest, MalformedServeQueueDepthExits) {
+  ::setenv("CUSFFT_SERVE_QUEUE_DEPTH", "1.5", 1);
+  EXPECT_EXIT(serve_config_or_exit(serve::ServerConfig{}),
+              ::testing::ExitedWithCode(2), "CUSFFT_SERVE_QUEUE_DEPTH");
+  ::unsetenv("CUSFFT_SERVE_QUEUE_DEPTH");
+}
+
+TEST(BenchOptsDeathTest, EmptyServeOutFlagValueExits) {
+  const char* argv[] = {"bench", "--serve-out", ""};
+  EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "non-empty path");
+}
+
 TEST(PaperParams, FollowsPaperRegimeByDefault) {
   ::unsetenv("CUSFFT_BCST");
   ::unsetenv("CUSFFT_LOOPS_LOC");

@@ -611,6 +611,141 @@ TEST(CApi, MetricsWriteAndReset) {
   }
 }
 
+TEST(CApi, ServerRoundTripMatchesPlanExecute) {
+  // Virtual-clock serving through the C surface: batched results must be
+  // bit-identical to cusfft_execute on a standalone GPU_OPTIMIZED plan of
+  // the same shape (both sides use the default permutation seed).
+  constexpr std::size_t kN = 1 << 10, kK = 8, kCap = 64;
+  cusfft_server_config cfg;
+  ASSERT_EQ(cusfft_server_config_default(&cfg), CUSFFT_SUCCESS);
+  EXPECT_GE(cfg.max_batch, 1u);
+  cfg.devices = 1;
+  cfg.max_batch = 4;
+  cfg.tenant_queue_depth = 8;
+
+  cusfft_server s = nullptr;
+  ASSERT_EQ(cusfft_server_create(&s, &cfg), CUSFFT_SUCCESS);
+  ASSERT_NE(s, nullptr);
+
+  std::vector<cvec> signals;
+  std::vector<uint64_t> ids(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    signals.push_back(make_workload(kN, kK, 500 + i).x);
+  for (std::size_t i = 0; i < 3; ++i)
+    ASSERT_EQ(cusfft_server_submit(
+                  s, i % 2 ? "tenant_a" : "tenant_b", 0.1 * double(i), kN,
+                  kK, CUSFFT_SLO_THROUGHPUT, /*deadline_ms=*/0,
+                  reinterpret_cast<const double*>(signals[i].data()),
+                  &ids[i]),
+              CUSFFT_SUCCESS);
+
+  // Still pending: no batch has closed, so results are not available yet.
+  cusfft_request_outcome oc = CUSFFT_REQUEST_COMPLETED;
+  ASSERT_EQ(cusfft_server_outcome(s, ids[0], &oc), CUSFFT_SUCCESS);
+  EXPECT_EQ(oc, CUSFFT_REQUEST_PENDING);
+
+  ASSERT_EQ(cusfft_server_drain(s), CUSFFT_SUCCESS);
+
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, kN, kK, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(cusfft_server_outcome(s, ids[i], &oc), CUSFFT_SUCCESS);
+    ASSERT_EQ(oc, CUSFFT_REQUEST_COMPLETED) << "request " << i;
+
+    std::vector<uint64_t> got_locs(kCap), want_locs(kCap);
+    std::vector<double> got_vals(2 * kCap), want_vals(2 * kCap);
+    std::size_t got_n = kCap, want_n = kCap;
+    double latency = -1;
+    ASSERT_EQ(cusfft_server_result(s, ids[i], got_locs.data(),
+                                   got_vals.data(), &got_n, &latency),
+              CUSFFT_SUCCESS);
+    EXPECT_GT(latency, 0.0);
+    ASSERT_EQ(cusfft_execute(
+                  h, reinterpret_cast<const double*>(signals[i].data()),
+                  want_locs.data(), want_vals.data(), &want_n),
+              CUSFFT_SUCCESS);
+    ASSERT_EQ(got_n, want_n) << "request " << i;
+    for (std::size_t j = 0; j < got_n; ++j) {
+      EXPECT_EQ(got_locs[j], want_locs[j]) << "request " << i;
+      EXPECT_DOUBLE_EQ(got_vals[2 * j], want_vals[2 * j]) << "request " << i;
+      EXPECT_DOUBLE_EQ(got_vals[2 * j + 1], want_vals[2 * j + 1])
+          << "request " << i;
+    }
+  }
+  EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
+
+  cusfft_serve_stats st;
+  ASSERT_EQ(cusfft_server_stats(s, &st), CUSFFT_SUCCESS);
+  EXPECT_EQ(st.submitted, 3u);
+  EXPECT_EQ(st.completed, 3u);
+  EXPECT_EQ(st.completed + st.shed + st.rejected, st.submitted);
+  EXPECT_GT(st.sustained_qps, 0.0);
+  EXPECT_GT(st.throughput_p99_ms, 0.0);
+
+  EXPECT_EQ(cusfft_server_destroy(s), CUSFFT_SUCCESS);
+}
+
+TEST(CApi, ServerBackpressureAndErrorPaths) {
+  cusfft_server_config cfg;
+  ASSERT_EQ(cusfft_server_config_default(&cfg), CUSFFT_SUCCESS);
+  cfg.tenant_queue_depth = 1;
+  cusfft_server s = nullptr;
+  ASSERT_EQ(cusfft_server_create(&s, &cfg), CUSFFT_SUCCESS);
+
+  constexpr std::size_t kN = 256, kK = 4;
+  const cvec x = make_workload(kN, kK, 9).x;
+  const auto* in = reinterpret_cast<const double*>(x.data());
+  uint64_t id1 = 0, id2 = 0;
+  ASSERT_EQ(cusfft_server_submit(s, "a", 0.0, kN, kK,
+                                 CUSFFT_SLO_THROUGHPUT, 0, in, &id1),
+            CUSFFT_SUCCESS);
+  ASSERT_EQ(cusfft_server_submit(s, "a", 0.0, kN, kK,
+                                 CUSFFT_SLO_THROUGHPUT, 0, in, &id2),
+            CUSFFT_SUCCESS);
+  cusfft_request_outcome oc = CUSFFT_REQUEST_PENDING;
+  ASSERT_EQ(cusfft_server_outcome(s, id2, &oc), CUSFFT_SUCCESS);
+  EXPECT_EQ(oc, CUSFFT_REQUEST_REJECTED);  // over the tenant quota
+
+  // A rejected request has no spectrum to fetch.
+  std::vector<uint64_t> locs(8);
+  std::vector<double> vals(16);
+  std::size_t count = 8;
+  EXPECT_EQ(cusfft_server_result(s, id2, locs.data(), vals.data(), &count,
+                                 nullptr),
+            CUSFFT_INVALID_ARGUMENT);
+
+  EXPECT_EQ(cusfft_server_submit(s, nullptr, 0.0, kN, kK,
+                                 CUSFFT_SLO_THROUGHPUT, 0, in, &id1),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_server_submit(s, "a", 0.0, kN, kK,
+                                 static_cast<cusfft_slo_class>(42), 0, in,
+                                 &id1),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_server_advance(nullptr, 1.0), CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_server_drain(nullptr), CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_server_stats(s, nullptr), CUSFFT_INVALID_ARGUMENT);
+  // Like cusfft_destroy, destroying NULL is a no-op success.
+  EXPECT_EQ(cusfft_server_destroy(nullptr), CUSFFT_SUCCESS);
+
+  ASSERT_EQ(cusfft_server_drain(s), CUSFFT_SUCCESS);
+  ASSERT_EQ(cusfft_server_outcome(s, id1, &oc), CUSFFT_SUCCESS);
+  EXPECT_EQ(oc, CUSFFT_REQUEST_COMPLETED);
+  EXPECT_EQ(cusfft_server_destroy(s), CUSFFT_SUCCESS);
+}
+
+TEST(CApi, ServerConfigDefaultReadsEnvStrictly) {
+  ::setenv("CUSFFT_SERVE_MAX_BATCH", "5", 1);
+  cusfft_server_config cfg;
+  ASSERT_EQ(cusfft_server_config_default(&cfg), CUSFFT_SUCCESS);
+  EXPECT_EQ(cfg.max_batch, 5u);
+  ::setenv("CUSFFT_SERVE_MAX_BATCH", "junk", 1);
+  EXPECT_EQ(cusfft_server_config_default(&cfg), CUSFFT_INVALID_ARGUMENT);
+  ::unsetenv("CUSFFT_SERVE_MAX_BATCH");
+  ASSERT_EQ(cusfft_server_config_default(&cfg), CUSFFT_SUCCESS);
+  EXPECT_EQ(cfg.max_batch, 8u);  // library default, not the latched 5
+}
+
 TEST(CApi, StatusStrings) {
   EXPECT_STREQ(cusfft_status_string(CUSFFT_SUCCESS), "success");
   EXPECT_STREQ(cusfft_status_string(CUSFFT_INVALID_ARGUMENT),

@@ -1,12 +1,15 @@
 // Randomized differential ("fuzz") tests: many random configurations per
 // test, each checked against an independent oracle — std::sort for the
 // device sorts, the host FFT for the simulated cuFFT, the dense-FFT
-// spectrum for the sparse transforms.
+// spectrum for the sparse transforms, and the single-plan execute for the
+// serving tier.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "core/rng.hpp"
@@ -15,6 +18,7 @@
 #include "custhrust/sort.hpp"
 #include "fft/dft.hpp"
 #include "fft/fft.hpp"
+#include "serve_harness.hpp"
 #include "sfft/serial.hpp"
 #include "signal/generate.hpp"
 
@@ -108,6 +112,90 @@ TEST(Fuzz, SerialSfftRecoversAcrossRandomConfigs) {
         << "trial=" << trial << " n=" << n << " k=" << k;
     EXPECT_LT(l1_error_per_coeff(got, oracle, k), 2e-2)
         << "trial=" << trial;
+  }
+}
+
+TEST(Fuzz, ServerSubmissionsTerminateOnceAndMatchSinglePlan) {
+  // Randomized tenants, shapes, SLO classes, deadlines, and cancellations
+  // against the threaded serving tier. Invariants: every request reaches
+  // exactly one of {completed, shed, rejected}; a cancellation that
+  // reported success is terminal as shed; request accounting conserves;
+  // and every completed spectrum is bit-identical to a standalone
+  // GpuPlan::execute of the same params and samples — continuous batching
+  // must never change results.
+  Rng rng(2029);
+  for (int trial = 0; trial < 3; ++trial) {
+    serve::ServerConfig cfg;
+    cfg.devices = 1 + rng.next_below(2);
+    cfg.max_batch = 1 + rng.next_below(8);
+    cfg.max_wait_latency_ms = 0.1 + rng.next_double();
+    cfg.max_wait_throughput_ms = 0.5 + 2.0 * rng.next_double();
+    cfg.tenant_queue_depth = 2 + rng.next_below(6);
+    serve::Server s(cfg);
+    s.start();
+
+    struct Sub {
+      u64 id;
+      serve::TraceEvent e;
+      std::size_t index;
+      bool cancelled;
+    };
+    std::vector<Sub> subs;
+    const std::size_t count = 40 + rng.next_below(40);
+    for (std::size_t i = 0; i < count; ++i) {
+      serve::TraceEvent e = serve_test::ev(
+          0, "f" + std::to_string(rng.next_below(4)),
+          std::size_t{256} << rng.next_below(2), 4,
+          rng.next_below(3) == 0 ? serve::SloClass::kLatency
+                                 : serve::SloClass::kThroughput);
+      if (rng.next_below(6) == 0) e.deadline_ms = 0.05 + rng.next_double();
+      serve::Request r;
+      r.tenant = e.tenant;
+      r.params = serve::trace_params(e, 2029);
+      r.x = serve::trace_signal(e, 2029, i);
+      r.slo = e.slo;
+      r.deadline_ms = e.deadline_ms;
+      const u64 id = s.submit(std::move(r));
+      const bool cancelled = rng.next_below(8) == 0 && s.cancel(id);
+      subs.push_back({id, std::move(e), i, cancelled});
+    }
+    s.stop();
+
+    std::size_t completed = 0, shed = 0, rejected = 0;
+    for (const Sub& sub : subs) {
+      const serve::Response resp = s.response(sub.id);
+      switch (resp.outcome) {
+        case serve::Outcome::kCompleted: ++completed; break;
+        case serve::Outcome::kShed: ++shed; break;
+        case serve::Outcome::kRejected: ++rejected; break;
+        case serve::Outcome::kPending:
+          FAIL() << "trial=" << trial << " id=" << sub.id
+                 << " never terminated";
+      }
+      if (sub.cancelled)
+        EXPECT_EQ(resp.outcome, serve::Outcome::kShed)
+            << "trial=" << trial << " id=" << sub.id;
+      if (resp.outcome != serve::Outcome::kCompleted) continue;
+      cusim::Device dev;
+      gpu::GpuPlan plan(dev, serve::trace_params(sub.e, 2029), cfg.opts);
+      const SparseSpectrum want =
+          plan.execute(serve::trace_signal(sub.e, 2029, sub.index));
+      ASSERT_EQ(resp.spectrum.size(), want.size())
+          << "trial=" << trial << " id=" << sub.id;
+      for (std::size_t j = 0; j < want.size(); ++j) {
+        ASSERT_EQ(resp.spectrum[j].loc, want[j].loc)
+            << "trial=" << trial << " id=" << sub.id;
+        ASSERT_EQ(resp.spectrum[j].val, want[j].val)
+            << "trial=" << trial << " id=" << sub.id;
+      }
+    }
+    const auto st = s.stats();
+    EXPECT_EQ(st.submitted, count) << "trial=" << trial;
+    EXPECT_EQ(st.completed, completed) << "trial=" << trial;
+    EXPECT_EQ(st.shed, shed) << "trial=" << trial;
+    EXPECT_EQ(st.rejected, rejected) << "trial=" << trial;
+    EXPECT_EQ(completed + shed + rejected, count) << "trial=" << trial;
+    EXPECT_GT(completed, 0u) << "trial=" << trial;
   }
 }
 

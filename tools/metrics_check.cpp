@@ -2,14 +2,17 @@
 // bench_throughput --metrics emits (CI's metrics-smoke gate).
 //
 //   metrics_check <metrics.json> [--prev <snap.json>] [--prom <file>]
-//                 [--devices N]
+//                 [--devices N] [--serve]
 //
 // Always runs the schema/consistency check on <metrics.json>. --prev adds
 // the counter-monotonicity check (prev must be an earlier snapshot from
-// the same process), --prom cross-checks the Prometheus exposition, and
+// the same process), --prom cross-checks the Prometheus exposition,
 // --devices N requires per-device signal-latency histograms for devices
-// 0..N-1. Exit 0 when every requested check passes, 1 on a failed check,
-// 2 on usage/IO errors.
+// 0..N-1, and --serve validates the serving-tier instruments (request
+// accounting conservation, per-class latency histograms, batch-size
+// coverage — the snapshot must come from a drained server). Exit 0 when
+// every requested check passes, 1 on a failed check, 2 on usage/IO
+// errors.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -24,7 +27,8 @@ namespace {
 [[noreturn]] void usage(const char* msg) {
   std::cerr << "metrics_check: " << msg << "\n"
             << "usage: metrics_check <metrics.json> [--prev <snap.json>]\n"
-               "                     [--prom <file>] [--devices N]\n";
+               "                     [--prom <file>] [--devices N] "
+               "[--serve]\n";
   std::exit(2);
 }
 
@@ -54,6 +58,7 @@ bool report(const char* what, const cusfft::tools::MetricsCheckResult& r) {
 int main(int argc, char** argv) {
   std::string json_path, prev_path, prom_path;
   std::size_t devices = 0;
+  bool serve = false;
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
     auto value = [&]() -> const char* {
@@ -70,6 +75,8 @@ int main(int argc, char** argv) {
       devices = std::strtoull(v, &end, 10);
       if (end == v || *end != '\0')
         usage("--devices: expected an integer");
+    } else if (key == "--serve") {
+      serve = true;
     } else if (key.rfind("--", 0) == 0) {
       usage(("unknown flag '" + key + "'").c_str());
     } else if (json_path.empty()) {
@@ -101,6 +108,10 @@ int main(int argc, char** argv) {
   if (devices > 0)
     ok = report("per-device histograms",
                 cusfft::tools::check_device_histograms(json_text, devices)) &&
+         ok;
+  if (serve)
+    ok = report("serve-tier coverage",
+                cusfft::tools::check_serve_metrics(json_text)) &&
          ok;
 
   return ok ? 0 : 1;

@@ -335,4 +335,73 @@ MetricsCheckResult check_device_histograms(const std::string& json_text,
   return r;
 }
 
+MetricsCheckResult check_serve_metrics(const std::string& json_text) {
+  MetricsCheckResult r;
+  json::Value doc;
+  if (!parse_doc(json_text, doc, r)) return r;
+  SnapshotDoc s;
+  if (!read_snapshot(doc, s, r)) return r;
+
+  auto counter = [&](const std::string& name, bool required) -> u64 {
+    const auto it = s.counters.find(name);
+    if (it == s.counters.end()) {
+      if (required) fail(r, "missing serve counter " + name);
+      return 0;
+    }
+    return it->second;
+  };
+  const u64 req_lat =
+      counter("cusfft_serve_requests_total{class=\"latency\"}", false);
+  const u64 req_thr =
+      counter("cusfft_serve_requests_total{class=\"throughput\"}", false);
+  if (req_lat + req_thr == 0)
+    fail(r,
+         "no cusfft_serve_requests_total series with observations (neither "
+         "class)");
+  const u64 completed = counter("cusfft_serve_completed_total", true);
+  const u64 shed = counter("cusfft_serve_shed_total", true);
+  const u64 rejected = counter("cusfft_serve_rejected_total", true);
+  const u64 batches = counter("cusfft_serve_batches_total", true);
+
+  if (req_lat + req_thr != completed + shed + rejected) {
+    std::ostringstream os;
+    os << "serve accounting does not conserve: requests " << req_lat + req_thr
+       << " != completed " << completed << " + shed " << shed
+       << " + rejected " << rejected;
+    fail(r, os.str());
+  }
+  if (completed > 0 && batches == 0)
+    fail(r, "completed requests but cusfft_serve_batches_total is 0");
+
+  u64 hist_completed = 0;
+  for (const char* cls : {"latency", "throughput"}) {
+    const std::string name =
+        std::string("cusfft_serve_latency_ms{class=\"") + cls + "\"}";
+    const auto it = s.hists.find(name);
+    if (it == s.hists.end()) {
+      fail(r, "missing serve histogram " + name);
+      continue;
+    }
+    hist_completed += it->second.count;
+  }
+  if (hist_completed != completed) {
+    std::ostringstream os;
+    os << "serve latency histogram counts sum to " << hist_completed
+       << " but cusfft_serve_completed_total is " << completed;
+    fail(r, os.str());
+  }
+  const auto bs = s.hists.find("cusfft_serve_batch_size");
+  if (bs == s.hists.end()) {
+    fail(r, "missing serve histogram cusfft_serve_batch_size");
+  } else if (bs->second.count != batches) {
+    std::ostringstream os;
+    os << "cusfft_serve_batch_size count " << bs->second.count
+       << " != cusfft_serve_batches_total " << batches;
+    fail(r, os.str());
+  }
+
+  r.ok = r.errors.empty();
+  return r;
+}
+
 }  // namespace cusfft::tools

@@ -52,4 +52,13 @@ MetricsCheckResult check_metrics_prometheus(const std::string& json_text,
 MetricsCheckResult check_device_histograms(const std::string& json_text,
                                            std::size_t devices);
 
+/// Serving-tier coverage for a drained cusfft::serve::Server snapshot:
+/// the cusfft_serve_* instruments must exist, request accounting must
+/// conserve (requests_total summed over both SLO classes == completed +
+/// shed + rejected — only valid between batches, which any drained
+/// snapshot is), the per-class latency histogram counts must sum to the
+/// completed count, and the batch-size histogram count must equal
+/// batches_total.
+MetricsCheckResult check_serve_metrics(const std::string& json_text);
+
 }  // namespace cusfft::tools
