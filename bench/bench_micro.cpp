@@ -7,6 +7,8 @@
 #include <numeric>
 
 #include "core/rng.hpp"
+#include "cusim/cluster.hpp"
+#include "cusim/device.hpp"
 #include "custhrust/scan.hpp"
 #include "custhrust/select.hpp"
 #include "custhrust/sort.hpp"
@@ -163,6 +165,37 @@ void BM_TimelineSimulate(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 512);
 }
 BENCHMARK(BM_TimelineSimulate);
+
+void BM_ClusterSimulate(benchmark::State& state) {
+  // The cluster merge path end to end: per-node device work, NIC ingress
+  // staging, a cross-node exchange behind an exchange barrier, then the
+  // two-phase NIC waterfill + schedule merge. Rebuilt every iteration
+  // (like BM_TimelineSimulate) so the cached-makespan fast path is not
+  // what gets measured.
+  cusim::Cluster cluster(2, 2);
+  const auto body = [](cusim::ThreadCtx&) {};
+  for (auto _ : state) {
+    cluster.begin_capture();
+    for (std::size_t m = 0; m < cluster.nodes(); ++m) {
+      cluster.add_ingress(static_cast<unsigned>(m), "stage", 1 << 16);
+      for (std::size_t d = 0; d < cluster.node(m).size(); ++d) {
+        cusim::Device& dev = cluster.node(m).device(d);
+        for (int i = 0; i < 16; ++i)
+          dev.launch(cusim::LaunchCfg::for_elements("k", 256), body);
+      }
+    }
+    cluster.add_exchange(1, 0, "gather", 1 << 16);
+    cluster.mark_exchange_barrier(0);
+    cluster.node(0).device(0).sync_point();
+    cluster.node(0).device(0).launch(
+        cusim::LaunchCfg::for_elements("reduce", 256), body);
+    auto s = cluster.simulate();
+    benchmark::DoNotOptimize(s.makespan_s);
+  }
+  // 16 kernels x 4 devices + ingress/exchange/reduce items per iteration.
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 68);
+}
+BENCHMARK(BM_ClusterSimulate);
 
 void BM_FlatFilterConstruction(benchmark::State& state) {
   const std::size_t n = 1ULL << 16, B = 512;

@@ -26,12 +26,15 @@
 #include <vector>
 
 #include "common.hpp"
+#include "cusfft/cluster_plan.hpp"
 #include "cusfft/multi_plan.hpp"
 #include "cusfft/plan.hpp"
+#include "cusim/cluster.hpp"
 #include "cusim/device.hpp"
 #include "cusim/device_group.hpp"
 #include "cusim/metrics.hpp"
 #include "cusim/pool.hpp"
+#include "sfft/serial.hpp"
 #include "signal/filter.hpp"
 
 using namespace cusfft;
@@ -180,7 +183,7 @@ int main(int argc, char** argv) {
   const std::size_t k = std::min(o.k, n / 8);
   std::cout << "Throughput: optimized GPU backend, n=2^" << o.min_logn
             << " k=" << k << " batch=" << batch << " devices=" << o.devices
-            << "\n\n";
+            << " nodes=" << o.nodes << "\n\n";
 
   std::vector<cvec> signals;
   std::vector<std::span<const cplx>> views;
@@ -314,6 +317,104 @@ int main(int argc, char** argv) {
       pipe_ms, serial_ms, pipe_ms > 0 ? serial_ms / pipe_ms : 0.0,
       identical ? "bit-identical" : "MISMATCH");
 
+  bool cluster_ok = true;
+  if (o.nodes > 1) {
+    // Cluster A/B: the same batch through ClusterPlan at 1 node vs
+    // o.nodes nodes, o.devices devices per node. Spectra must stay
+    // bit-identical to the single-device run (node sharding only
+    // partitions the batch) and the multi-node makespan must beat the
+    // single node by >= 1.5x — the scale-out gate CI pins.
+    auto run_cluster = [&](std::size_t nodes, const char* name,
+                           std::vector<SparseSpectrum>& out,
+                           gpu::GpuFleetStats& fs) {
+      cusim::Cluster cluster(nodes, o.devices);
+      if (o.nic_gbps > 0)
+        cluster.set_nic(cusim::NicModel::FromGbps(o.nic_gbps));
+      gpu::ClusterPlan cplan(cluster, params, opts);
+      WallTimer wall;
+      out = cplan.execute_many(views, &fs, gpu::BatchMode::kPipelined);
+      add(name, wall.ms(), fs.model_ms);
+      // The node-grouped trace is the headline artifact once a real
+      // cluster ran; single-node traces above are superseded.
+      if (!o.profile.empty() && nodes > 1)
+        write_profile_artifact(cluster.end_capture(), o.profile);
+    };
+    std::vector<SparseSpectrum> out_c1, out_cm;
+    gpu::GpuFleetStats fs1, fsm;
+    run_cluster(1, "cluster_1node", out_c1, fs1);
+    const std::string mname = "cluster_" + std::to_string(o.nodes) + "node";
+    run_cluster(o.nodes, mname.c_str(), out_cm, fsm);
+
+    std::printf("\ncluster: %zu nodes x %zu devices, NIC %.1f Gbit/s\n",
+                fsm.nodes, o.devices,
+                8e-9 * (o.nic_gbps > 0 ? o.nic_gbps * 1e9 / 8
+                                       : cusim::NicModel{}.bandwidth_Bps));
+    for (std::size_t m = 0; m < fsm.per_node.size(); ++m) {
+      const auto& nd = fsm.per_node[m];
+      std::printf("  node%zu %3zu signals  finish %8.3f ms  util %5.1f%%  "
+                  "nic %.0f B (stall %.3f ms, queue %.3f ms)\n",
+                  m, nd.signals, nd.model_ms, 100.0 * nd.utilization,
+                  nd.nic_bytes, nd.nic_stall_ms, nd.nic_queue_ms);
+    }
+    const double speedup = fsm.model_ms > 0 ? fs1.model_ms / fsm.model_ms : 0;
+    const bool cluster_identical =
+        same(out_serial, out_c1) && same(out_serial, out_cm);
+    cluster_ok = cluster_identical && speedup >= 1.5;
+    std::printf("cluster %zu-node vs 1-node: %.3f ms vs %.3f ms modeled "
+                "(%.2fx, %zu NIC transfers, %.0f B), spectra %s\n",
+                o.nodes, fsm.model_ms, fs1.model_ms, speedup,
+                fsm.nic_transfers, fsm.nic_bytes,
+                cluster_identical ? "bit-identical" : "MISMATCH");
+
+    // Oversized-signal demo: shrink the modeled device memory below the
+    // single-signal working set — the run is impossible at one node and
+    // only the slab decomposition (comb/bin per slice, NIC gather to the
+    // head node) completes it. The demo signal is grown until a slice
+    // genuinely fits where the whole shape does not (at small n the
+    // per-loop bins dominate both footprints).
+    std::size_t n_slab = std::max<std::size_t>(n, 1ULL << 18);
+    sfft::Params p_slab = paper_params(n_slab, std::min(o.k, n_slab / 8),
+                                       o.seed);
+    while (n_slab < (1ULL << 24) &&
+           gpu::ClusterPlan::slab_node_working_set_bytes(p_slab, o.nodes) >=
+               gpu::ClusterPlan::slab_working_set_bytes(p_slab)) {
+      n_slab <<= 1;
+      p_slab = paper_params(n_slab, std::min(o.k, n_slab / 8), o.seed);
+    }
+    const std::size_t ws = gpu::ClusterPlan::slab_working_set_bytes(p_slab);
+    perfmodel::GpuSpec tiny = perfmodel::GpuSpec::k20x();
+    tiny.global_mem_bytes = ws - 1;
+    const cvec x_slab = make_signal(n_slab, p_slab.k, o.seed + 777);
+    std::printf("\nslab demo: n=%zu, working set %zu B, modeled device "
+                "memory %zu B\n", n_slab, ws, tiny.global_mem_bytes);
+    bool slab_refused = false;
+    try {
+      cusim::Cluster one(1, o.devices, tiny);
+      gpu::ClusterPlan cp1(one, p_slab, opts);
+      cp1.execute_slab(x_slab);
+    } catch (const std::runtime_error& e) {
+      slab_refused = true;
+      std::printf("  1 node: refused as expected (%s)\n", e.what());
+    }
+    cusim::Cluster wide(o.nodes, o.devices, tiny);
+    if (o.nic_gbps > 0)
+      wide.set_nic(cusim::NicModel::FromGbps(o.nic_gbps));
+    gpu::ClusterPlan cpw(wide, p_slab, opts);
+    gpu::GpuFleetStats slab_fs;
+    const SparseSpectrum slab = cpw.execute_slab(x_slab, &slab_fs);
+    const SparseSpectrum serial_ref = sfft::SerialPlan(p_slab).execute(x_slab);
+    bool slab_locs = slab.size() == serial_ref.size();
+    for (std::size_t i = 0; slab_locs && i < slab.size(); ++i)
+      slab_locs = slab[i].loc == serial_ref[i].loc;
+    std::printf("  %zu nodes: %.3f ms modeled, %zu NIC transfers "
+                "(%.0f B, stall %.3f ms), %zu coefficients, locations %s "
+                "serial reference\n",
+                o.nodes, slab_fs.model_ms, slab_fs.nic_transfers,
+                slab_fs.nic_bytes, slab_fs.nic_stall_ms, slab.size(),
+                slab_locs ? "match" : "MISMATCH vs");
+    cluster_ok = cluster_ok && slab_refused && slab_locs;
+  }
+
   // Mid-run metrics snapshot: tools/metrics_check compares it against the
   // final snapshot to prove the counters are monotonic within one process
   // (counters reset at process start, so two separate runs can't check
@@ -428,6 +529,7 @@ int main(int argc, char** argv) {
     write_results_json(o.json, "throughput", json_rows,
                        cusim::MetricsRegistry::global().expose_json());
   if (!o.metrics.empty()) write_metrics_artifacts(o.metrics);
-  // Spectra equivalence is the bench's correctness gate (CI runs it).
-  return identical && mixed_identical ? 0 : 1;
+  // Spectra equivalence (and the cluster scale-out gate when --nodes > 1)
+  // is the bench's correctness gate (CI runs it).
+  return identical && mixed_identical && cluster_ok ? 0 : 1;
 }

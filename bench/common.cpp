@@ -28,14 +28,16 @@ namespace {
   std::cerr << "bench: " << msg << "\n"
             << "usage: bench [--min-logn N] [--max-logn N] [--k N]\n"
                "             [--fixed-logn N] [--seed N] [--devices N]\n"
-               "             [--mixed] [--out-dir DIR] [--profile PATH]\n"
+               "             [--nodes N] [--nic-gbps G] [--mixed]\n"
+               "             [--out-dir DIR] [--profile PATH]\n"
                "             [--json PATH] [--metrics PATH]\n"
                "             [--serve] [--serve-in PATH] [--serve-out "
                "PATH]\n"
                "env: CUSFFT_MIN_LOGN CUSFFT_MAX_LOGN CUSFFT_K "
                "CUSFFT_FIXED_LOGN CUSFFT_SEED\n"
-               "     CUSFFT_DEVICES CUSFFT_MIXED CUSFFT_OUT_DIR "
-               "CUSFFT_PROFILE CUSFFT_JSON\n"
+               "     CUSFFT_DEVICES CUSFFT_NODES CUSFFT_NIC_GBPS "
+               "CUSFFT_MIXED CUSFFT_OUT_DIR\n"
+               "     CUSFFT_PROFILE CUSFFT_JSON\n"
                "     CUSFFT_METRICS CUSFFT_SERVE CUSFFT_SERVE_IN "
                "CUSFFT_SERVE_OUT\n"
                "     CUSFFT_SERVE_DEVICES CUSFFT_SERVE_MAX_BATCH "
@@ -123,6 +125,8 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
   o.fixed_logn = env_or("CUSFFT_FIXED_LOGN", o.fixed_logn);
   o.seed = env_or("CUSFFT_SEED", o.seed);
   o.devices = env_or("CUSFFT_DEVICES", o.devices);
+  o.nodes = env_or("CUSFFT_NODES", o.nodes);
+  o.nic_gbps = env_or_d("CUSFFT_NIC_GBPS", o.nic_gbps);
   o.mixed = env_or("CUSFFT_MIXED", o.mixed ? 1 : 0) != 0;
   if (const char* d = std::getenv("CUSFFT_OUT_DIR")) o.out_dir = d;
   if (const char* p = std::getenv("CUSFFT_PROFILE")) o.profile = p;
@@ -150,6 +154,8 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
     else if (key == "--fixed-logn") o.fixed_logn = parse_u64(key, value());
     else if (key == "--seed") o.seed = parse_u64(key, value());
     else if (key == "--devices") o.devices = parse_u64(key, value());
+    else if (key == "--nodes") o.nodes = parse_u64(key, value());
+    else if (key == "--nic-gbps") o.nic_gbps = parse_double(key, value());
     else if (key == "--out-dir") o.out_dir = value();
     else if (key == "--profile") o.profile = value();
     else if (key == "--json") o.json = value();
@@ -161,6 +167,10 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
   }
   if (o.max_logn < o.min_logn) o.max_logn = o.min_logn;
   if (o.devices == 0) o.devices = 1;
+  if (o.nodes == 0) o.nodes = 1;
+  // 0 means "model default"; an explicit NIC bandwidth must be usable.
+  if (o.nic_gbps < 0 || (o.nic_gbps != o.nic_gbps))
+    usage_exit("--nic-gbps/CUSFFT_NIC_GBPS: expected a positive number");
   g_profile_path = o.profile;
   return o;
 }

@@ -35,6 +35,16 @@ struct BenchOpts {
   /// a sharded row and emits the merged multi-device trace when > 1). Env
   /// CUSFFT_DEVICES / --devices.
   std::size_t devices = 1;
+  /// Simulated node count for cluster-aware benches. bench_throughput with
+  /// --nodes > 1 runs the cluster A/B (1 node vs N nodes at `devices`
+  /// devices per node, bit-identical spectra, >= 1.5x modeled speedup
+  /// gate) plus the oversized-signal slab demo. Env CUSFFT_NODES /
+  /// --nodes.
+  std::size_t nodes = 1;
+  /// Modeled NIC fabric bandwidth in Gbit/s for the cluster interconnect;
+  /// 0 keeps cusim::NicModel's default (~100 Gbit/s). Must be positive
+  /// when given. Env CUSFFT_NIC_GBPS / --nic-gbps.
+  double nic_gbps = 0;
   /// bench_throughput: add the mixed-shape fleet sweep (skewed per-signal
   /// shapes, LPT-vs-unit-greedy and staging A/B). Env CUSFFT_MIXED /
   /// --mixed.
@@ -70,9 +80,11 @@ struct BenchOpts {
   std::string serve_out;
 
   /// Reads CUSFFT_MIN_LOGN / CUSFFT_MAX_LOGN / CUSFFT_K / CUSFFT_FIXED_LOGN
-  /// / CUSFFT_SEED / CUSFFT_DEVICES / CUSFFT_MIXED / CUSFFT_OUT_DIR /
-  /// CUSFFT_PROFILE / CUSFFT_METRICS, then applies --key value args
-  /// (--profile <path>, --devices <N>) and the boolean --mixed flag.
+  /// / CUSFFT_SEED / CUSFFT_DEVICES / CUSFFT_NODES / CUSFFT_NIC_GBPS /
+  /// CUSFFT_MIXED / CUSFFT_OUT_DIR / CUSFFT_PROFILE / CUSFFT_METRICS, then
+  /// applies --key value args (--profile <path>, --devices <N>,
+  /// --nodes <N>, --nic-gbps <G>) and the boolean --mixed flag.
+  /// The environment is re-read on every call — no latching.
   /// Malformed numbers, empty path values, a flag missing its value, and
   /// unknown flags are usage errors: the process prints usage to stderr
   /// and exits with status 2 instead of silently running a degenerate

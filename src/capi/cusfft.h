@@ -140,6 +140,38 @@ cusfft_status cusfft_get_fleet_stats(cusfft_handle h,
 cusfft_status cusfft_get_device_utilization(cusfft_handle h, size_t device,
                                             double* utilization);
 
+/* ---- Multi-node cluster (GPU backends) ----
+ * Stacks the fleet onto `nodes` simulated hosts: each node owns
+ * cusfft_set_device_count devices behind its own PCIe root complex, and
+ * the nodes are joined by a modeled NIC fabric (bandwidth, per-message
+ * latency, and contention distinct from PCIe). Batches shard across
+ * nodes by the analytic cost model plus a NIC staging term (node 0 is
+ * co-located with the data and pays none); results stay in input order
+ * and bit-identical to the single-node path. nodes == 1 (the default)
+ * restores the plain fleet. Rebuilds the internal state, so call before
+ * the first execute. CPU backends accept and ignore the setting. */
+cusfft_status cusfft_set_node_count(cusfft_handle h, size_t nodes);
+
+/* Cluster-level modeled timing of the most recent execute/execute_many
+ * on a GPU backend (whatever the node count — a single node reports
+ * nodes == 1, imbalance 1.0, and zero NIC time). */
+typedef struct {
+  double model_ms;     /* merged cluster makespan (shared time origin) */
+  double imbalance;    /* max/mean busy-node finish; 1.0 = balanced */
+  double nic_stall_ms; /* summed fabric-contention dilation */
+  double nic_queue_ms; /* summed NIC port-FIFO admission wait */
+  double nic_bytes;    /* bytes that crossed the fabric */
+  size_t nic_transfers;
+  size_t nodes;
+  size_t devices; /* total, across nodes */
+  size_t signals;
+} cusfft_cluster_stats;
+
+/* CUSFFT_INVALID_ARGUMENT when no GPU batch has run yet (or on a CPU
+ * backend). */
+cusfft_status cusfft_get_cluster_stats(cusfft_handle h,
+                                       cusfft_cluster_stats* out);
+
 /* ---- Profiling (GPU backends) ----
  * After an execute/execute_many on a GPU backend the plan retains a
  * capture profile of the run: a chrome://tracing JSON document (loadable

@@ -11,8 +11,10 @@
 #include "core/spectrum.hpp"
 #include "core/thread_pool.hpp"
 #include "core/types.hpp"
+#include "cusfft/cluster_plan.hpp"
 #include "cusfft/multi_plan.hpp"
 #include "cusfft/plan.hpp"
+#include "cusim/cluster.hpp"
 #include "cusfft/server.hpp"
 #include "cusim/device.hpp"
 #include "cusim/device_group.hpp"
@@ -29,6 +31,7 @@ struct cusfft_plan_t {
   cusfft_backend backend = CUSFFT_BACKEND_SERIAL;
   int batch_pipeline = 1;  // cusfft_set_batch_pipeline; GPU batches only
   size_t device_count = 1;  // cusfft_set_device_count; GPU backends only
+  size_t node_count = 1;    // cusfft_set_node_count; GPU backends only
   cusfft::cusim::PcieStaging staging;  // cusfft_set_pcie_staging
   cusfft::gpu::ShardPolicy shard_policy =
       cusfft::gpu::ShardPolicy::kCostLpt;  // cusfft_set_shard_policy
@@ -39,6 +42,8 @@ struct cusfft_plan_t {
   std::unique_ptr<cusfft::gpu::GpuPlan> gpu;
   std::unique_ptr<cusfft::cusim::DeviceGroup> group;  // device_count > 1
   std::unique_ptr<cusfft::gpu::MultiGpuPlan> multi;   // device_count > 1
+  std::unique_ptr<cusfft::cusim::Cluster> cluster;    // node_count > 1
+  std::unique_ptr<cusfft::gpu::ClusterPlan> cplan;    // node_count > 1
 
   /// Capture profile of the most recent GPU execute/execute_many (null
   /// until then, and for CPU backends).
@@ -52,7 +57,9 @@ struct cusfft_plan_t {
   /// fleet profile (one trace track group per device) under sharding.
   void collect_profile() {
     profile = std::make_unique<cusfft::cusim::CaptureProfile>(
-        multi != nullptr ? group->end_capture() : device->end_capture());
+        cplan != nullptr ? cluster->end_capture()
+        : multi != nullptr ? group->end_capture()
+                           : device->end_capture());
   }
 
   /// Degrades a single-device batch's stats to the fleet shape so
@@ -79,6 +86,8 @@ struct cusfft_plan_t {
       gpu.reset();
       multi.reset();
       group.reset();
+      cplan.reset();
+      cluster.reset();
       device.reset();
       profile.reset();
       fleet.reset();
@@ -95,7 +104,14 @@ struct cusfft_plan_t {
           const auto opts = backend == CUSFFT_BACKEND_GPU_OPTIMIZED
                                 ? cusfft::gpu::Options::optimized()
                                 : cusfft::gpu::Options::baseline();
-          if (device_count > 1) {
+          if (node_count > 1) {
+            cluster = std::make_unique<cusfft::cusim::Cluster>(node_count,
+                                                               device_count);
+            cluster->set_staging(staging);
+            cplan = std::make_unique<cusfft::gpu::ClusterPlan>(
+                *cluster, params, opts);
+            cplan->set_shard_policy(shard_policy);
+          } else if (device_count > 1) {
             group =
                 std::make_unique<cusfft::cusim::DeviceGroup>(device_count);
             group->set_staging(staging);
@@ -171,15 +187,19 @@ cusfft_status cusfft_execute(cusfft_handle h, const double* input,
         s = h->psfft->execute(x);
         break;
       default:
-        if (h->multi != nullptr) {
-          // Route the single signal through the fleet (it lands on the
-          // cheapest device; the others idle in the merged timeline).
+        if (h->cplan != nullptr || h->multi != nullptr) {
+          // Route the single signal through the fleet/cluster (it lands
+          // on the cheapest device; the others idle in the merged
+          // timeline).
           const std::span<const cusfft::cplx> one[] = {x};
           h->fleet = std::make_unique<cusfft::gpu::GpuFleetStats>();
-          auto results = h->multi->execute_many(
-              one, h->fleet.get(),
-              h->batch_pipeline != 0 ? cusfft::gpu::BatchMode::kAuto
-                                     : cusfft::gpu::BatchMode::kSerialized);
+          const auto mode = h->batch_pipeline != 0
+                                ? cusfft::gpu::BatchMode::kAuto
+                                : cusfft::gpu::BatchMode::kSerialized;
+          auto results =
+              h->cplan != nullptr
+                  ? h->cplan->execute_many(one, h->fleet.get(), mode)
+                  : h->multi->execute_many(one, h->fleet.get(), mode);
           s = std::move(results[0]);
         } else {
           cusfft::gpu::GpuExecStats est;
@@ -232,7 +252,10 @@ cusfft_status cusfft_execute_many(cusfft_handle h, const double* inputs,
         const auto mode = h->batch_pipeline != 0
                               ? cusfft::gpu::BatchMode::kAuto
                               : cusfft::gpu::BatchMode::kSerialized;
-        if (h->multi != nullptr) {
+        if (h->cplan != nullptr) {
+          h->fleet = std::make_unique<cusfft::gpu::GpuFleetStats>();
+          results = h->cplan->execute_many(xs, h->fleet.get(), mode);
+        } else if (h->multi != nullptr) {
           h->fleet = std::make_unique<cusfft::gpu::GpuFleetStats>();
           results = h->multi->execute_many(xs, h->fleet.get(), mode);
         } else {
@@ -279,6 +302,28 @@ cusfft_status cusfft_set_device_count(cusfft_handle h, size_t devices) {
   return h->rebuild();
 }
 
+cusfft_status cusfft_set_node_count(cusfft_handle h, size_t nodes) {
+  if (h == nullptr || nodes == 0) return CUSFFT_INVALID_ARGUMENT;
+  h->node_count = nodes;
+  return h->rebuild();
+}
+
+cusfft_status cusfft_get_cluster_stats(cusfft_handle h,
+                                       cusfft_cluster_stats* out) {
+  if (h == nullptr || out == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  if (h->fleet == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  out->model_ms = h->fleet->model_ms;
+  out->imbalance = h->fleet->imbalance;
+  out->nic_stall_ms = h->fleet->nic_stall_ms;
+  out->nic_queue_ms = h->fleet->nic_queue_ms;
+  out->nic_bytes = h->fleet->nic_bytes;
+  out->nic_transfers = h->fleet->nic_transfers;
+  out->nodes = h->fleet->nodes;
+  out->devices = h->fleet->devices;
+  out->signals = h->fleet->signals;
+  return CUSFFT_SUCCESS;
+}
+
 cusfft_status cusfft_set_pcie_staging(cusfft_handle h,
                                       cusfft_pcie_staging policy,
                                       size_t max_inflight) {
@@ -301,6 +346,7 @@ cusfft_status cusfft_set_pcie_staging(cusfft_handle h,
   }
   h->staging = s;
   if (h->group != nullptr) h->group->set_staging(s);
+  if (h->cluster != nullptr) h->cluster->set_staging(s);
   return CUSFFT_SUCCESS;
 }
 
@@ -318,6 +364,7 @@ cusfft_status cusfft_set_shard_policy(cusfft_handle h,
       return CUSFFT_INVALID_ARGUMENT;
   }
   if (h->multi != nullptr) h->multi->set_shard_policy(h->shard_policy);
+  if (h->cplan != nullptr) h->cplan->set_shard_policy(h->shard_policy);
   return CUSFFT_SUCCESS;
 }
 

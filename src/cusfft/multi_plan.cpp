@@ -377,4 +377,32 @@ void GpuFleetStats::to_metrics(cusim::MetricsRegistry& reg) const {
                            i < device_of.size() ? device_of[i] : 0);
 }
 
+void GpuFleetStats::to_cluster_metrics(cusim::MetricsRegistry& reg) const {
+  using cusim::MetricsRegistry;
+  reg.counter("cusfft_cluster_batches_total").inc();
+  reg.counter("cusfft_cluster_signals_total").add(signals);
+  reg.counter("cusfft_cluster_nic_transfers_total").add(nic_transfers);
+  reg.counter("cusfft_cluster_nic_bytes_total")
+      .add(static_cast<u64>(nic_bytes));
+  reg.histogram("cusfft_cluster_model_ms").observe(model_ms);
+  reg.histogram("cusfft_cluster_nic_ms").observe(nic_transfer_ms);
+  reg.histogram("cusfft_cluster_nic_stall_ms").observe(nic_stall_ms);
+  reg.histogram("cusfft_cluster_nic_queue_ms").observe(nic_queue_ms);
+  reg.gauge("cusfft_cluster_nodes").set(static_cast<double>(nodes));
+  for (std::size_t m = 0; m < per_node.size(); ++m) {
+    const GpuNodeShardStats& ns = per_node[m];
+    const std::string node = std::to_string(m);
+    reg.counter(
+           MetricsRegistry::label("cusfft_node_signals_total", "node", node))
+        .add(ns.signals);
+    reg.gauge(MetricsRegistry::label("cusfft_node_finish_ms", "node", node))
+        .set(ns.model_ms);
+    reg.gauge(MetricsRegistry::label("cusfft_node_utilization", "node", node))
+        .set(ns.utilization);
+    reg.counter(
+           MetricsRegistry::label("cusfft_node_nic_bytes_total", "node", node))
+        .add(static_cast<u64>(ns.nic_bytes));
+  }
+}
+
 }  // namespace cusfft::gpu

@@ -84,6 +84,19 @@ struct GpuDeviceShardStats {
   double utilization = 0;  // 0 for idle devices
 };
 
+/// One node's share of a cluster batch (ClusterPlan; see cluster_plan.hpp).
+struct GpuNodeShardStats {
+  std::size_t devices = 0;
+  std::size_t signals = 0;
+  double model_ms = 0;   // node finish on the merged cluster clock
+  double offset_ms = 0;  // compute start (first NIC ingress arrival)
+  double nic_bytes = 0;  // bytes staged to this node over the NIC
+  double nic_stall_ms = 0;  // fabric-contention dilation
+  double nic_queue_ms = 0;  // port-FIFO wait
+  /// busy / cluster makespan over the node's devices, averaged.
+  double utilization = 0;
+};
+
 /// GpuBatchStats analogue for a sharded batch: fleet makespan plus the
 /// imbalance/contention story across devices.
 struct GpuFleetStats {
@@ -107,6 +120,18 @@ struct GpuFleetStats {
   std::vector<GpuSignalStats> per_signal;
   std::vector<std::size_t> device_of;  // input order: shard assignment
 
+  /// Cluster fields (ClusterPlan only; defaults describe a fleet batch so
+  /// every existing consumer is untouched). device_of stays the *global*
+  /// device index (node-major flattened); node_of is the node split.
+  std::size_t nodes = 1;
+  double nic_stall_ms = 0;     // summed fabric-contention dilation
+  double nic_queue_ms = 0;     // summed port-FIFO wait
+  double nic_bytes = 0;        // total bytes crossing the fabric
+  std::size_t nic_transfers = 0;
+  double nic_transfer_ms = 0;  // summed NIC transfer spans
+  std::vector<GpuNodeShardStats> per_node;  // node order; empty for fleets
+  std::vector<std::size_t> node_of;         // input order; empty for fleets
+
   /// Folds this fleet batch into the always-on registry: fleet counters
   /// and makespan/PCIe histograms, per-device utilization/finish gauges
   /// and signal counters, and every signal's latency + phase spans
@@ -114,6 +139,12 @@ struct GpuFleetStats {
   /// automatically (the shard-level GpuBatchStats stay silent, so fleet
   /// signals are counted exactly once).
   void to_metrics(cusim::MetricsRegistry& reg) const;
+
+  /// Cluster-only series (cusfft_cluster_* / cusfft_node_*). Published by
+  /// ClusterPlan on top of the per-node fleet publications — the fleet
+  /// series above fire once per node batch, so this layer deliberately
+  /// never re-counts signals or per-signal latencies.
+  void to_cluster_metrics(cusim::MetricsRegistry& reg) const;
 };
 
 class MultiGpuPlan {

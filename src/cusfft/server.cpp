@@ -16,6 +16,8 @@
 #include <utility>
 
 #include "core/rng.hpp"
+#include "cusfft/cluster_plan.hpp"
+#include "cusim/cluster.hpp"
 #include "cusim/metrics.hpp"
 #include "signal/generate.hpp"
 
@@ -115,6 +117,7 @@ const char* outcome_name(Outcome o) {
 
 ServerConfig ServerConfig::from_env(ServerConfig base) {
   base.devices = env_size("CUSFFT_SERVE_DEVICES", base.devices);
+  base.nodes = env_size("CUSFFT_SERVE_NODES", base.nodes);
   base.max_batch = env_size("CUSFFT_SERVE_MAX_BATCH", base.max_batch);
   base.max_wait_throughput_ms =
       env_ms("CUSFFT_SERVE_MAX_WAIT_MS", base.max_wait_throughput_ms);
@@ -129,6 +132,8 @@ ServerConfig ServerConfig::from_env(ServerConfig base) {
 void ServerConfig::validate() const {
   if (devices < 1)
     throw std::invalid_argument("ServerConfig: devices must be >= 1");
+  if (nodes < 1)
+    throw std::invalid_argument("ServerConfig: nodes must be >= 1");
   if (max_batch < 1)
     throw std::invalid_argument("ServerConfig: max_batch must be >= 1");
   if (tenant_queue_depth < 1)
@@ -193,6 +198,8 @@ struct Server::Impl {
   // thread in threaded mode).
   std::unique_ptr<cusim::DeviceGroup> group;
   std::unique_ptr<gpu::MultiGpuPlan> mplan;
+  std::unique_ptr<cusim::Cluster> cluster;  // cfg.nodes > 1
+  std::unique_ptr<gpu::ClusterPlan> cplan;  // cfg.nodes > 1
 
   // Cached handles into the global registry (hot-path contract).
   cusim::Counter& m_req_lat;
@@ -380,7 +387,13 @@ struct Server::Impl {
   // ---- execution ------------------------------------------------------
 
   void ensure_fleet(const sfft::Params& shape) {
-    if (group) return;
+    if (group || cplan) return;
+    if (cfg.nodes > 1) {
+      cluster = std::make_unique<cusim::Cluster>(cfg.nodes, cfg.devices);
+      cplan = std::make_unique<gpu::ClusterPlan>(*cluster, shape, cfg.opts);
+      cplan->set_shard_policy(cfg.shard_policy);
+      return;
+    }
     group = std::make_unique<cusim::DeviceGroup>(cfg.devices);
     mplan = std::make_unique<gpu::MultiGpuPlan>(*group, shape, cfg.opts);
     mplan->set_shard_policy(cfg.shard_policy);
@@ -396,7 +409,9 @@ struct Server::Impl {
     for (const Pend& p : b.run)
       mix.push_back({std::span<const cplx>(p.x), p.params});
     gpu::GpuFleetStats fs;
-    out = mplan->execute_mixed(mix, &fs, gpu::BatchMode::kAuto);
+    out = cplan != nullptr
+              ? cplan->execute_mixed(mix, &fs, gpu::BatchMode::kAuto)
+              : mplan->execute_mixed(mix, &fs, gpu::BatchMode::kAuto);
     return fs;
   }
 

@@ -87,7 +87,9 @@ struct Request {
 
 /// Server knobs. All virtual-clock quantities are milliseconds.
 struct ServerConfig {
-  std::size_t devices = 1;      ///< simulated fleet size
+  std::size_t devices = 1;      ///< simulated fleet size (per node)
+  std::size_t nodes = 1;        ///< cluster size; > 1 serves on a
+                                ///< ClusterPlan (devices per node)
   std::size_t max_batch = 8;    ///< size batch-close trigger
   double max_wait_latency_ms = 1.0;     ///< kLatency close window
   double max_wait_throughput_ms = 8.0;  ///< kThroughput close window
@@ -100,7 +102,7 @@ struct ServerConfig {
   gpu::ShardPolicy shard_policy = gpu::ShardPolicy::kCostLpt;
 
   /// Applies the CUSFFT_SERVE_* environment knobs on top of `base`:
-  /// CUSFFT_SERVE_DEVICES, CUSFFT_SERVE_MAX_BATCH,
+  /// CUSFFT_SERVE_DEVICES, CUSFFT_SERVE_NODES, CUSFFT_SERVE_MAX_BATCH,
   /// CUSFFT_SERVE_MAX_WAIT_MS (throughput class),
   /// CUSFFT_SERVE_MAX_WAIT_LAT_MS (latency class),
   /// CUSFFT_SERVE_QUEUE_DEPTH. The environment is re-read on every call —
@@ -111,7 +113,7 @@ struct ServerConfig {
   static ServerConfig from_env(ServerConfig base);
   static ServerConfig from_env() { return from_env(ServerConfig{}); }
 
-  /// Throws std::invalid_argument unless usable (devices/max_batch/
+  /// Throws std::invalid_argument unless usable (devices/nodes/max_batch/
   /// tenant_queue_depth >= 1, waits finite and >= 0).
   void validate() const;
 };

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "cusim/cluster.hpp"
 #include "cusim/device_group.hpp"
 
 namespace cusfft::cusim {
@@ -55,8 +56,10 @@ void append_pool_stats(std::ostringstream& os, const BufferPool::Stats& s) {
 /// scoped annotations (pipelined batches).
 constexpr int kPcieTid = 1000000;
 constexpr int kPhaseTid = 1000001;
+constexpr int kNicTid = 1000002;
 
 int tid_of(const TraceSpan& s) {
+  if (s.nic) return kNicTid;
   return s.pcie ? kPcieTid : static_cast<int>(s.stream);
 }
 
@@ -252,6 +255,93 @@ CaptureProfile collect_profile(DeviceGroup& group) {
   return p;
 }
 
+CaptureProfile collect_profile(Cluster& cluster) {
+  // The degenerate cluster is the fleet: same lanes, same serialization,
+  // byte for byte.
+  if (cluster.nodes() == 1) return collect_profile(cluster.node(0));
+
+  CaptureProfile p;
+  const ClusterSchedule cs = cluster.simulate();
+  const perfmodel::GpuSpec& spec0 = cluster.node(0).device(0).spec();
+  p.device = spec0.name;
+  p.staging = cluster.staging().name();
+  p.model_ms = cs.makespan_s * 1e3;
+  p.mem_bw_Bps = spec0.mem_bandwidth_Bps;
+  p.pcie_bw_Bps = spec0.pcie_bandwidth_Bps;
+  p.max_concurrent_kernels = spec0.max_concurrent_kernels;
+  p.nic_bw_Bps = cluster.nic().bandwidth_Bps;
+  p.nic_latency_s = cluster.nic().latency_s;
+
+  std::map<std::string, KernelReport> merged;
+  double total_busy_ms = 0, total_window = 0;
+  unsigned lane = 0;
+  for (std::size_t m = 0; m < cluster.nodes(); ++m) {
+    DeviceGroup& g = cluster.node(m);
+    const FleetSchedule& f = cs.node_fleet[m];
+    NodeLane nl;
+    nl.name = "n" + std::to_string(m);
+    nl.first_lane = lane;
+    nl.lane_count = static_cast<unsigned>(g.size());
+    nl.model_ms = cs.node_finish_s[m] * 1e3;
+    nl.offset_ms = cs.node_offset_s[m] * 1e3;
+    nl.nic_stall_ms = cs.nic_stall_s[m] * 1e3;
+    nl.nic_queue_ms = cs.nic_queue_s[m] * 1e3;
+    for (std::size_t d = 0; d < g.size(); ++d) {
+      Device& dev = g.device(d);
+      const perfmodel::GpuSpec& spec = dev.spec();
+      const double busy_ms =
+          append_spans(p, dev.timeline(), f.items[d], lane,
+                       spec.mem_bandwidth_Bps, spec.pcie_bandwidth_Bps);
+      append_phases(p, dev, f.items[d], lane, p.model_ms);
+      merge_report(merged, dev);
+
+      DeviceLane dl;
+      dl.name = spec.name;
+      dl.model_ms = f.finish_s[d] * 1e3;
+      dl.busy_ms = busy_ms;
+      dl.utilization = p.model_ms > 0 ? dl.model_ms / p.model_ms : 0.0;
+      dl.pcie_stall_ms = f.pcie_stall_s[d] * 1e3;
+      dl.max_concurrent_kernels = spec.max_concurrent_kernels;
+      if (dl.model_ms > 0 && dl.max_concurrent_kernels > 0)
+        dl.occupancy_frac =
+            busy_ms / dl.model_ms / dl.max_concurrent_kernels;
+      p.lanes.push_back(std::move(dl));
+      total_busy_ms += busy_ms;
+      total_window += spec.max_concurrent_kernels;
+      ++lane;
+    }
+    p.nodes.push_back(std::move(nl));
+  }
+  if (p.model_ms > 0 && total_window > 0)
+    p.occupancy_frac = total_busy_ms / p.model_ms / total_window;
+
+  // Modeled NIC transfers render on the destination node's first device
+  // lane under the "NIC" track (cat "nic"), so the cross-node staging and
+  // gather traffic is visible next to the compute it feeds.
+  for (const NicSpan& s : cs.nic) {
+    TraceSpan ts;
+    ts.name = s.name;
+    ts.nic = true;
+    ts.device = p.nodes[s.node].first_lane;
+    ts.start_ms = s.start_s * 1e3;
+    ts.end_ms = s.finish_s * 1e3;
+    ts.mem_bytes = s.bytes;
+    ts.useful_bytes = s.bytes;
+    const double dur_s = s.finish_s - s.start_s;
+    if (dur_s > 0 && p.nic_bw_Bps > 0)
+      ts.achieved_bw_frac = s.bytes / dur_s / p.nic_bw_Bps;
+    p.nodes[s.node].nic_bytes += s.bytes;
+    p.nodes[s.node].nic_ms += dur_s * 1e3;
+    p.spans.push_back(std::move(ts));
+  }
+
+  build_kernels(p, merged,
+                static_cast<double>(spec0.mem_transaction_bytes));
+  p.pool_begin = cluster.pool_stats_at_capture();
+  p.pool_end = BufferPool::global().stats();
+  return p;
+}
+
 std::string CaptureProfile::to_json() const {
   std::ostringstream os;
   os << "{\"device\":" << jstr(device)
@@ -277,6 +367,28 @@ std::string CaptureProfile::to_json() const {
          << ",\"pcie_stall_ms\":" << jnum(l.pcie_stall_ms)
          << ",\"max_concurrent_kernels\":" << l.max_concurrent_kernels
          << "}";
+    }
+    os << "]";
+  }
+
+  // Cluster captures only (M > 1): the NIC model and one entry per node
+  // lane. Absent for fleet/single-device captures so their serialization
+  // is unchanged.
+  if (!nodes.empty()) {
+    os << ",\"nic\":{\"bandwidth_Bps\":" << jnum(nic_bw_Bps)
+       << ",\"latency_s\":" << jnum(nic_latency_s) << "}";
+    os << ",\"nodes\":[";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeLane& n = nodes[i];
+      os << (i ? "," : "") << "{\"name\":" << jstr(n.name)
+         << ",\"first_device\":" << n.first_lane
+         << ",\"devices\":" << n.lane_count
+         << ",\"model_ms\":" << jnum(n.model_ms)
+         << ",\"offset_ms\":" << jnum(n.offset_ms)
+         << ",\"nic_bytes\":" << jnum(n.nic_bytes)
+         << ",\"nic_ms\":" << jnum(n.nic_ms)
+         << ",\"nic_stall_ms\":" << jnum(n.nic_stall_ms)
+         << ",\"nic_queue_ms\":" << jnum(n.nic_queue_ms) << "}";
     }
     os << "]";
   }
@@ -332,17 +444,30 @@ std::string CaptureProfile::chrome_trace_json() const {
   // Per pid: process name, one thread per stream seen, the PCIe track,
   // then the phase tracks. Streams sorted for determinism.
   const std::size_t npids = lanes.empty() ? 1 : lanes.size();
+  // Cluster captures name each pid by its node + node-local device, and
+  // the node's first lane additionally carries the NIC track.
+  auto node_of = [&](std::size_t pid) -> const NodeLane* {
+    for (const NodeLane& n : nodes)
+      if (pid >= n.first_lane && pid < n.first_lane + n.lane_count)
+        return &n;
+    return nullptr;
+  };
   for (std::size_t pid = 0; pid < npids; ++pid) {
     sep();
-    const std::string pname =
-        lanes.empty() ? "cusim " + device
-                      : "cusim dev" + std::to_string(pid) + " " +
-                            lanes[pid].name;
+    std::string pname;
+    if (lanes.empty()) {
+      pname = "cusim " + device;
+    } else if (const NodeLane* n = node_of(pid)) {
+      pname = "cusim " + n->name + " dev" +
+              std::to_string(pid - n->first_lane) + " " + lanes[pid].name;
+    } else {
+      pname = "cusim dev" + std::to_string(pid) + " " + lanes[pid].name;
+    }
     os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
        << ",\"tid\":0,\"args\":{\"name\":" << jstr(pname) << "}}";
     std::vector<int> tids;
     for (const TraceSpan& s : spans)
-      if (!s.pcie && s.device == pid)
+      if (!s.pcie && !s.nic && s.device == pid)
         tids.push_back(static_cast<int>(s.stream));
     std::sort(tids.begin(), tids.end());
     tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
@@ -356,6 +481,11 @@ std::string CaptureProfile::chrome_trace_json() const {
     sep();
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
        << ",\"tid\":" << kPcieTid << ",\"args\":{\"name\":\"PCIe\"}}";
+    if (const NodeLane* n = node_of(pid); n && n->first_lane == pid) {
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << kNicTid << ",\"args\":{\"name\":\"NIC\"}}";
+    }
     bool any_plain_phase = false;
     std::vector<int> scoped_phase_tids;
     for (const PhaseSpan& ph : phases) {
@@ -387,7 +517,7 @@ std::string CaptureProfile::chrome_trace_json() const {
   for (const TraceSpan& s : spans) {
     sep();
     os << "{\"name\":" << jstr(s.name) << ",\"cat\":"
-       << (s.pcie ? "\"copy\"" : "\"kernel\"")
+       << (s.nic ? "\"nic\"" : s.pcie ? "\"copy\"" : "\"kernel\"")
        << ",\"ph\":\"X\",\"pid\":" << s.device
        << ",\"tid\":" << tid_of(s)
        << ",\"ts\":" << jnum(s.start_ms * 1e3)
@@ -423,6 +553,11 @@ ResultTable CaptureProfile::to_table() const {
   // Fleet captures: one row per device lane; the trailing column carries
   // the lane's utilization (finish / fleet makespan), mirroring the
   // capture row's occupancy placement.
+  // Cluster captures: one row per node lane before the device rows; the
+  // trailing column carries the node's NIC stall milliseconds.
+  for (const NodeLane& n : nodes)
+    t.add_row({"node", n.name, ResultTable::num(n.model_ms), na, na, na, na,
+               na, na, na, na, ResultTable::num(n.nic_stall_ms)});
   for (std::size_t i = 0; i < lanes.size(); ++i)
     t.add_row({"device", "dev" + std::to_string(i) + " " + lanes[i].name,
                ResultTable::num(lanes[i].model_ms), na, na, na, na, na, na,

@@ -54,6 +54,10 @@ struct TraceSpan {
   StreamId stream = 0;
   unsigned device = 0;  // lane index for fleet captures (0 single-device)
   bool pcie = false;  // PCIe copy (its own track) vs device kernel
+  /// Modeled NIC transfer (cluster captures only): renders on the
+  /// destination node's "NIC" track with cat "nic"; never set for
+  /// single-node captures, so their serialization is unchanged.
+  bool nic = false;
   double start_ms = 0;
   double end_ms = 0;
   double mem_bytes = 0;        // bytes that crossed this item's resource
@@ -85,6 +89,21 @@ struct DeviceLane {
   unsigned max_concurrent_kernels = 0;
 };
 
+/// One node of a cluster capture (Cluster::end_capture). Device lanes
+/// flatten node-major, so a node owns the contiguous pid range
+/// [first_lane, first_lane + lane_count).
+struct NodeLane {
+  std::string name;         // "n<m>"
+  unsigned first_lane = 0;  // chrome-trace pid of the node's first device
+  unsigned lane_count = 0;  // devices on this node
+  double model_ms = 0;      // node finish on the cluster clock
+  double offset_ms = 0;     // compute start (first ingress arrival)
+  double nic_bytes = 0;     // bytes destined to this node over the NIC
+  double nic_ms = 0;        // summed NIC transfer spans destined here
+  double nic_stall_ms = 0;  // fabric-contention dilation
+  double nic_queue_ms = 0;  // port-FIFO wait
+};
+
 /// Everything observable about one capture region.
 struct CaptureProfile {
   std::string device;  // GpuSpec name
@@ -107,6 +126,16 @@ struct CaptureProfile {
   /// chrome trace renders one track group (pid) per lane on a shared
   /// time origin, and to_json() gains a "devices" array.
   std::vector<DeviceLane> lanes;
+
+  /// Cluster captures only (M > 1): one lane per node, in node order.
+  /// Empty for single-node and single-device captures — every
+  /// serialization stays byte-identical to the fleet format when this is
+  /// empty. When non-empty, to_json() gains "nic" + "nodes" entries and
+  /// the chrome trace names its pids "cusim n<m> dev<local> <spec>" with
+  /// a per-node NIC track.
+  std::vector<NodeLane> nodes;
+  double nic_bw_Bps = 0;    // cluster captures only
+  double nic_latency_s = 0;  // cluster captures only
 
   /// PcieStaging policy name the merged schedule ran under (fleet
   /// captures only; empty — and never serialized — for a single-Device
@@ -140,5 +169,14 @@ class DeviceGroup;  // device_group.hpp
 /// (DeviceGroup::simulate) and assembles one profile with a lane per
 /// device (also available as DeviceGroup::end_capture()).
 CaptureProfile collect_profile(DeviceGroup& group);
+
+class Cluster;  // cluster.hpp
+
+/// Merged cluster profile: node-major flattened device lanes on the
+/// cluster clock plus per-node NodeLanes and NIC transfer spans. At
+/// M == 1 this delegates to collect_profile(DeviceGroup&), so the
+/// degenerate cluster's artifacts are byte-identical to the fleet's
+/// (also available as Cluster::end_capture()).
+CaptureProfile collect_profile(Cluster& cluster);
 
 }  // namespace cusfft::cusim

@@ -49,6 +49,56 @@ TEST(BenchOpts, DevicesFlagEnvAndClamp) {
             1u);
 }
 
+TEST(BenchOpts, NodesFlagEnvAndClamp) {
+  ::unsetenv("CUSFFT_NODES");
+  const char* none[] = {"bench"};
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).nodes, 1u);
+
+  const char* argv[] = {"bench", "--nodes", "4"};
+  EXPECT_EQ(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                             const_cast<char**>(argv))
+                .nodes,
+            4u);
+
+  // The environment is re-read on every parse (no latching).
+  ::setenv("CUSFFT_NODES", "2", 1);
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).nodes, 2u);
+  ::setenv("CUSFFT_NODES", "3", 1);
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).nodes, 3u);
+  ::unsetenv("CUSFFT_NODES");
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).nodes, 1u);
+
+  // 0 nodes is meaningless: clamp back to one.
+  const char* zero[] = {"bench", "--nodes", "0"};
+  EXPECT_EQ(BenchOpts::parse(static_cast<int>(std::size(zero)),
+                             const_cast<char**>(zero))
+                .nodes,
+            1u);
+}
+
+TEST(BenchOpts, NicGbpsFlagAndEnv) {
+  ::unsetenv("CUSFFT_NIC_GBPS");
+  const char* none[] = {"bench"};
+  EXPECT_DOUBLE_EQ(BenchOpts::parse(1, const_cast<char**>(none)).nic_gbps,
+                   0.0);  // 0 = NicModel default
+
+  const char* argv[] = {"bench", "--nic-gbps", "40"};
+  EXPECT_DOUBLE_EQ(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                                    const_cast<char**>(argv))
+                       .nic_gbps,
+                   40.0);
+
+  ::setenv("CUSFFT_NIC_GBPS", "12.5", 1);
+  EXPECT_DOUBLE_EQ(BenchOpts::parse(1, const_cast<char**>(none)).nic_gbps,
+                   12.5);
+  // The flag wins over the environment (flags parse after env).
+  EXPECT_DOUBLE_EQ(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                                    const_cast<char**>(argv))
+                       .nic_gbps,
+                   40.0);
+  ::unsetenv("CUSFFT_NIC_GBPS");
+}
+
 TEST(BenchOpts, MaxClampedToMin) {
   const char* argv[] = {"bench", "--min-logn", "22", "--max-logn", "18"};
   const auto o = BenchOpts::parse(static_cast<int>(std::size(argv)),
@@ -224,6 +274,36 @@ TEST(BenchOptsDeathTest, NegativeValueExits) {
   EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
                                const_cast<char**>(argv)),
               ::testing::ExitedWithCode(2), "non-negative");
+}
+
+TEST(BenchOptsDeathTest, MalformedNodesEnvExits) {
+  ::setenv("CUSFFT_NODES", "two", 1);
+  const char* argv[] = {"bench"};
+  EXPECT_EXIT(BenchOpts::parse(1, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "CUSFFT_NODES");
+  ::unsetenv("CUSFFT_NODES");
+}
+
+TEST(BenchOptsDeathTest, NegativeNodesFlagExits) {
+  const char* argv[] = {"bench", "--nodes", "-2"};
+  EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "non-negative");
+}
+
+TEST(BenchOptsDeathTest, MalformedNicGbpsFlagExits) {
+  const char* argv[] = {"bench", "--nic-gbps", "fast"};
+  EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "--nic-gbps");
+}
+
+TEST(BenchOptsDeathTest, NegativeNicGbpsEnvExits) {
+  ::setenv("CUSFFT_NIC_GBPS", "-100", 1);
+  const char* argv[] = {"bench"};
+  EXPECT_EXIT(BenchOpts::parse(1, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "positive number");
+  ::unsetenv("CUSFFT_NIC_GBPS");
 }
 
 TEST(BenchOptsDeathTest, TrailingFlagMissingValueExits) {

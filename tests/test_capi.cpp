@@ -380,6 +380,96 @@ TEST(CApi, MultiDeviceShardingMatchesSingleDevice) {
   EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
 }
 
+TEST(CApi, NodeCountRoutesThroughClusterBitIdentically) {
+  constexpr std::size_t kBatch = 6;
+  constexpr std::size_t kCap = 64;
+  const std::size_t n = 1 << 12, k = 8;
+  std::vector<double> inputs;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const CWorkload w = make_workload(n, k, 860 + i);
+    const double* d = reinterpret_cast<const double*>(w.x.data());
+    inputs.insert(inputs.end(), d, d + 2 * n);
+  }
+
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, n, k, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_set_node_count(nullptr, 2), CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_set_node_count(h, 0), CUSFFT_INVALID_ARGUMENT);
+
+  // No batch has run yet: no cluster stats.
+  cusfft_cluster_stats cs;
+  EXPECT_EQ(cusfft_get_cluster_stats(h, &cs), CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_get_cluster_stats(h, nullptr), CUSFFT_INVALID_ARGUMENT);
+
+  auto run = [&](std::vector<uint64_t>& locs, std::vector<double>& vals,
+                 std::size_t* counts) {
+    ASSERT_EQ(cusfft_execute_many(h, inputs.data(), kBatch, kCap,
+                                  locs.data(), vals.data(), counts),
+              CUSFFT_SUCCESS);
+  };
+  std::vector<uint64_t> locs1(kBatch * kCap), locs2(kBatch * kCap);
+  std::vector<double> vals1(2 * kBatch * kCap), vals2(2 * kBatch * kCap);
+  std::size_t counts1[kBatch] = {}, counts2[kBatch] = {};
+  run(locs1, vals1, counts1);
+
+  // One node, one device: the cluster view degrades to the fleet's.
+  ASSERT_EQ(cusfft_get_cluster_stats(h, &cs), CUSFFT_SUCCESS);
+  EXPECT_EQ(cs.nodes, 1u);
+  EXPECT_EQ(cs.nic_transfers, 0u);
+  EXPECT_EQ(cs.nic_bytes, 0);
+
+  ASSERT_EQ(cusfft_set_device_count(h, 2), CUSFFT_SUCCESS);
+  ASSERT_EQ(cusfft_set_node_count(h, 2), CUSFFT_SUCCESS);
+  run(locs2, vals2, counts2);
+
+  // Node sharding only changes the modeled timeline: recovered spectra
+  // stay bit-identical and in input order.
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    ASSERT_EQ(counts1[i], counts2[i]) << "signal " << i;
+    for (std::size_t j = 0; j < counts1[i]; ++j) {
+      EXPECT_EQ(locs1[i * kCap + j], locs2[i * kCap + j]);
+      EXPECT_EQ(vals1[2 * (i * kCap + j)], vals2[2 * (i * kCap + j)]);
+      EXPECT_EQ(vals1[2 * (i * kCap + j) + 1],
+                vals2[2 * (i * kCap + j) + 1]);
+    }
+  }
+
+  ASSERT_EQ(cusfft_get_cluster_stats(h, &cs), CUSFFT_SUCCESS);
+  EXPECT_EQ(cs.nodes, 2u);
+  EXPECT_EQ(cs.devices, 4u);
+  EXPECT_EQ(cs.signals, kBatch);
+  EXPECT_GT(cs.model_ms, 0);
+  EXPECT_GE(cs.imbalance, 1.0);
+  // The remote node's shard staged over the NIC.
+  EXPECT_GT(cs.nic_transfers, 0u);
+  EXPECT_GT(cs.nic_bytes, 0);
+
+  // The retained capture is the merged cluster profile: one track group
+  // per device across both nodes, NIC spans present.
+  std::size_t len = 0;
+  ASSERT_EQ(cusfft_profile_json(h, nullptr, 0, &len), CUSFFT_SUCCESS);
+  std::vector<char> buf(len);
+  ASSERT_EQ(cusfft_profile_json(h, buf.data(), buf.size(), &len),
+            CUSFFT_SUCCESS);
+  const std::string trace(buf.data());
+  EXPECT_NE(trace.find("\"nodes\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"nic\""), std::string::npos);
+
+  // Back to one node: stats reset until the next run.
+  ASSERT_EQ(cusfft_set_node_count(h, 1), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_get_cluster_stats(h, &cs), CUSFFT_INVALID_ARGUMENT);
+
+  // CPU backends accept and ignore the setting; they never have cluster
+  // stats.
+  cusfft_handle cpu = nullptr;
+  ASSERT_EQ(cusfft_plan(&cpu, n, k, CUSFFT_BACKEND_SERIAL), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_set_node_count(cpu, 4), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_get_cluster_stats(cpu, &cs), CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(cusfft_destroy(cpu), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_destroy(h), CUSFFT_SUCCESS);
+}
+
 TEST(CApi, ExecuteManyErrorPaths) {
   cusfft_handle h = nullptr;
   ASSERT_EQ(cusfft_plan(&h, 1 << 10, 4, CUSFFT_BACKEND_SERIAL),

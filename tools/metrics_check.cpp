@@ -2,16 +2,18 @@
 // bench_throughput --metrics emits (CI's metrics-smoke gate).
 //
 //   metrics_check <metrics.json> [--prev <snap.json>] [--prom <file>]
-//                 [--devices N] [--serve]
+//                 [--devices N] [--serve] [--cluster N]
 //
 // Always runs the schema/consistency check on <metrics.json>. --prev adds
 // the counter-monotonicity check (prev must be an earlier snapshot from
 // the same process), --prom cross-checks the Prometheus exposition,
 // --devices N requires per-device signal-latency histograms for devices
-// 0..N-1, and --serve validates the serving-tier instruments (request
+// 0..N-1, --serve validates the serving-tier instruments (request
 // accounting conservation, per-class latency histograms, batch-size
-// coverage — the snapshot must come from a drained server). Exit 0 when
-// every requested check passes, 1 on a failed check, 2 on usage/IO
+// coverage — the snapshot must come from a drained server), and
+// --cluster N validates the cluster-tier instruments for an N-node run
+// (cusfft_cluster_* coverage plus cross-node signal conservation). Exit 0
+// when every requested check passes, 1 on a failed check, 2 on usage/IO
 // errors.
 #include <cstdlib>
 #include <cstring>
@@ -28,7 +30,7 @@ namespace {
   std::cerr << "metrics_check: " << msg << "\n"
             << "usage: metrics_check <metrics.json> [--prev <snap.json>]\n"
                "                     [--prom <file>] [--devices N] "
-               "[--serve]\n";
+               "[--serve] [--cluster N]\n";
   std::exit(2);
 }
 
@@ -58,6 +60,7 @@ bool report(const char* what, const cusfft::tools::MetricsCheckResult& r) {
 int main(int argc, char** argv) {
   std::string json_path, prev_path, prom_path;
   std::size_t devices = 0;
+  std::size_t cluster = 0;
   bool serve = false;
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
@@ -75,6 +78,12 @@ int main(int argc, char** argv) {
       devices = std::strtoull(v, &end, 10);
       if (end == v || *end != '\0')
         usage("--devices: expected an integer");
+    } else if (key == "--cluster") {
+      char* end = nullptr;
+      const char* v = value();
+      cluster = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || cluster == 0)
+        usage("--cluster: expected a positive integer");
     } else if (key == "--serve") {
       serve = true;
     } else if (key.rfind("--", 0) == 0) {
@@ -112,6 +121,10 @@ int main(int argc, char** argv) {
   if (serve)
     ok = report("serve-tier coverage",
                 cusfft::tools::check_serve_metrics(json_text)) &&
+         ok;
+  if (cluster > 0)
+    ok = report("cluster-tier coverage",
+                cusfft::tools::check_cluster_metrics(json_text, cluster)) &&
          ok;
 
   return ok ? 0 : 1;

@@ -404,4 +404,67 @@ MetricsCheckResult check_serve_metrics(const std::string& json_text) {
   return r;
 }
 
+MetricsCheckResult check_cluster_metrics(const std::string& json_text,
+                                         std::size_t nodes) {
+  MetricsCheckResult r;
+  json::Value doc;
+  if (!parse_doc(json_text, doc, r)) return r;
+  SnapshotDoc s;
+  if (!read_snapshot(doc, s, r)) return r;
+
+  auto counter = [&](const std::string& name) -> u64 {
+    const auto it = s.counters.find(name);
+    if (it == s.counters.end()) {
+      fail(r, "missing cluster counter " + name);
+      return 0;
+    }
+    return it->second;
+  };
+  const u64 batches = counter("cusfft_cluster_batches_total");
+  const u64 signals = counter("cusfft_cluster_signals_total");
+  const u64 transfers = counter("cusfft_cluster_nic_transfers_total");
+  const u64 nic_bytes = counter("cusfft_cluster_nic_bytes_total");
+  if (batches == 0) fail(r, "cusfft_cluster_batches_total is 0");
+  if (signals == 0) fail(r, "cusfft_cluster_signals_total is 0");
+  if (transfers > 0 && nic_bytes == 0)
+    fail(r, "NIC transfers recorded but cusfft_cluster_nic_bytes_total is 0");
+
+  // Per-node coverage + signal conservation: every node of the cluster
+  // must expose its series, and the node split must sum to the cluster
+  // total (no signal double-counted or dropped across nodes).
+  u64 node_signals = 0;
+  for (std::size_t m = 0; m < nodes; ++m) {
+    const std::string node = std::to_string(m);
+    node_signals +=
+        counter("cusfft_node_signals_total{node=\"" + node + "\"}");
+    const std::string bytes =
+        "cusfft_node_nic_bytes_total{node=\"" + node + "\"}";
+    if (s.counters.find(bytes) == s.counters.end())
+      fail(r, "missing cluster counter " + bytes);
+  }
+  if (nodes > 0 && node_signals != signals) {
+    std::ostringstream os;
+    os << "node signal split does not conserve: sum over nodes "
+       << node_signals << " != cusfft_cluster_signals_total " << signals;
+    fail(r, os.str());
+  }
+
+  for (const char* name :
+       {"cusfft_cluster_model_ms", "cusfft_cluster_nic_ms",
+        "cusfft_cluster_nic_stall_ms", "cusfft_cluster_nic_queue_ms"}) {
+    const auto it = s.hists.find(name);
+    if (it == s.hists.end()) {
+      fail(r, std::string("missing cluster histogram ") + name);
+    } else if (it->second.count != batches) {
+      std::ostringstream os;
+      os << name << " count " << it->second.count
+         << " != cusfft_cluster_batches_total " << batches;
+      fail(r, os.str());
+    }
+  }
+
+  r.ok = r.errors.empty();
+  return r;
+}
+
 }  // namespace cusfft::tools

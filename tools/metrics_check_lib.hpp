@@ -61,4 +61,14 @@ MetricsCheckResult check_device_histograms(const std::string& json_text,
 /// batches_total.
 MetricsCheckResult check_serve_metrics(const std::string& json_text);
 
+/// Cluster-tier coverage for a cusfft::gpu::ClusterPlan snapshot: the
+/// cusfft_cluster_* counters and histograms must exist (each histogram's
+/// count equal to cusfft_cluster_batches_total), every node in
+/// [0, nodes) must expose its cusfft_node_signals_total /
+/// cusfft_node_nic_bytes_total series, and the per-node signal split must
+/// sum to cusfft_cluster_signals_total (cross-node conservation — no
+/// signal double-counted or dropped by the node sharding).
+MetricsCheckResult check_cluster_metrics(const std::string& json_text,
+                                         std::size_t nodes);
+
 }  // namespace cusfft::tools
