@@ -14,6 +14,7 @@
 #include "custhrust/sort.hpp"
 #include "fft/fft.hpp"
 #include "sfft/comb.hpp"
+#include "sfft/ffast.hpp"
 #include "sfft/serial.hpp"
 #include "sfft/steps.hpp"
 #include "signal/filter.hpp"
@@ -262,6 +263,25 @@ void BM_SerialSfftEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SerialSfftEndToEnd)->Arg(14)->Arg(16);
+
+void BM_Ffast(benchmark::State& state) {
+  // The FFAST peeling backend end to end on the CPU reference plan —
+  // tracked next to BM_SerialSfftEndToEnd so the crossover the auto
+  // picker banks on (FFAST cheap at low k) stays visible in the gate.
+  const std::size_t n = 1ULL << state.range(0), k = 16;
+  Rng rng(9);
+  const auto sig = signal::make_sparse_signal(n, k, rng);
+  sfft::Params p;
+  p.n = n;
+  p.k = k;
+  p.algo = sfft::Algorithm::kFfast;
+  sfft::FfastPlan plan(p);
+  for (auto _ : state) {
+    auto out = plan.execute(sig.x);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Ffast)->Arg(14)->Arg(16);
 
 void BM_MedianComplex(benchmark::State& state) {
   Rng rng(10);

@@ -12,6 +12,7 @@
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 #include "cufftsim/cufftsim.hpp"
+#include "cusfft/autopick.hpp"
 #include "cusfft/plan.hpp"
 #include "cusim/device.hpp"
 #include "cusim/metrics.hpp"
@@ -27,7 +28,8 @@ namespace {
 [[noreturn]] void usage_exit(const std::string& msg) {
   std::cerr << "bench: " << msg << "\n"
             << "usage: bench [--min-logn N] [--max-logn N] [--k N]\n"
-               "             [--fixed-logn N] [--seed N] [--devices N]\n"
+               "             [--fixed-logn N] [--seed N]\n"
+               "             [--algo cusfft|ffast|auto] [--devices N]\n"
                "             [--nodes N] [--nic-gbps G] [--mixed]\n"
                "             [--out-dir DIR] [--profile PATH]\n"
                "             [--json PATH] [--metrics PATH]\n"
@@ -35,6 +37,7 @@ namespace {
                "PATH]\n"
                "env: CUSFFT_MIN_LOGN CUSFFT_MAX_LOGN CUSFFT_K "
                "CUSFFT_FIXED_LOGN CUSFFT_SEED\n"
+               "     CUSFFT_ALGO CUSFFT_AUTOPICK\n"
                "     CUSFFT_DEVICES CUSFFT_NODES CUSFFT_NIC_GBPS "
                "CUSFFT_MIXED CUSFFT_OUT_DIR\n"
                "     CUSFFT_PROFILE CUSFFT_JSON\n"
@@ -77,6 +80,14 @@ double parse_double(const std::string& what, const char* v) {
 double env_or_d(const char* name, double def) {
   const char* v = std::getenv(name);
   return v ? parse_double(name, v) : def;
+}
+
+sfft::Algorithm parse_algo(const std::string& what, const char* v) {
+  const auto a = sfft::parse_algorithm(v == nullptr ? "" : v);
+  if (!a)
+    usage_exit(what + ": expected 'cusfft', 'ffast' or 'auto', got '" +
+               (v ? std::string(v) : "") + "'");
+  return *a;
 }
 
 /// Strict path value: set-but-empty is a usage error, not a silent
@@ -124,6 +135,17 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
   o.k = env_or("CUSFFT_K", o.k);
   o.fixed_logn = env_or("CUSFFT_FIXED_LOGN", o.fixed_logn);
   o.seed = env_or("CUSFFT_SEED", o.seed);
+  // Re-read per call like everything else — the library applies
+  // CUSFFT_ALGO itself at resolution time; the bench parses it here so a
+  // malformed value is a startup usage error, not a mid-sweep throw. Same
+  // for CUSFFT_AUTOPICK (parsed for validation only).
+  if (const char* a = std::getenv("CUSFFT_ALGO"))
+    o.algo = parse_algo("CUSFFT_ALGO", a);
+  try {
+    (void)gpu::autopick_mode_from_env();
+  } catch (const std::invalid_argument& e) {
+    usage_exit(e.what());
+  }
   o.devices = env_or("CUSFFT_DEVICES", o.devices);
   o.nodes = env_or("CUSFFT_NODES", o.nodes);
   o.nic_gbps = env_or_d("CUSFFT_NIC_GBPS", o.nic_gbps);
@@ -153,6 +175,7 @@ BenchOpts BenchOpts::parse(int argc, char** argv) {
     else if (key == "--k") o.k = parse_u64(key, value());
     else if (key == "--fixed-logn") o.fixed_logn = parse_u64(key, value());
     else if (key == "--seed") o.seed = parse_u64(key, value());
+    else if (key == "--algo") o.algo = parse_algo(key, value());
     else if (key == "--devices") o.devices = parse_u64(key, value());
     else if (key == "--nodes") o.nodes = parse_u64(key, value());
     else if (key == "--nic-gbps") o.nic_gbps = parse_double(key, value());

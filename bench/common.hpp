@@ -31,6 +31,13 @@ struct BenchOpts {
   std::size_t k = 1000;       // the paper's fixed sparsity for Fig. 5(a)
   std::size_t fixed_logn = 22;  // paper uses 2^27 for Fig. 5(b)/(f)
   u64 seed = 20160523;          // IPDPS'16 vintage
+  /// Which sparse-FFT backend bench_throughput runs: the paper's bucket
+  /// hashing (kCusfft, the default), the FFAST aliasing/peeling backend
+  /// (kFfast), or the crossover auto-picker (kAuto). kAuto also turns on
+  /// the crossover sweep: bench_throughput calibrates a (n, k, noise)
+  /// grid, checks the picker against an oracle that runs both backends,
+  /// and emits bench_results/crossover.csv. Env CUSFFT_ALGO / --algo.
+  sfft::Algorithm algo = sfft::Algorithm::kCusfft;
   /// Simulated device count for fleet-aware benches (bench_throughput adds
   /// a sharded row and emits the merged multi-device trace when > 1). Env
   /// CUSFFT_DEVICES / --devices.
@@ -80,10 +87,12 @@ struct BenchOpts {
   std::string serve_out;
 
   /// Reads CUSFFT_MIN_LOGN / CUSFFT_MAX_LOGN / CUSFFT_K / CUSFFT_FIXED_LOGN
-  /// / CUSFFT_SEED / CUSFFT_DEVICES / CUSFFT_NODES / CUSFFT_NIC_GBPS /
-  /// CUSFFT_MIXED / CUSFFT_OUT_DIR / CUSFFT_PROFILE / CUSFFT_METRICS, then
-  /// applies --key value args (--profile <path>, --devices <N>,
-  /// --nodes <N>, --nic-gbps <G>) and the boolean --mixed flag.
+  /// / CUSFFT_SEED / CUSFFT_ALGO / CUSFFT_DEVICES / CUSFFT_NODES /
+  /// CUSFFT_NIC_GBPS / CUSFFT_MIXED / CUSFFT_OUT_DIR / CUSFFT_PROFILE /
+  /// CUSFFT_METRICS, then applies --key value args (--profile <path>,
+  /// --algo cusfft|ffast|auto, --devices <N>, --nodes <N>, --nic-gbps <G>)
+  /// and the boolean --mixed flag. CUSFFT_AUTOPICK (measured|modeled) is
+  /// validated here too so a typo fails at startup, not mid-sweep.
   /// The environment is re-read on every call — no latching.
   /// Malformed numbers, empty path values, a flag missing its value, and
   /// unknown flags are usage errors: the process prints usage to stderr

@@ -43,6 +43,27 @@ cusfft_status cusfft_plan(cusfft_handle* out, size_t n, size_t k,
  * Must be called before the first execute; rebuilds the internal state. */
 cusfft_status cusfft_set_seed(cusfft_handle h, uint64_t seed);
 
+/* Which sparse-FFT algorithm the plan runs. CUSFFT is the paper's
+ * bucket-hashing sFFT (the default); FFAST is the aliasing/peeling
+ * backend, which wins at low k; AUTO defers to the crossover picker. */
+typedef enum {
+  CUSFFT_ALGO_CUSFFT = 0,
+  CUSFFT_ALGO_FFAST = 1,
+  CUSFFT_ALGO_AUTO = 2
+} cusfft_algorithm;
+
+/* Selects the algorithm. Must be called before the first execute; rebuilds
+ * the internal state. On GPU backends AUTO consults the crossover picker
+ * (mode from CUSFFT_AUTOPICK: "measured" calibrates each shape once by
+ * running both backends, "modeled" compares analytic costs); on CPU
+ * backends AUTO runs the default bucket-hashing algorithm, and FFAST runs
+ * the reference CPU implementation. The CUSFFT_ALGO environment variable
+ * ("cusfft" / "ffast" / "auto") overrides this setting; both variables
+ * are re-read on every rebuild and every multi-device batch (never
+ * latched), and malformed values fail the call with
+ * CUSFFT_INVALID_ARGUMENT. */
+cusfft_status cusfft_set_algorithm(cusfft_handle h, cusfft_algorithm algo);
+
 /* Runs the transform. `input` is n interleaved (re, im) doubles.
  * On entry *count is the capacity of locations/values (pairs); on exit it
  * is the number of recovered coefficients (truncated to the capacity,

@@ -11,6 +11,7 @@
 #include "core/spectrum.hpp"
 #include "core/thread_pool.hpp"
 #include "core/types.hpp"
+#include "cusfft/autopick.hpp"
 #include "cusfft/cluster_plan.hpp"
 #include "cusfft/multi_plan.hpp"
 #include "cusfft/plan.hpp"
@@ -21,6 +22,7 @@
 #include "cusim/metrics.hpp"
 #include "cusim/profiler.hpp"
 #include "psfft/psfft.hpp"
+#include "sfft/ffast.hpp"
 #include "sfft/serial.hpp"
 
 /// Owns whichever backend the plan was created for. The GPU backends own
@@ -37,6 +39,7 @@ struct cusfft_plan_t {
       cusfft::gpu::ShardPolicy::kCostLpt;  // cusfft_set_shard_policy
 
   std::unique_ptr<cusfft::sfft::SerialPlan> serial;
+  std::unique_ptr<cusfft::sfft::FfastPlan> ffast;  // CPU backends, algo FFAST
   std::unique_ptr<cusfft::psfft::PsfftPlan> psfft;
   std::unique_ptr<cusfft::cusim::Device> device;
   std::unique_ptr<cusfft::gpu::GpuPlan> gpu;
@@ -82,6 +85,7 @@ struct cusfft_plan_t {
   cusfft_status rebuild() {
     try {
       serial.reset();
+      ffast.reset();
       psfft.reset();
       gpu.reset();
       multi.reset();
@@ -93,12 +97,26 @@ struct cusfft_plan_t {
       fleet.reset();
       switch (backend) {
         case CUSFFT_BACKEND_SERIAL:
-          serial = std::make_unique<cusfft::sfft::SerialPlan>(params);
+        case CUSFFT_BACKEND_PSFFT: {
+          // CPU backends honor the CUSFFT_ALGO override too (re-read on
+          // every rebuild, never latched). kAuto has no device spec to
+          // price against and falls back to the default bucket hashing;
+          // FFAST runs the reference CPU implementation either way.
+          auto algo = params.algo;
+          if (const auto ov = cusfft::gpu::algo_override_from_env())
+            algo = *ov;
+          if (algo == cusfft::sfft::Algorithm::kFfast) {
+            auto p = params;
+            p.algo = cusfft::sfft::Algorithm::kFfast;
+            ffast = std::make_unique<cusfft::sfft::FfastPlan>(p);
+          } else if (backend == CUSFFT_BACKEND_SERIAL) {
+            serial = std::make_unique<cusfft::sfft::SerialPlan>(params);
+          } else {
+            psfft = std::make_unique<cusfft::psfft::PsfftPlan>(
+                params, cusfft::ThreadPool::global());
+          }
           break;
-        case CUSFFT_BACKEND_PSFFT:
-          psfft = std::make_unique<cusfft::psfft::PsfftPlan>(
-              params, cusfft::ThreadPool::global());
-          break;
+        }
         case CUSFFT_BACKEND_GPU_BASELINE:
         case CUSFFT_BACKEND_GPU_OPTIMIZED: {
           const auto opts = backend == CUSFFT_BACKEND_GPU_OPTIMIZED
@@ -120,7 +138,16 @@ struct cusfft_plan_t {
             multi->set_shard_policy(shard_policy);
           } else {
             device = std::make_unique<cusfft::cusim::Device>();
-            gpu = std::make_unique<cusfft::gpu::GpuPlan>(*device, params,
+            // resolve_algorithm applies the CUSFFT_ALGO override and
+            // sends kAuto through the picker (GpuPlan itself refuses
+            // unresolved kAuto); malformed env values throw
+            // invalid_argument -> CUSFFT_INVALID_ARGUMENT below. The
+            // multi/cluster paths instead resolve per signal inside
+            // execute_mixed.
+            auto resolved = params;
+            resolved.algo = cusfft::gpu::resolve_algorithm(
+                params, device->spec(), opts);
+            gpu = std::make_unique<cusfft::gpu::GpuPlan>(*device, resolved,
                                                          opts);
           }
           break;
@@ -163,6 +190,24 @@ cusfft_status cusfft_set_seed(cusfft_handle h, uint64_t seed) {
   return h->rebuild();
 }
 
+cusfft_status cusfft_set_algorithm(cusfft_handle h, cusfft_algorithm algo) {
+  if (h == nullptr) return CUSFFT_INVALID_ARGUMENT;
+  switch (algo) {
+    case CUSFFT_ALGO_CUSFFT:
+      h->params.algo = cusfft::sfft::Algorithm::kCusfft;
+      break;
+    case CUSFFT_ALGO_FFAST:
+      h->params.algo = cusfft::sfft::Algorithm::kFfast;
+      break;
+    case CUSFFT_ALGO_AUTO:
+      h->params.algo = cusfft::sfft::Algorithm::kAuto;
+      break;
+    default:
+      return CUSFFT_INVALID_ARGUMENT;
+  }
+  return h->rebuild();
+}
+
 cusfft_status cusfft_set_batch_pipeline(cusfft_handle h, int enable) {
   if (h == nullptr) return CUSFFT_INVALID_ARGUMENT;
   h->batch_pipeline = enable;
@@ -181,10 +226,12 @@ cusfft_status cusfft_execute(cusfft_handle h, const double* input,
     cusfft::SparseSpectrum s;
     switch (h->backend) {
       case CUSFFT_BACKEND_SERIAL:
-        s = h->serial->execute(x);
+        s = h->ffast != nullptr ? h->ffast->execute(x)
+                                : h->serial->execute(x);
         break;
       case CUSFFT_BACKEND_PSFFT:
-        s = h->psfft->execute(x);
+        s = h->ffast != nullptr ? h->ffast->execute(x)
+                                : h->psfft->execute(x);
         break;
       default:
         if (h->cplan != nullptr || h->multi != nullptr) {
@@ -242,11 +289,15 @@ cusfft_status cusfft_execute_many(cusfft_handle h, const double* inputs,
     switch (h->backend) {
       case CUSFFT_BACKEND_SERIAL:
         results.reserve(batch);
-        for (const auto& x : xs) results.push_back(h->serial->execute(x));
+        for (const auto& x : xs)
+          results.push_back(h->ffast != nullptr ? h->ffast->execute(x)
+                                                : h->serial->execute(x));
         break;
       case CUSFFT_BACKEND_PSFFT:
         results.reserve(batch);
-        for (const auto& x : xs) results.push_back(h->psfft->execute(x));
+        for (const auto& x : xs)
+          results.push_back(h->ffast != nullptr ? h->ffast->execute(x)
+                                                : h->psfft->execute(x));
         break;
       default: {
         const auto mode = h->batch_pipeline != 0

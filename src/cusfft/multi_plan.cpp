@@ -11,7 +11,9 @@
 #include <utility>
 
 #include "core/timer.hpp"
+#include "cusfft/autopick.hpp"
 #include "cusim/metrics.hpp"
+#include "sfft/ffast.hpp"
 #include "signal/filter.hpp"
 
 namespace cusfft::gpu {
@@ -19,11 +21,15 @@ namespace cusfft::gpu {
 namespace {
 
 /// Everything that makes two Params produce distinct GpuPlans — the
-/// mixed-shape plan cache key.
+/// mixed-shape plan cache key. The algorithm (and the FFAST shape knobs)
+/// are load-bearing members: before they were added, two same-shape
+/// submissions differing only in backend aliased to one plan, so the
+/// second silently ran the first's algorithm (regression-pinned in
+/// test_multigpu.cpp).
 using ShapeKey =
     std::tuple<std::size_t, std::size_t, double, std::size_t, std::size_t,
                std::size_t, double, int, double, double, double, bool,
-               double, std::size_t, double, u64>;
+               double, std::size_t, double, u64, int, std::size_t, double>;
 
 ShapeKey shape_key(const sfft::Params& p) {
   return {p.n,
@@ -41,7 +47,10 @@ ShapeKey shape_key(const sfft::Params& p) {
           p.comb_cst,
           p.comb_rounds,
           p.comb_keep_mult,
-          p.seed};
+          p.seed,
+          static_cast<int>(p.algo),
+          p.ffast_stages,
+          p.ffast_bin_mult};
 }
 
 }  // namespace
@@ -51,6 +60,45 @@ double modeled_signal_cost_s(const sfft::Params& p,
                              const Options& opts) {
   const double cx = static_cast<double>(sizeof(cplx));
   const double n = static_cast<double>(p.n);
+
+  if (p.algo == sfft::Algorithm::kAuto) {
+    // Unresolved shapes are priced at the cheaper backend — what the
+    // per-signal resolution inside execute_mixed will (modeled-mode) pick.
+    sfft::Params q = p;
+    q.algo = sfft::Algorithm::kCusfft;
+    const double cus = modeled_signal_cost_s(q, spec, opts);
+    q.algo = sfft::Algorithm::kFfast;
+    return std::min(cus, modeled_signal_cost_s(q, spec, opts));
+  }
+
+  if (p.algo == sfft::Algorithm::kFfast) {
+    // FFAST: per stage, the subsample gather reads + writes 6*F_s points
+    // and the batched stage FFT streams them once per pass; the peeling
+    // decode is host-side and costs no device time.
+    const double eff_bw =
+        spec.mem_bandwidth_Bps * spec.coalesced_bw_efficiency;
+    const double peak = spec.dp_peak_flops();
+    double bytes = 0.0, flops = 0.0;
+    for (const auto& st :
+         sfft::ffast_stage_chain(p.n, p.ffast_bins(), p.ffast_stages)) {
+      const double planes =
+          static_cast<double>(sfft::kFfastShifts * st.bins);
+      const double passes =
+          std::log2(std::max(2.0, static_cast<double>(st.bins)));
+      bytes += 2.0 * planes * cx;            // gather read + plane write
+      bytes += 2.0 * planes * cx * passes;   // stage FFT read+write / pass
+      bytes += planes * cx;                  // D2H'd planes re-read
+      flops += 5.0 * planes * passes;
+    }
+    double cost = bytes / (eff_bw > 0 ? eff_bw : 1.0);
+    cost += flops / (peak > 0 ? peak : 1.0);
+    if (opts.include_transfer)
+      cost += n * cx /
+                  (spec.pcie_bandwidth_Bps > 0 ? spec.pcie_bandwidth_Bps
+                                               : 1.0) +
+              spec.pcie_latency_s;
+    return cost;
+  }
   const double B = static_cast<double>(p.buckets());
   const double L = static_cast<double>(p.total_loops());
   const double taps = static_cast<double>(
@@ -92,18 +140,22 @@ double modeled_signal_cost_s(const sfft::Params& p,
 
 struct MultiGpuPlan::Impl {
   cusim::DeviceGroup* group = nullptr;
-  sfft::Params params;
+  sfft::Params params;      // as submitted (params() contract; may be kAuto)
+  sfft::Params plan_shape;  // the eager plans' shape: params with kAuto
+                            // defaulted to kCusfft — per-signal resolution
+                            // in execute_mixed decides the real backend
   Options opts;
   ShardPolicy policy = ShardPolicy::kCostLpt;
   std::vector<std::unique_ptr<GpuPlan>> plans;  // one per device, ctor shape
   std::vector<double> weight;  // legacy kUnitGreedy per-device cost
-  /// Mixed-shape plan cache: per device, one GpuPlan per distinct shape
-  /// seen by execute_mixed (the ctor shape reuses `plans`). Built
-  /// serially before shard threads fan out; shard threads only read.
+  /// Mixed-shape plan cache: per device, one GpuPlan per distinct
+  /// RESOLVED shape seen by execute_mixed (the ctor shape reuses
+  /// `plans`). Built serially before shard threads fan out; shard
+  /// threads only read.
   std::vector<std::map<ShapeKey, std::unique_ptr<GpuPlan>>> cache;
 
   GpuPlan& plan_for(std::size_t d, const sfft::Params& p) {
-    if (shape_key(p) == shape_key(params)) return *plans[d];
+    if (shape_key(p) == shape_key(plan_shape)) return *plans[d];
     auto& slot = cache[d][shape_key(p)];
     if (!slot)
       slot = std::make_unique<GpuPlan>(group->device(d), p, opts);
@@ -116,11 +168,18 @@ MultiGpuPlan::MultiGpuPlan(cusim::DeviceGroup& group, sfft::Params params,
     : impl_(std::make_unique<Impl>()) {
   impl_->group = &group;
   impl_->params = params;
+  // GpuPlan refuses unresolved kAuto; the eager per-device plans take the
+  // default backend and the picker's per-signal choices go through the
+  // shape cache (a kFfast pick never aliases back onto these plans — the
+  // algorithm is part of ShapeKey).
+  impl_->plan_shape = params;
+  if (impl_->plan_shape.algo == sfft::Algorithm::kAuto)
+    impl_->plan_shape.algo = sfft::Algorithm::kCusfft;
   impl_->opts = opts;
   impl_->cache.resize(group.size());
   for (std::size_t d = 0; d < group.size(); ++d) {
     impl_->plans.push_back(
-        std::make_unique<GpuPlan>(group.device(d), params, opts));
+        std::make_unique<GpuPlan>(group.device(d), impl_->plan_shape, opts));
     // Legacy kUnitGreedy weight: per-signal time scales with
     // 1/mem_bandwidth, every signal costs the same.
     const double bw = group.device(d).spec().mem_bandwidth_Bps;
@@ -215,6 +274,15 @@ std::vector<SparseSpectrum> MultiGpuPlan::execute_mixed(
   std::vector<sfft::Params> shapes;
   shapes.reserve(batch);
   for (const auto& s : signals) shapes.push_back(s.params);
+  // Per-signal backend resolution — THE kAuto resolution point of the
+  // plan API (GpuPlan refuses unresolved kAuto). Applies the CUSFFT_ALGO
+  // override and, for kAuto shapes, the CUSFFT_AUTOPICK crossover picker
+  // against device 0's spec (resolution must precede shard assignment —
+  // the cost model prices the resolved backend, and heterogeneous fleets
+  // still need one consistent backend per signal for input-order
+  // determinism).
+  for (auto& sh : shapes)
+    sh.algo = resolve_algorithm(sh, group.device(0).spec(), impl_->opts);
   const std::vector<std::size_t> assign = shard_assignment(shapes);
 
   // Each device's shard, grouped by shape in first-appearance order: one
@@ -228,12 +296,15 @@ std::vector<SparseSpectrum> MultiGpuPlan::execute_mixed(
   for (std::size_t i = 0; i < batch; ++i) {
     const std::size_t d = assign[i];
     ++shard_size[d];
-    const ShapeKey key = shape_key(signals[i].params);
+    // Group by the RESOLVED shape: two kAuto signals picked onto
+    // different backends land in different groups (and different cached
+    // plans) even though their submitted Params were identical.
+    const ShapeKey key = shape_key(shapes[i]);
     auto it = std::find_if(
         groups[d].begin(), groups[d].end(),
         [&](const Group& g) { return shape_key(g.p) == key; });
     if (it == groups[d].end()) {
-      groups[d].push_back(Group{signals[i].params, {i}});
+      groups[d].push_back(Group{shapes[i], {i}});
     } else {
       it->idx.push_back(i);
     }
@@ -352,6 +423,16 @@ void GpuFleetStats::to_metrics(cusim::MetricsRegistry& reg) const {
   reg.counter("cusfft_fleet_batches_total").inc();
   reg.counter("cusfft_signals_total").add(signals);
   reg.counter("cusfft_candidates_total").add(candidates);
+  {
+    // Per-backend signal counts from the per-signal records — under
+    // execute_mixed a single fleet batch can mix backends.
+    std::map<sfft::Algorithm, std::size_t> by_algo;
+    for (const GpuSignalStats& sig : per_signal) ++by_algo[sig.algo];
+    for (const auto& [algo, count] : by_algo)
+      reg.counter(MetricsRegistry::label("cusfft_algo_signals_total", "algo",
+                                         sfft::to_string(algo)))
+          .add(count);
+  }
   if (pipelined) reg.counter("cusfft_batches_pipelined_total").inc();
   reg.histogram("cusfft_fleet_model_ms").observe(model_ms);
   reg.histogram("cusfft_fleet_host_ms").observe(host_ms);

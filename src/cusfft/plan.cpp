@@ -1,6 +1,7 @@
 #include "cusfft/plan.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +14,7 @@
 #include "cusim/metrics.hpp"
 #include "custhrust/reduce.hpp"
 #include "custhrust/sort.hpp"
+#include "sfft/ffast.hpp"
 #include "sfft/serial.hpp"
 #include "sfft/steps.hpp"
 #include "signal/filter.hpp"
@@ -75,6 +77,17 @@ struct GpuPlan::Impl {
   std::unique_ptr<cufftsim::Plan> fft_single;   // (B, 1) when !batched_fft
   DeviceBuffer<cplx> d_z;                       // B staging for !batched_fft
 
+  // FFAST backend state (Params::algo == kFfast): the geometric stage
+  // chain, one device buffer of kFfastShifts planes per stage, and one
+  // batched cuFFT-sim plan per stage (batch = kFfastShifts, sizes differ
+  // per stage). The layout matches sfft::FfastPlan exactly so the
+  // downloaded planes feed the shared host-side peeling decoder
+  // (sfft::ffast_peel); tests pin identical support vs the CPU plan and
+  // values to FFT rounding (the stage FFTs run through cufftsim here).
+  std::vector<sfft::FfastStage> ffast_stages;
+  std::vector<DeviceBuffer<cplx>> d_ffast;      // per stage: 6 * bins
+  std::vector<std::unique_ptr<cufftsim::Plan>> ffast_ffts;
+
   // sFFT 2.0 Comb prefilter state (Params::comb).
   std::size_t comb_W = 0;
   std::vector<u64> comb_taus;
@@ -97,6 +110,7 @@ struct GpuPlan::Impl {
   std::vector<StreamId> home_streams;
   DeviceBuffer<cplx> d_signal_alt, d_buckets_alt, d_z_alt;
   DeviceBuffer<u32> d_score_alt, d_num_hits_alt, d_comb_approved_alt;
+  std::vector<DeviceBuffer<cplx>> d_ffast_alt;  // FFAST parity-1 planes
 
   // Active per-signal buffer bindings: kernels address mutable per-signal
   // state through these so the pipelined path can flip whole sets by
@@ -108,6 +122,7 @@ struct GpuPlan::Impl {
   DeviceBuffer<u32>* score_ = nullptr;
   DeviceBuffer<u32>* num_hits_ = nullptr;
   DeviceBuffer<u32>* comb_approved_ = nullptr;
+  std::vector<DeviceBuffer<cplx>>* ffast_ = nullptr;
 
   void bind_buffers(std::size_t parity) {
     const bool alt = parity != 0;
@@ -117,6 +132,7 @@ struct GpuPlan::Impl {
     score_ = alt ? &d_score_alt : &d_score;
     num_hits_ = alt ? &d_num_hits_alt : &d_num_hits;
     comb_approved_ = alt ? &d_comb_approved_alt : &d_comb_approved;
+    ffast_ = alt ? &d_ffast_alt : &d_ffast;
   }
 
   void ensure_pipeline_state() {
@@ -126,6 +142,13 @@ struct GpuPlan::Impl {
     }
     if (d_signal_alt.size() == 0) {
       d_signal_alt = DeviceBuffer<cplx>(n);
+      if (p.algo == sfft::Algorithm::kFfast) {
+        // The FFAST front stage only touches the signal and its stage
+        // planes; none of the cusFFT scratch exists on this plan.
+        for (const auto& st : ffast_stages)
+          d_ffast_alt.emplace_back(sfft::kFfastShifts * st.bins);
+        return;
+      }
       d_buckets_alt = DeviceBuffer<cplx>(L * B);
       d_z_alt = DeviceBuffer<cplx>(B);
       d_score_alt = DeviceBuffer<u32>(n);
@@ -535,6 +558,21 @@ struct GpuPlan::Impl {
   static constexpr const char* kPhaseVote = "c cutoff+vote";
   static constexpr const char* kPhaseEstimate = "d estimate+d2h";
 
+  /// FFAST backend phase labels (same four boundary events, so the stats
+  /// assembly is shape-identical; the names make the backend visible in a
+  /// capture profile and in cusfft_phase_ms{phase=...}).
+  static constexpr const char* kPhaseFfastBin = "b ffast subsample+fft";
+  static constexpr const char* kPhaseFfastD2h = "c ffast d2h";
+  static constexpr const char* kPhaseFfastPeel = "d ffast peel";
+
+  /// The four phase-span keys of one signal under `algo`, in boundary
+  /// order (start->setup->binned->voted->done).
+  static std::array<const char*, 4> phase_labels(sfft::Algorithm algo) {
+    if (algo == sfft::Algorithm::kFfast)
+      return {kPhaseTransfer, kPhaseFfastBin, kPhaseFfastD2h, kPhaseFfastPeel};
+    return {kPhaseTransfer, kPhaseBin, kPhaseVote, kPhaseEstimate};
+  }
+
   /// The full kernel sequence for one signal, inside an open capture.
   /// execute() wraps it with stats; execute_many() calls it per signal,
   /// reusing every piece of device state. Under ctx.pipelined the whole
@@ -545,6 +583,8 @@ struct GpuPlan::Impl {
   /// bit-identical regardless of ctx.
   SparseSpectrum exec_signal(std::span<const cplx> x, PhaseEvents& ev,
                              const SignalCtx& ctx) {
+    if (p.algo == sfft::Algorithm::kFfast)
+      return exec_signal_ffast(x, ev, ctx);
     cusim::Device& dev = *this->dev;
     if (x.size() != n)
       throw std::invalid_argument("GpuPlan::execute: signal size mismatch");
@@ -703,17 +743,139 @@ struct GpuPlan::Impl {
               });
     return out;
   }
+
+  /// The FFAST backend's sequence for one signal: per-stage subsample
+  /// kernels + batched stage FFTs on the device, then D2H of the (tiny)
+  /// plane buffers and the host-side peeling decode — the decoder is
+  /// branch-heavy and data-dependent, exactly the shape Section IV argues
+  /// off the GPU, and at O(sum_s F_s) buckets it is not the bottleneck.
+  /// Honors the same SignalCtx contract as exec_signal; the back "stage"
+  /// (d2h + peel) touches only parity-local state, so pipelined signals
+  /// need no back_dep chaining.
+  SparseSpectrum exec_signal_ffast(std::span<const cplx> x, PhaseEvents& ev,
+                                   const SignalCtx& ctx) {
+    cusim::Device& dev = *this->dev;
+    if (x.size() != n)
+      throw std::invalid_argument("GpuPlan::execute: signal size mismatch");
+    dev.set_graph_domain(graph_salt);
+    bind_buffers(ctx.parity);
+    const StreamId hs = ctx.s;
+    auto annotate = [&](const char* name) {
+      return ctx.pipelined ? dev.annotate_phase(name, hs)
+                           : dev.annotate_phase(name);
+    };
+    ev.start = annotate(kPhaseTransfer);
+    if (opts.include_transfer) {
+      dev.upload(*sig_, x, hs);
+      if (!ctx.pipelined) dev.sync_point();
+    } else {
+      std::copy(x.begin(), x.end(), sig_->host().begin());
+    }
+
+    ev.setup = annotate(kPhaseFfastBin);
+    // Plane c of stage s gathers x[(m * (n/F_s) + c) mod n] — the
+    // shift-major layout sfft::FfastPlan uses, one kernel per stage
+    // covering all kFfastShifts planes. The gathers are strided, but each
+    // stage reads only 6*F_s of the n samples.
+    for (std::size_t si = 0; si < ffast_stages.size(); ++si) {
+      const std::size_t bins = ffast_stages[si].bins;
+      const std::size_t step = n / bins;
+      const std::size_t elems = sfft::kFfastShifts * bins;
+      dev.launch(
+          LaunchCfg::for_elements("ffast_subsample", elems, 256, hs)
+              .cache(si),
+          [&, si, bins, step, elems](ThreadCtx& t) {
+            const u64 i = t.global_id();
+            if (i >= elems) return;
+            const u64 c = i / bins, m = i % bins;
+            (*ffast_)[si].store(t, i,
+                                sig_->load(t, (m * step + c) & mask));
+          });
+      ffast_ffts[si]->execute((*ffast_)[si], cufftsim::Direction::kForward,
+                              hs);
+    }
+    if (!ctx.pipelined) dev.sync_point();
+    ev.binned = annotate(kPhaseFfastD2h);
+
+    // ---- D2H of every stage's planes ----
+    const sfft::FfastStage& last = ffast_stages.back();
+    const std::size_t total = last.offset + sfft::kFfastShifts * last.bins;
+    dev.note_transfer("d2h", static_cast<double>(total) * sizeof(cplx), hs);
+    std::vector<cplx> planes(total);
+    for (std::size_t si = 0; si < ffast_stages.size(); ++si) {
+      const auto host = (*ffast_)[si].host();
+      std::copy(host.begin(), host.end(),
+                planes.begin() +
+                    static_cast<std::ptrdiff_t>(ffast_stages[si].offset));
+    }
+    ev.voted = annotate(kPhaseFfastPeel);
+
+    // ---- Host-side peeling decode (no device work: the phase span is
+    // ~0 on the modeled timeline; the decode cost shows up in host_ms) ----
+    SparseSpectrum out = sfft::ffast_peel(planes, ffast_stages, n);
+    if (ctx.pipelined) {
+      ev.done = dev.record_event(hs);
+      dev.close_phase(hs, ev.done);
+    } else {
+      ev.done = dev.record_event();
+    }
+    return out;
+  }
 };
 
 GpuPlan::GpuPlan(cusim::Device& dev, sfft::Params params, Options opts)
     : impl_(std::make_unique<Impl>()) {
   params.validate();
+  if (params.algo == sfft::Algorithm::kAuto)
+    throw std::invalid_argument(
+        "GpuPlan: Algorithm::kAuto must be resolved before plan "
+        "construction (MultiGpuPlan::execute_mixed resolves it per signal; "
+        "see cusfft/autopick.hpp)");
   Impl& im = *impl_;
   im.dev = &dev;
   im.p = params;
   im.opts = opts;
   im.n = params.n;
   im.mask = im.n - 1;
+
+  if (params.algo == sfft::Algorithm::kFfast) {
+    // FFAST plan: the stage chain, one plane buffer + batched FFT plan per
+    // stage, and the signal buffer. None of the cusFFT filter /
+    // permutation / vote state exists on this plan — the backends share
+    // only the Params and the device.
+    im.ffast_stages = sfft::ffast_stage_chain(im.n, params.ffast_bins(),
+                                              params.ffast_stages);
+    im.B = im.ffast_stages.front().bins;
+    {
+      const double cxb = sizeof(cplx);
+      double bytes = im.n * cxb;  // signal
+      for (const auto& st : im.ffast_stages)
+        bytes += 2.0 * sfft::kFfastShifts * st.bins * cxb;  // planes + FFT
+      if (bytes > static_cast<double>(dev.spec().global_mem_bytes))
+        throw std::runtime_error(
+            "GpuPlan: plan needs " + std::to_string(bytes / 1e9) +
+            " GB device memory, exceeding the device's " +
+            std::to_string(dev.spec().global_mem_bytes / 1e9) + " GB");
+    }
+    // The FFAST graph domain: the algorithm tag plus everything that
+    // shapes a cacheable kernel (n and the stage chain). Deterministic —
+    // no permutation draws to fold in.
+    SaltHash sh;
+    sh.mix(static_cast<u64>(params.algo));
+    sh.mix(im.n);
+    for (const auto& st : im.ffast_stages) sh.mix(st.bins);
+    im.graph_salt = sh.h;
+
+    im.d_signal = DeviceBuffer<cplx>(im.n);
+    for (const auto& st : im.ffast_stages) {
+      im.d_ffast.emplace_back(sfft::kFfastShifts * st.bins);
+      im.ffast_ffts.push_back(std::make_unique<cufftsim::Plan>(
+          dev, st.bins, sfft::kFfastShifts));
+    }
+    im.bind_buffers(0);
+    return;
+  }
+
   im.B = params.buckets();
   im.L = params.total_loops();
   if (im.L > kMaxLoops)
@@ -768,6 +930,7 @@ GpuPlan::GpuPlan(cusim::Device& dev, sfft::Params params, Options opts)
     // when all of it matches (kernel shapes, permutation draws, option
     // toggles); anything else is namespaced apart.
     SaltHash sh;
+    sh.mix(static_cast<u64>(params.algo));
     sh.mix(im.n);
     sh.mix(im.B);
     sh.mix(im.L);
@@ -868,19 +1031,21 @@ SparseSpectrum GpuPlan::execute(std::span<const cplx> x,
   st.model_ms = dev.elapsed_model_ms();
   st.host_ms = wall.ms();
   st.candidates = out.size();
+  st.algo = im.p.algo;
   st.step_model_ms.clear();
   for (const auto& [name, rep] : dev.report())
     st.step_model_ms[step_of_kernel(name)] += rep.solo_s * 1e3;
   // Overlap-aware phase spans from the timeline events.
+  const auto labels = Impl::phase_labels(im.p.algo);
   const double t0 = dev.event_time_ms(ev.start);
   const double t1 = dev.event_time_ms(ev.setup);
   const double t2 = dev.event_time_ms(ev.binned);
   const double t3 = dev.event_time_ms(ev.voted);
   st.phase_span_ms.clear();
-  st.phase_span_ms[Impl::kPhaseTransfer] = t1 - t0;
-  st.phase_span_ms[Impl::kPhaseBin] = t2 - t1;
-  st.phase_span_ms[Impl::kPhaseVote] = t3 - t2;
-  st.phase_span_ms[Impl::kPhaseEstimate] = st.model_ms - t3;
+  st.phase_span_ms[labels[0]] = t1 - t0;
+  st.phase_span_ms[labels[1]] = t2 - t1;
+  st.phase_span_ms[labels[2]] = t3 - t2;
+  st.phase_span_ms[labels[3]] = st.model_ms - t3;
   st.to_metrics(cusim::MetricsRegistry::global());
   return out;
 }
@@ -984,8 +1149,10 @@ std::vector<SparseSpectrum> GpuPlan::run_batch(
   st.signals = xs.size();
   st.candidates = candidates;
   st.pipelined = pipelined;
+  st.algo = im.p.algo;
   st.per_signal.clear();
   st.per_signal.reserve(xs.size());
+  const auto labels = Impl::phase_labels(im.p.algo);
   for (std::size_t i = 0; i < xs.size(); ++i) {
     // Each signal's window from its own events — coherent under overlap.
     const double t0 = dev.event_time_ms(evs[i].start);
@@ -997,10 +1164,11 @@ std::vector<SparseSpectrum> GpuPlan::run_batch(
     sig.start_ms = t0;
     sig.end_ms = t4;
     sig.candidates = out[i].size();
-    sig.phase_span_ms[Impl::kPhaseTransfer] = t1 - t0;
-    sig.phase_span_ms[Impl::kPhaseBin] = t2 - t1;
-    sig.phase_span_ms[Impl::kPhaseVote] = t3 - t2;
-    sig.phase_span_ms[Impl::kPhaseEstimate] = t4 - t3;
+    sig.algo = im.p.algo;
+    sig.phase_span_ms[labels[0]] = t1 - t0;
+    sig.phase_span_ms[labels[1]] = t2 - t1;
+    sig.phase_span_ms[labels[2]] = t3 - t2;
+    sig.phase_span_ms[labels[3]] = t4 - t3;
     st.per_signal.push_back(std::move(sig));
   }
   if (fresh_capture) st.to_metrics(cusim::MetricsRegistry::global());
@@ -1021,6 +1189,9 @@ void observe_signal_metrics(cusim::MetricsRegistry& reg,
 void GpuExecStats::to_metrics(cusim::MetricsRegistry& reg) const {
   using cusim::MetricsRegistry;
   reg.counter("cusfft_executes_total").inc();
+  reg.counter(MetricsRegistry::label("cusfft_algo_executes_total", "algo",
+                                     sfft::to_string(algo)))
+      .inc();
   reg.counter("cusfft_candidates_total").add(candidates);
   reg.histogram("cusfft_execute_model_ms").observe(model_ms);
   reg.histogram("cusfft_execute_host_ms").observe(host_ms);
@@ -1039,6 +1210,9 @@ void GpuBatchStats::to_metrics(cusim::MetricsRegistry& reg,
   reg.counter("cusfft_batches_total").inc();
   if (pipelined) reg.counter("cusfft_batches_pipelined_total").inc();
   reg.counter("cusfft_signals_total").add(signals);
+  reg.counter(cusim::MetricsRegistry::label("cusfft_algo_signals_total",
+                                            "algo", sfft::to_string(algo)))
+      .add(signals);
   reg.counter("cusfft_candidates_total").add(candidates);
   reg.histogram("cusfft_batch_model_ms").observe(model_ms);
   reg.histogram("cusfft_batch_host_ms").observe(host_ms);
@@ -1048,6 +1222,7 @@ void GpuBatchStats::to_metrics(cusim::MetricsRegistry& reg,
 
 const char* step_of_kernel(const std::string& k) {
   auto starts = [&](const char* pre) { return k.rfind(pre, 0) == 0; };
+  if (starts("ffast_")) return sfft::ffast_step::kSubsample;
   if (starts("comb_")) return sfft::step::kComb;
   if (starts("pf_")) return sfft::step::kPermFilter;
   if (starts("cufft_") || starts("bucket_copy")) return sfft::step::kSubFft;

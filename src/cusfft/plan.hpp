@@ -48,6 +48,9 @@ struct GpuSignalStats {
   std::map<std::string, double> phase_span_ms;  // same keys as GpuExecStats;
                                                 // spans tile [start, end)
   std::size_t candidates = 0;
+  /// Backend that ran this signal (resolved — never kAuto). Under
+  /// MultiGpuPlan::execute_mixed each signal records its own pick.
+  sfft::Algorithm algo = sfft::Algorithm::kCusfft;
 };
 
 /// Publishes one signal's window into the always-on registry: its
@@ -65,6 +68,8 @@ struct GpuBatchStats {
   std::size_t signals = 0;
   std::size_t candidates = 0;  // summed over the batch
   bool pipelined = false;      // schedule the batch actually ran under
+  /// Backend this plan's batch ran (resolved — never kAuto).
+  sfft::Algorithm algo = sfft::Algorithm::kCusfft;
   /// Always index-aligned with the input batch: per_signal[i] (like the
   /// returned spectra vector) describes xs[i] regardless of the schedule
   /// — serialized, pipelined, or sharded across a device fleet
@@ -91,6 +96,9 @@ struct GpuExecStats {
                                                 // between phase boundaries
                                                 // (overlap-aware)
   std::size_t candidates = 0;  // locations that survived voting
+  /// Backend this execute ran (resolved — never kAuto). Also keys the
+  /// cusfft_algo_executes_total{algo=...} counter in to_metrics.
+  sfft::Algorithm algo = sfft::Algorithm::kCusfft;
 
   /// Folds this execute into the always-on registry (execute counter,
   /// model/host latency histograms, phase-span histograms). execute()

@@ -10,9 +10,14 @@
 namespace cusfft::sfft {
 
 std::size_t comb_width(std::size_t n, std::size_t k, double comb_cst) {
-  const u64 raw = next_pow2(std::max<u64>(
-      16, static_cast<u64>(comb_cst * static_cast<double>(k))));
-  return static_cast<std::size_t>(std::min<u64>(raw, n / 2));
+  const u64 cap = n / 2;  // a power of two whenever n is
+  const double want = comb_cst * static_cast<double>(k);
+  // Clamp before the u64 cast — past 2^63 the cast is UB (comb_cst =
+  // 1e300 wrapped instead of saturating at n/2).
+  if (!(want < static_cast<double>(cap)))
+    return static_cast<std::size_t>(cap);
+  const u64 raw = next_pow2(std::max<u64>(16, static_cast<u64>(want)));
+  return static_cast<std::size_t>(std::min<u64>(raw, cap));
 }
 
 CombFilter run_comb_filter(std::span<const cplx> x, std::size_t W,

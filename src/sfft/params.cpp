@@ -9,11 +9,31 @@
 
 namespace cusfft::sfft {
 
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kCusfft: return "cusfft";
+    case Algorithm::kFfast: return "ffast";
+    case Algorithm::kAuto: return "auto";
+  }
+  return "cusfft";
+}
+
+std::optional<Algorithm> parse_algorithm(std::string_view name) {
+  if (name == "cusfft") return Algorithm::kCusfft;
+  if (name == "ffast") return Algorithm::kFfast;
+  if (name == "auto") return Algorithm::kAuto;
+  return std::nullopt;
+}
+
 std::size_t Params::buckets() const {
   const double logn = std::log2(static_cast<double>(n));
   const double raw =
       bcst * std::sqrt(static_cast<double>(n) * static_cast<double>(k) /
                        std::max(logn, 1.0));
+  // Clamp to n while still in the double domain: hostile constants (bcst =
+  // 1e300) push raw past 2^63 where the bare u64 cast is UB — it silently
+  // produced B = 8 instead of the intended B = n.
+  if (!(raw < static_cast<double>(n))) return n;  // n is a power of two
   // Round to the nearest power of two (both the subsampled FFT and the
   // GPU loop partition require B = 2^m).
   const u64 lo = prev_pow2(std::max<u64>(4, static_cast<u64>(raw)));
@@ -31,12 +51,15 @@ std::size_t Params::threshold() const {
 }
 
 std::size_t Params::cutoff() const {
-  const auto B = buckets();
-  const auto c = static_cast<std::size_t>(
-      std::max(1.0, cutoff_mult * static_cast<double>(k)));
   // Selecting more than half the buckets would make the reverse-hash vote
-  // regions cover most of [0, n) — cap in the dense regime.
-  return std::min(c, std::max<std::size_t>(1, B / 2));
+  // regions cover most of [0, n) — cap in the dense regime. The cap is
+  // applied before the u64 cast: past 2^63 that cast is UB, and
+  // cutoff_mult = 1e300 came back as cutoff() == 0 (a silently empty
+  // spectrum) instead of the cap.
+  const std::size_t cap = std::max<std::size_t>(1, buckets() / 2);
+  const double want = std::max(1.0, cutoff_mult * static_cast<double>(k));
+  if (!(want < static_cast<double>(cap))) return cap;
+  return static_cast<std::size_t>(want);
 }
 
 std::size_t Params::comb_w() const {
@@ -44,8 +67,18 @@ std::size_t Params::comb_w() const {
 }
 
 std::size_t Params::comb_keep() const {
-  return static_cast<std::size_t>(
-      std::max(1.0, comb_keep_mult * static_cast<double>(k)));
+  // keep > comb_w() is legal (the comb filter clamps to its bin count);
+  // capping at n here just keeps the u64 cast defined for huge multipliers.
+  const double want = std::max(1.0, comb_keep_mult * static_cast<double>(k));
+  if (!(want < static_cast<double>(n))) return n;
+  return static_cast<std::size_t>(want);
+}
+
+std::size_t Params::ffast_bins() const {
+  const double want = ffast_bin_mult * static_cast<double>(k);
+  if (!(want < static_cast<double>(n))) return n;  // n is a power of two
+  const u64 raw = next_pow2(std::max<u64>(8, static_cast<u64>(want)));
+  return static_cast<std::size_t>(std::min<u64>(raw, n));
 }
 
 void Params::validate() const {
@@ -62,10 +95,20 @@ void Params::validate() const {
   if (threshold() > loops_loc)
     throw std::invalid_argument(
         "sfft::Params: vote threshold exceeds location loops");
-  if (bcst <= 0.0 || cutoff_mult <= 0.0)
+  // !(x > 0) rather than x <= 0: NaN fails every ordered comparison, so
+  // the old spelling waved NaN constants straight through validate().
+  if (!(bcst > 0.0) || !(cutoff_mult > 0.0))
     throw std::invalid_argument("sfft::Params: constants must be positive");
-  if (comb && (comb_cst <= 0.0 || comb_rounds == 0 || comb_keep_mult <= 0.0))
+  if (comb &&
+      (!(comb_cst > 0.0) || comb_rounds == 0 || !(comb_keep_mult > 0.0)))
     throw std::invalid_argument("sfft::Params: bad comb configuration");
+  if (algo != Algorithm::kCusfft && algo != Algorithm::kFfast &&
+      algo != Algorithm::kAuto)
+    throw std::invalid_argument("sfft::Params: unknown algorithm");
+  if (ffast_stages == 0 || ffast_stages > 8)
+    throw std::invalid_argument("sfft::Params: need 1..8 FFAST stages");
+  if (!(ffast_bin_mult > 0.0))
+    throw std::invalid_argument("sfft::Params: constants must be positive");
 }
 
 }  // namespace cusfft::sfft

@@ -5,11 +5,30 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <string_view>
 
 #include "core/types.hpp"
 #include "signal/filter.hpp"
 
 namespace cusfft::sfft {
+
+/// Which sparse-FFT backend a plan runs. kCusfft is the paper's
+/// bucket-hashing sFFT (the default); kFfast is the FFAST-style
+/// aliasing/peeling backend (sfft/ffast.hpp), which wins at low k; kAuto
+/// defers the choice to the crossover picker (cusfft/autopick.hpp) and is
+/// resolved per signal inside MultiGpuPlan::execute_mixed — GpuPlan itself
+/// only accepts a resolved algorithm.
+enum class Algorithm { kCusfft = 0, kFfast = 1, kAuto = 2 };
+
+/// Stable lowercase name ("cusfft" / "ffast" / "auto") — the spelling used
+/// by CUSFFT_ALGO, --algo, metrics labels, and crossover.csv.
+const char* to_string(Algorithm a);
+
+/// Inverse of to_string; nullopt for anything else (callers own the
+/// error convention: usage-exit in the benches, typed throw in the
+/// library, CUSFFT_INVALID_ARGUMENT in the C API).
+std::optional<Algorithm> parse_algorithm(std::string_view name);
 
 struct Params {
   std::size_t n = 0;  // signal size, power of two
@@ -47,6 +66,18 @@ struct Params {
 
   u64 seed = 0xC0FFEE;  // seeds the per-execution permutation draws
 
+  /// Backend selection. Part of every plan-cache shape key: two configs
+  /// that differ only here must never share a plan.
+  Algorithm algo = Algorithm::kCusfft;
+
+  /// FFAST backend: number of aliasing stages d (geometric bin-doubling
+  /// chain F, 2F, 4F, ...; see sfft/ffast.hpp).
+  std::size_t ffast_stages = 3;
+
+  /// FFAST backend: per-stage bin constant — each stage subsamples to
+  /// F = next_pow2(ffast_bin_mult * k) bins, clamped to [8, n].
+  double ffast_bin_mult = 4.0;
+
   /// Derived bucket count B (power of two, clamped to [4, n]).
   std::size_t buckets() const;
 
@@ -63,6 +94,9 @@ struct Params {
 
   /// Bins approved per comb round.
   std::size_t comb_keep() const;
+
+  /// Derived FFAST per-stage bin count F (power of two in [8, n]).
+  std::size_t ffast_bins() const;
 
   /// Throws std::invalid_argument unless the configuration is usable.
   void validate() const;

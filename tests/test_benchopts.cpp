@@ -418,6 +418,73 @@ TEST(BenchOptsDeathTest, EmptyServeOutFlagValueExits) {
               ::testing::ExitedWithCode(2), "non-empty path");
 }
 
+TEST(BenchOpts, AlgoFlagEnvAndUnlatchedReRead) {
+  ::unsetenv("CUSFFT_ALGO");
+  ::unsetenv("CUSFFT_AUTOPICK");
+  const char* none[] = {"bench"};
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).algo,
+            sfft::Algorithm::kCusfft);
+
+  const char* argv[] = {"bench", "--algo", "ffast"};
+  EXPECT_EQ(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                             const_cast<char**>(argv))
+                .algo,
+            sfft::Algorithm::kFfast);
+
+  // The environment is re-read on every parse (no latching), and the flag
+  // wins over the environment.
+  ::setenv("CUSFFT_ALGO", "auto", 1);
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).algo,
+            sfft::Algorithm::kAuto);
+  ::setenv("CUSFFT_ALGO", "ffast", 1);
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).algo,
+            sfft::Algorithm::kFfast);
+  const char* cli[] = {"bench", "--algo", "cusfft"};
+  EXPECT_EQ(BenchOpts::parse(static_cast<int>(std::size(cli)),
+                             const_cast<char**>(cli))
+                .algo,
+            sfft::Algorithm::kCusfft);
+  ::unsetenv("CUSFFT_ALGO");
+  EXPECT_EQ(BenchOpts::parse(1, const_cast<char**>(none)).algo,
+            sfft::Algorithm::kCusfft);
+}
+
+TEST(BenchOptsDeathTest, MalformedAlgoEnvExits) {
+  ::setenv("CUSFFT_ALGO", "fastest", 1);
+  const char* argv[] = {"bench"};
+  EXPECT_EXIT(BenchOpts::parse(1, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "CUSFFT_ALGO");
+  ::unsetenv("CUSFFT_ALGO");
+}
+
+TEST(BenchOptsDeathTest, MalformedAlgoFlagExits) {
+  const char* argv[] = {"bench", "--algo", "FFAST"};  // names are lowercase
+  EXPECT_EXIT(BenchOpts::parse(static_cast<int>(std::size(argv)),
+                               const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "--algo");
+}
+
+TEST(BenchOptsDeathTest, MalformedAutopickEnvExits) {
+  // CUSFFT_AUTOPICK is consumed by the library picker, but the bench
+  // validates it at parse time so a typo dies with usage instead of deep
+  // inside the first auto-picked execute.
+  ::setenv("CUSFFT_AUTOPICK", "guess", 1);
+  const char* argv[] = {"bench"};
+  EXPECT_EXIT(BenchOpts::parse(1, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "CUSFFT_AUTOPICK");
+  ::unsetenv("CUSFFT_AUTOPICK");
+}
+
+TEST(BenchOpts, AutopickEnvAcceptedValuesParse) {
+  const char* none[] = {"bench"};
+  for (const char* v : {"measured", "modeled"}) {
+    ::setenv("CUSFFT_AUTOPICK", v, 1);
+    EXPECT_NO_FATAL_FAILURE(BenchOpts::parse(1, const_cast<char**>(none)))
+        << v;
+  }
+  ::unsetenv("CUSFFT_AUTOPICK");
+}
+
 TEST(PaperParams, FollowsPaperRegimeByDefault) {
   ::unsetenv("CUSFFT_BCST");
   ::unsetenv("CUSFFT_LOOPS_LOC");

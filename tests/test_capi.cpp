@@ -701,6 +701,121 @@ TEST(CApi, MetricsWriteAndReset) {
   }
 }
 
+// Reads cusfft_algo_executes_total{algo="<name>"} from the global metrics
+// snapshot — the observable that proves which backend actually ran.
+double algo_execs(const char* algo_name) {
+  size_t len = 0;
+  EXPECT_EQ(cusfft_metrics_json(nullptr, 0, &len), CUSFFT_SUCCESS);
+  std::string doc(len, '\0');
+  EXPECT_EQ(cusfft_metrics_json(doc.data(), doc.size(), &len),
+            CUSFFT_SUCCESS);
+  cusfft::json::Value v;
+  std::string err;
+  EXPECT_TRUE(cusfft::json::parse(doc.c_str(), v, &err)) << err;
+  const cusfft::json::Value* counters = v.find("counters");
+  if (counters == nullptr) return 0.0;
+  return counters->number_or(
+      std::string("cusfft_algo_executes_total{algo=\"") + algo_name + "\"}",
+      0.0);
+}
+
+cusfft::SparseSpectrum capi_execute(cusfft_handle h, const CWorkload& w) {
+  std::vector<uint64_t> locs(4 * w.k);
+  std::vector<double> vals(2 * 4 * w.k);
+  std::size_t count = locs.size();
+  EXPECT_EQ(cusfft_execute(h, reinterpret_cast<const double*>(w.x.data()),
+                           locs.data(), vals.data(), &count),
+            CUSFFT_SUCCESS);
+  cusfft::SparseSpectrum got;
+  for (std::size_t i = 0; i < count; ++i)
+    got.push_back({locs[i], cplx{vals[2 * i], vals[2 * i + 1]}});
+  return got;
+}
+
+TEST(CApi, SetAlgorithmRoundTripsOnEveryBackend) {
+  ::unsetenv("CUSFFT_ALGO");
+  const auto w = make_workload(1 << 12, 8, 424);
+  for (const cusfft_backend be :
+       {CUSFFT_BACKEND_SERIAL, CUSFFT_BACKEND_PSFFT,
+        CUSFFT_BACKEND_GPU_OPTIMIZED}) {
+    cusfft_handle h = nullptr;
+    ASSERT_EQ(cusfft_plan(&h, w.n, w.k, be), CUSFFT_SUCCESS);
+    ASSERT_EQ(cusfft_set_algorithm(h, CUSFFT_ALGO_FFAST), CUSFFT_SUCCESS);
+    EXPECT_DOUBLE_EQ(
+        cusfft::location_recall(capi_execute(h, w), w.oracle, w.k), 1.0)
+        << "ffast on backend " << be;
+    ASSERT_EQ(cusfft_set_algorithm(h, CUSFFT_ALGO_CUSFFT), CUSFFT_SUCCESS);
+    EXPECT_DOUBLE_EQ(
+        cusfft::location_recall(capi_execute(h, w), w.oracle, w.k), 1.0)
+        << "cusfft on backend " << be;
+    EXPECT_EQ(cusfft_set_algorithm(h, static_cast<cusfft_algorithm>(42)),
+              CUSFFT_INVALID_ARGUMENT);
+    cusfft_destroy(h);
+  }
+
+  // AUTO resolves through the crossover picker on the GPU backend (CPU
+  // backends have no device spec to price against and fall back to the
+  // default bucket hashing).
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, w.n, w.k, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+  ASSERT_EQ(cusfft_set_algorithm(h, CUSFFT_ALGO_AUTO), CUSFFT_SUCCESS);
+  EXPECT_DOUBLE_EQ(
+      cusfft::location_recall(capi_execute(h, w), w.oracle, w.k), 1.0);
+  cusfft_destroy(h);
+}
+
+TEST(CApi, AlgoEnvMalformedIsInvalidArgumentNeverLatched) {
+  ::setenv("CUSFFT_ALGO", "fastest", 1);
+  cusfft_handle h = nullptr;
+  EXPECT_EQ(cusfft_plan(&h, 1 << 12, 8, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_INVALID_ARGUMENT);
+  EXPECT_EQ(h, nullptr);
+  EXPECT_EQ(cusfft_plan(&h, 1 << 12, 8, CUSFFT_BACKEND_SERIAL),
+            CUSFFT_INVALID_ARGUMENT);
+
+  // The environment is re-read on every rebuild, never latched: clearing
+  // it makes the identical call succeed, and re-poisoning it fails the
+  // next rebuild on a live handle.
+  ::unsetenv("CUSFFT_ALGO");
+  ASSERT_EQ(cusfft_plan(&h, 1 << 12, 8, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+  ::setenv("CUSFFT_ALGO", "fastest", 1);
+  EXPECT_EQ(cusfft_set_seed(h, 7), CUSFFT_INVALID_ARGUMENT);
+  ::unsetenv("CUSFFT_ALGO");
+  EXPECT_EQ(cusfft_set_seed(h, 7), CUSFFT_SUCCESS);
+
+  // CUSFFT_AUTOPICK is parsed strictly too, but only consulted when the
+  // algorithm resolves to AUTO.
+  ::setenv("CUSFFT_AUTOPICK", "guess", 1);
+  EXPECT_EQ(cusfft_set_algorithm(h, CUSFFT_ALGO_CUSFFT), CUSFFT_SUCCESS);
+  EXPECT_EQ(cusfft_set_algorithm(h, CUSFFT_ALGO_AUTO),
+            CUSFFT_INVALID_ARGUMENT);
+  ::unsetenv("CUSFFT_AUTOPICK");
+  EXPECT_EQ(cusfft_set_algorithm(h, CUSFFT_ALGO_AUTO), CUSFFT_SUCCESS);
+  cusfft_destroy(h);
+}
+
+TEST(CApi, AlgoEnvOverridesPlannedAlgorithm) {
+  const auto w = make_workload(1 << 12, 8, 929);
+  ::setenv("CUSFFT_ALGO", "ffast", 1);
+  cusfft_handle h = nullptr;
+  ASSERT_EQ(cusfft_plan(&h, w.n, w.k, CUSFFT_BACKEND_GPU_OPTIMIZED),
+            CUSFFT_SUCCESS);
+  const double ffast_before = algo_execs("ffast");
+  capi_execute(h, w);
+  EXPECT_DOUBLE_EQ(algo_execs("ffast"), ffast_before + 1)
+      << "CUSFFT_ALGO=ffast must reach the GPU plan";
+
+  ::unsetenv("CUSFFT_ALGO");
+  ASSERT_EQ(cusfft_set_seed(h, 3), CUSFFT_SUCCESS);  // rebuild re-reads env
+  const double cusfft_before = algo_execs("cusfft");
+  capi_execute(h, w);
+  EXPECT_DOUBLE_EQ(algo_execs("cusfft"), cusfft_before + 1)
+      << "clearing the override must restore the planned algorithm";
+  cusfft_destroy(h);
+}
+
 TEST(CApi, ServerRoundTripMatchesPlanExecute) {
   // Virtual-clock serving through the C surface: batched results must be
   // bit-identical to cusfft_execute on a standalone GPU_OPTIMIZED plan of

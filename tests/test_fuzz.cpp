@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -18,7 +19,10 @@
 #include "custhrust/sort.hpp"
 #include "fft/dft.hpp"
 #include "fft/fft.hpp"
+#include "cusfft/plan.hpp"
+#include "cusim/device.hpp"
 #include "serve_harness.hpp"
+#include "sfft/ffast.hpp"
 #include "sfft/serial.hpp"
 #include "signal/generate.hpp"
 
@@ -113,6 +117,172 @@ TEST(Fuzz, SerialSfftRecoversAcrossRandomConfigs) {
     EXPECT_LT(l1_error_per_coeff(got, oracle, k), 2e-2)
         << "trial=" << trial;
   }
+}
+
+TEST(Fuzz, ValidateRejectsDegenerateConfigs) {
+  // Pinned rejections from the hostile-config sweep. The NaN cases are
+  // regressions: validate()'s positivity checks were spelled `x <= 0.0`,
+  // which NaN fails (every ordered comparison involving NaN is false), so
+  // NaN constants sailed through into the derived-size math.
+  auto reject = [](auto&& mutate, const char* what) {
+    sfft::Params p;
+    p.n = 4096;
+    p.k = 8;
+    mutate(p);
+    EXPECT_THROW(p.validate(), std::invalid_argument) << what;
+  };
+  reject([](sfft::Params& p) { p.k = p.n; }, "k == n");
+  reject([](sfft::Params& p) { p.k = p.n / 2 + 1; }, "k > n/2");
+  reject([](sfft::Params& p) { p.k = 0; }, "k == 0");
+  reject([](sfft::Params& p) { p.loops_loc = 0; p.loc_threshold = 0; },
+         "loops_loc = 0 with loc_threshold = 0");
+  reject([](sfft::Params& p) { p.loc_threshold = p.loops_loc + 1; },
+         "vote threshold > location loops");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  reject([&](sfft::Params& p) { p.bcst = nan; }, "NaN bcst");
+  reject([&](sfft::Params& p) { p.cutoff_mult = nan; }, "NaN cutoff_mult");
+  reject([&](sfft::Params& p) { p.comb = true; p.comb_cst = nan; },
+         "NaN comb_cst");
+  reject([&](sfft::Params& p) { p.comb = true; p.comb_keep_mult = nan; },
+         "NaN comb_keep_mult");
+  reject([&](sfft::Params& p) { p.ffast_bin_mult = nan; },
+         "NaN ffast_bin_mult");
+}
+
+TEST(Fuzz, DerivedSizesSaturateInsteadOfWrapping) {
+  // Multipliers that push a derived size past 2^63 used to hit UB
+  // double->u64 casts: bcst = 1e300 came back as buckets() == 8 instead
+  // of n, and cutoff_mult = 1e300 as cutoff() == 0 — which silently
+  // emptied every spectrum. The clamps now apply in the double domain.
+  sfft::Params p;
+  p.n = 4096;
+  p.k = 4;
+  p.bcst = 1e300;
+  ASSERT_NO_THROW(p.validate());
+  EXPECT_EQ(p.buckets(), p.n);
+
+  sfft::Params q;
+  q.n = 4096;
+  q.k = 4;
+  q.cutoff_mult = 1e300;
+  ASSERT_NO_THROW(q.validate());
+  EXPECT_EQ(q.cutoff(), q.buckets() / 2);
+  EXPECT_GT(q.cutoff(), 0u);
+  Rng rng(77);
+  const auto sig = signal::make_sparse_signal(q.n, q.k, rng);
+  EXPECT_FALSE(sfft::SerialPlan(q).execute(sig.x).empty())
+      << "saturated cutoff must not silently empty the spectrum";
+
+  sfft::Params c;
+  c.n = 4096;
+  c.k = 8;
+  c.comb = true;
+  c.comb_cst = 1e300;
+  c.comb_keep_mult = 1e300;
+  ASSERT_NO_THROW(c.validate());
+  EXPECT_EQ(c.comb_w(), c.n / 2);
+  EXPECT_EQ(c.comb_keep(), c.n);
+
+  sfft::Params f;
+  f.n = 4096;
+  f.k = 8;
+  f.ffast_bin_mult = 1e300;
+  ASSERT_NO_THROW(f.validate());
+  EXPECT_EQ(f.ffast_bins(), f.n);
+}
+
+TEST(Fuzz, DegenerateConfigsExecuteWithoutCrashing) {
+  // Extreme-but-valid configs: the bucket count clamped to its floor of
+  // 4, a comb keep far above the comb width (clamped inside the filter),
+  // the smallest legal n at maximum density, and FFAST bin counts at both
+  // extremes. None are useful configurations; all must run to completion
+  // on every backend and return only finite coefficients.
+  auto expect_finite = [](const SparseSpectrum& s, const char* what) {
+    for (const auto& coef : s) {
+      EXPECT_LT(coef.loc, std::size_t{1} << 20) << what;
+      EXPECT_TRUE(std::isfinite(coef.val.real()) &&
+                  std::isfinite(coef.val.imag()))
+          << what << " loc " << coef.loc;
+    }
+  };
+  auto run_all = [&](const sfft::Params& p, const char* what) {
+    ASSERT_NO_THROW(p.validate()) << what;
+    Rng rng(p.seed + p.n + p.k);
+    const auto sig = signal::make_sparse_signal(p.n, p.k, rng);
+    expect_finite(sfft::SerialPlan(p).execute(sig.x), what);
+    cusim::Device dev;
+    expect_finite(
+        gpu::GpuPlan(dev, p, gpu::Options::optimized()).execute(sig.x), what);
+  };
+
+  sfft::Params floor_b;
+  floor_b.n = 4096;
+  floor_b.k = 4;
+  floor_b.bcst = 1e-9;
+  EXPECT_EQ(floor_b.buckets(), 4u);
+  run_all(floor_b, "bucket floor B=4");
+
+  sfft::Params keep_over_w;
+  keep_over_w.n = 4096;
+  keep_over_w.k = 8;
+  keep_over_w.comb = true;
+  keep_over_w.comb_keep_mult = 512.0;
+  ASSERT_GT(keep_over_w.comb_keep(), keep_over_w.comb_w());
+  run_all(keep_over_w, "comb keep > comb width");
+
+  sfft::Params tiny;
+  tiny.n = 16;
+  tiny.k = 8;  // k == n/2, densest legal config at the smallest legal n
+  run_all(tiny, "tiny n at k = n/2");
+
+  for (const double mult : {1e-9, 1e300}) {
+    sfft::Params fp;
+    fp.n = 1 << 10;
+    fp.k = 4;
+    fp.algo = sfft::Algorithm::kFfast;
+    fp.ffast_bin_mult = mult;
+    fp.ffast_stages = 8;
+    ASSERT_NO_THROW(fp.validate());
+    Rng rng(55);
+    const auto sig = signal::make_sparse_signal(fp.n, fp.k, rng);
+    expect_finite(sfft::FfastPlan(fp).execute(sig.x), "ffast bin extremes");
+  }
+}
+
+TEST(Fuzz, RandomHostileConfigsValidateOrExecute) {
+  // Randomized sweep over hostile multiplier grids: every drawn config
+  // either fails validate() with invalid_argument, or executes on the
+  // serial backend without crashing.
+  const double grid[] = {1e-9, 0.25, 1.0, 4.0, 1e9, 1e300,
+                         std::numeric_limits<double>::quiet_NaN()};
+  Rng rng(2031);
+  int executed = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    sfft::Params p;
+    p.n = 1ULL << (4 + rng.next_below(7));
+    p.k = 1 + rng.next_below(p.n);  // deliberately allows illegal k > n/2
+    p.seed = 8800 + trial;
+    p.bcst = grid[rng.next_below(7)];
+    p.cutoff_mult = grid[rng.next_below(7)];
+    p.comb = rng.next_below(2) == 0;
+    p.comb_cst = grid[rng.next_below(7)];
+    p.comb_keep_mult = grid[rng.next_below(7)];
+    p.loops_loc = rng.next_below(5);  // 0 is illegal
+    p.loc_threshold = rng.next_below(8);
+    try {
+      p.validate();
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    ++executed;
+    Rng sig_rng(p.seed);
+    const auto sig = signal::make_sparse_signal(p.n, p.k, sig_rng);
+    const auto got = sfft::SerialPlan(p).execute(sig.x);
+    for (const auto& coef : got)
+      ASSERT_LT(coef.loc, p.n) << "trial=" << trial;
+  }
+  // The sweep must actually exercise the execute path, not reject 40/40.
+  EXPECT_GT(executed, 0);
 }
 
 TEST(Fuzz, ServerSubmissionsTerminateOnceAndMatchSinglePlan) {

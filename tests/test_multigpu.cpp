@@ -309,6 +309,43 @@ TEST(MultiGpu, MergedTracePassesArtifactChecks) {
   EXPECT_GT(r.copy_events, 0u);
 }
 
+TEST(MultiGpu, PlanCacheKeysOnAlgorithm) {
+  // Regression: ShapeKey once omitted the algorithm, so two same-shape
+  // submissions differing only in backend aliased to one cached plan and
+  // the second silently ran the first one's algorithm. The per-signal
+  // stats expose which backend actually executed.
+  const std::size_t n = 1 << 11, k = 8;
+  sfft::Params pc;
+  pc.n = n;
+  pc.k = k;
+  pc.seed = 31;
+  sfft::Params pf = pc;
+  pf.algo = sfft::Algorithm::kFfast;
+  const cvec x = test_signal(n, k, 41);
+  const std::vector<gpu::MixedSignal> batch = {
+      {x, pc}, {x, pf}, {x, pc}, {x, pf}};
+
+  DeviceGroup group(2);
+  gpu::MultiGpuPlan mplan(group, pc, gpu::Options::optimized());
+  gpu::GpuFleetStats fs;
+  const auto got = mplan.execute_mixed(batch, &fs);
+  ASSERT_EQ(got.size(), 4u);
+  ASSERT_EQ(fs.per_signal.size(), 4u);
+  EXPECT_EQ(fs.per_signal[0].algo, sfft::Algorithm::kCusfft);
+  EXPECT_EQ(fs.per_signal[1].algo, sfft::Algorithm::kFfast);
+  EXPECT_EQ(fs.per_signal[2].algo, sfft::Algorithm::kCusfft);
+  EXPECT_EQ(fs.per_signal[3].algo, sfft::Algorithm::kFfast);
+
+  // Same algorithm -> bit-identical spectra (same input, same plan);
+  // different algorithms -> identical support on the exactly-k-sparse
+  // input (values agree only to estimation tolerance, not bitwise).
+  expect_identical({got[0]}, {got[2]}, "cusfft repeat");
+  expect_identical({got[1]}, {got[3]}, "ffast repeat");
+  ASSERT_EQ(got[0].size(), got[1].size());
+  for (std::size_t j = 0; j < got[0].size(); ++j)
+    EXPECT_EQ(got[0][j].loc, got[1][j].loc) << "support mismatch at " << j;
+}
+
 TEST(MultiGpu, DeterministicAcrossHostLaunchPaths) {
   // Forcing sequential functional execution on every device must not
   // change outputs or the modeled fleet makespan — the host thread count

@@ -2,7 +2,7 @@
 // bench_throughput --metrics emits (CI's metrics-smoke gate).
 //
 //   metrics_check <metrics.json> [--prev <snap.json>] [--prom <file>]
-//                 [--devices N] [--serve] [--cluster N]
+//                 [--devices N] [--serve] [--cluster N] [--algo]
 //
 // Always runs the schema/consistency check on <metrics.json>. --prev adds
 // the counter-monotonicity check (prev must be an earlier snapshot from
@@ -12,9 +12,11 @@
 // accounting conservation, per-class latency histograms, batch-size
 // coverage — the snapshot must come from a drained server), and
 // --cluster N validates the cluster-tier instruments for an N-node run
-// (cusfft_cluster_* coverage plus cross-node signal conservation). Exit 0
-// when every requested check passes, 1 on a failed check, 2 on usage/IO
-// errors.
+// (cusfft_cluster_* coverage plus cross-node signal conservation), and
+// --algo validates the algorithm-picker instruments from a crossover run
+// (both backends calibrated, per-algo splits conserving their totals,
+// picks recorded, non-empty calibration table). Exit 0 when every
+// requested check passes, 1 on a failed check, 2 on usage/IO errors.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -30,7 +32,7 @@ namespace {
   std::cerr << "metrics_check: " << msg << "\n"
             << "usage: metrics_check <metrics.json> [--prev <snap.json>]\n"
                "                     [--prom <file>] [--devices N] "
-               "[--serve] [--cluster N]\n";
+               "[--serve] [--cluster N] [--algo]\n";
   std::exit(2);
 }
 
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
   std::size_t devices = 0;
   std::size_t cluster = 0;
   bool serve = false;
+  bool algo = false;
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
     auto value = [&]() -> const char* {
@@ -86,6 +89,8 @@ int main(int argc, char** argv) {
         usage("--cluster: expected a positive integer");
     } else if (key == "--serve") {
       serve = true;
+    } else if (key == "--algo") {
+      algo = true;
     } else if (key.rfind("--", 0) == 0) {
       usage(("unknown flag '" + key + "'").c_str());
     } else if (json_path.empty()) {
@@ -125,6 +130,10 @@ int main(int argc, char** argv) {
   if (cluster > 0)
     ok = report("cluster-tier coverage",
                 cusfft::tools::check_cluster_metrics(json_text, cluster)) &&
+         ok;
+  if (algo)
+    ok = report("algo-picker coverage",
+                cusfft::tools::check_algo_metrics(json_text)) &&
          ok;
 
   return ok ? 0 : 1;

@@ -467,4 +467,71 @@ MetricsCheckResult check_cluster_metrics(const std::string& json_text,
   return r;
 }
 
+MetricsCheckResult check_algo_metrics(const std::string& json_text) {
+  MetricsCheckResult r;
+  json::Value doc;
+  if (!parse_doc(json_text, doc, r)) return r;
+  SnapshotDoc s;
+  if (!read_snapshot(doc, s, r)) return r;
+
+  auto counter_or = [&](const std::string& name) -> u64 {
+    const auto it = s.counters.find(name);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  // Sums a {algo="..."} family, rejecting labels that are not a backend.
+  auto family_sum = [&](const std::string& family) -> u64 {
+    u64 sum = 0;
+    const std::string prefix = family + "{algo=\"";
+    for (const auto& [name, v] : s.counters) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      const std::string label =
+          name.substr(prefix.size(), name.size() - prefix.size() - 2);
+      if (label != "cusfft" && label != "ffast")
+        fail(r, family + ": unknown algo label \"" + label + "\"");
+      sum += v;
+    }
+    return sum;
+  };
+
+  // A crossover run calibrates both backends, so both execute series must
+  // carry observations.
+  for (const char* algo : {"cusfft", "ffast"}) {
+    const std::string name =
+        std::string("cusfft_algo_executes_total{algo=\"") + algo + "\"}";
+    if (counter_or(name) == 0)
+      fail(r, "missing or zero picker counter " + name);
+  }
+
+  // Per-algo splits must conserve the unlabeled totals: every execute and
+  // every fleet/batch signal is attributed to exactly one backend.
+  const u64 exec_split = family_sum("cusfft_algo_executes_total");
+  const u64 execs = counter_or("cusfft_executes_total");
+  if (exec_split != execs) {
+    std::ostringstream os;
+    os << "algo execute split does not conserve: sum over backends "
+       << exec_split << " != cusfft_executes_total " << execs;
+    fail(r, os.str());
+  }
+  const u64 sig_split = family_sum("cusfft_algo_signals_total");
+  const u64 sigs = counter_or("cusfft_signals_total");
+  if (sig_split != sigs) {
+    std::ostringstream os;
+    os << "algo signal split does not conserve: sum over backends "
+       << sig_split << " != cusfft_signals_total " << sigs;
+    fail(r, os.str());
+  }
+
+  if (family_sum("cusfft_algo_picks_total") == 0)
+    fail(r,
+         "cusfft_algo_picks_total has no observations — the auto picker "
+         "never ran");
+  const json::Value* gauges = doc.find("gauges");
+  if (gauges == nullptr ||
+      !(gauges->number_or("cusfft_algo_crossover_cells", 0) > 0))
+    fail(r, "cusfft_algo_crossover_cells gauge is absent or zero");
+
+  r.ok = r.errors.empty();
+  return r;
+}
+
 }  // namespace cusfft::tools
